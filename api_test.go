@@ -1,0 +1,313 @@
+package bipartite
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := RandomER(5000, 5000, 4, 42)
+	res, err := g.TwoSidedMatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ValidateMatching(res.Matching); err != nil {
+		t.Fatal(err)
+	}
+	if q := g.Quality(res.Matching); q < 0.85 {
+		t.Fatalf("two-sided quality %v below expectations", q)
+	}
+	one, err := g.OneSidedMatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ValidateMatching(one.Matching); err != nil {
+		t.Fatal(err)
+	}
+	if q := g.Quality(one.Matching); q < 0.632 {
+		t.Fatalf("one-sided quality %v below guarantee", q)
+	}
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(2, 2, []int{0, 1, 2}, []int32{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGraph(2, 2, []int{0, 1}, []int32{0}); err == nil {
+		t.Fatal("bad ptr accepted")
+	}
+	// Unsorted rows get sorted.
+	g, err := NewGraph(1, 3, []int{0, 3}, []int32{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := g.Neighbors(0)
+	if nb[0] != 0 || nb[1] != 1 || nb[2] != 2 {
+		t.Fatalf("rows not sorted: %v", nb)
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(2, 2, [][2]int{{0, 0}, {1, 1}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges() != 2 {
+		t.Fatalf("edges %d want 2 after dedupe", g.Edges())
+	}
+	if !g.HasEdge(0, 0) || g.HasEdge(0, 1) {
+		t.Fatal("edge membership wrong")
+	}
+	if _, err := FromEdges(2, 2, [][2]int{{5, 0}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := Grid2D(10, 12)
+	if g.Rows() != 120 || g.Cols() != 120 {
+		t.Fatal("dims")
+	}
+	if g.Degree(0) != 3 {
+		t.Fatal("degree")
+	}
+	if g.AvgDegree() <= 0 || g.DegreeVariance() < 0 {
+		t.Fatal("stats")
+	}
+	rows, cols, ptr, idx := g.CSR()
+	if rows != 120 || cols != 120 || len(ptr) != 121 || len(idx) != g.Edges() {
+		t.Fatal("CSR accessor wrong")
+	}
+}
+
+func TestSprankCached(t *testing.T) {
+	g := RandomER(300, 300, 2, 7)
+	s1 := g.Sprank()
+	s2 := g.Sprank()
+	if s1 != s2 {
+		t.Fatal("sprank changed between calls")
+	}
+	max := g.MaximumMatching()
+	if max.Size != s1 {
+		t.Fatal("MaximumMatching size != Sprank")
+	}
+	if err := g.ValidateMatching(max); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJumpStartReducesWork(t *testing.T) {
+	g := FullyIndecomposable(3000, 2, 5)
+	res, err := g.TwoSidedMatch(&Options{ScalingIterations: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, freeCold := g.MaximumMatchingFrom(nil)
+	warm, freeWarm := g.MaximumMatchingFrom(res.Matching)
+	if full.Size != warm.Size {
+		t.Fatalf("warm-start result %d != cold %d", warm.Size, full.Size)
+	}
+	if freeWarm >= freeCold {
+		t.Fatalf("jump-start should reduce free rows: warm %d cold %d", freeWarm, freeCold)
+	}
+	if err := g.ValidateMatching(warm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o *Options
+	v := o.normalized()
+	if v.ScalingIterations != 5 || v.Seed == 0 {
+		t.Fatalf("nil options normalized to %+v", v)
+	}
+	v = (&Options{ScalingIterations: -1}).normalized()
+	if v.ScalingIterations != 5 {
+		t.Fatal("negative iterations should default")
+	}
+	v = (&Options{ScalingIterations: 0}).normalized()
+	if v.ScalingIterations != 0 {
+		t.Fatal("explicit zero iterations must be honored")
+	}
+}
+
+func TestScaleDirect(t *testing.T) {
+	g := FullyIndecomposable(500, 2, 9)
+	sc, err := g.Scale(&Options{ScalingIterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Iterations != 20 || len(sc.History) != 21 {
+		t.Fatalf("iters %d history %d", sc.Iterations, len(sc.History))
+	}
+	if sc.Error >= sc.History[0] {
+		t.Fatal("scaling error did not decrease")
+	}
+	ruiz, err := g.Scale(&Options{ScalingIterations: 20, UseRuiz: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ruiz.Error <= 0 && sc.Error <= 0 {
+		t.Fatal("degenerate errors")
+	}
+}
+
+func TestKarpSipserBaseline(t *testing.T) {
+	g := HardForKarpSipser(320, 16)
+	mt, st := g.KarpSipser(1)
+	if err := g.ValidateMatching(mt); err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase1Matches != 0 {
+		t.Fatal("bad case should have empty phase 1")
+	}
+	if g.Quality(mt) > 0.95 {
+		t.Fatalf("KS quality %v suspiciously high on k=16 bad case", g.Quality(mt))
+	}
+	res, err := g.TwoSidedMatch(&Options{ScalingIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Quality(res.Matching) < g.Quality(mt) {
+		t.Fatal("TwoSided should beat KS on the bad case")
+	}
+}
+
+func TestCheapBaselines(t *testing.T) {
+	g := RandomER(1000, 1000, 3, 11)
+	sp := g.Sprank()
+	e := g.CheapRandomEdge(3)
+	v := g.CheapRandomVertex(3)
+	if err := g.ValidateMatching(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ValidateMatching(v); err != nil {
+		t.Fatal(err)
+	}
+	if 2*e.Size < sp || 2*v.Size < sp {
+		t.Fatal("cheap heuristics below half guarantee")
+	}
+}
+
+func TestDulmageMendelsohnAPI(t *testing.T) {
+	g := RandomER(200, 260, 2, 13)
+	c := g.DulmageMendelsohn()
+	if c.HR+c.SR+c.VR != 200 || c.HC+c.SC+c.VC != 260 {
+		t.Fatal("DM part sizes inconsistent")
+	}
+}
+
+func TestMatrixMarketRoundTripAPI(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.mtx")
+	g := RandomER(100, 80, 3, 17)
+	if err := g.WriteMatrixMarket(path); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadMatrixMarket(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows() != 100 || h.Cols() != 80 || h.Edges() != g.Edges() {
+		t.Fatal("round trip changed graph")
+	}
+}
+
+func TestValidateMatchingRejectsCorrupt(t *testing.T) {
+	g := RandomER(50, 50, 3, 19)
+	mt := g.MaximumMatching()
+	good := *mt
+	if err := g.ValidateMatching(&good); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: size lies.
+	bad := *mt
+	bad.Size++
+	if err := g.ValidateMatching(&bad); err == nil {
+		t.Fatal("size corruption accepted")
+	}
+	// Corrupt: break mutual consistency.
+	bad2 := *mt
+	bad2.RowMate = append([]int32(nil), mt.RowMate...)
+	for i, j := range bad2.RowMate {
+		if j != Unmatched {
+			bad2.RowMate[i] = Unmatched
+			break
+		}
+	}
+	if err := g.ValidateMatching(&bad2); err == nil {
+		t.Fatal("inconsistent mates accepted")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	g := RandomER(2000, 2000, 4, 23)
+	a, err := g.TwoSidedMatch(&Options{Seed: 9, ScalingIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.TwoSidedMatch(&Options{Seed: 9, ScalingIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Matching.Size != b.Matching.Size {
+		t.Fatalf("same seed gave sizes %d and %d", a.Matching.Size, b.Matching.Size)
+	}
+	// One-sided: the set of chosen columns (hence the size) is
+	// deterministic; the winning row for a contended column is not (the
+	// paper's last-write-wins semantics).
+	one1, _ := g.OneSidedMatch(&Options{Seed: 9})
+	one2, _ := g.OneSidedMatch(&Options{Seed: 9})
+	if one1.Matching.Size != one2.Matching.Size {
+		t.Fatalf("one-sided size not deterministic: %d vs %d",
+			one1.Matching.Size, one2.Matching.Size)
+	}
+	for j := range one1.Matching.ColMate {
+		if (one1.Matching.ColMate[j] == Unmatched) != (one2.Matching.ColMate[j] == Unmatched) {
+			t.Fatal("one-sided chosen-column set not deterministic")
+		}
+	}
+}
+
+func TestGeneratorsViaAPI(t *testing.T) {
+	gens := map[string]*Graph{
+		"complete": Complete(50),
+		"hardks":   HardForKarpSipser(64, 4),
+		"grid2d":   Grid2D(8, 8),
+		"grid3d":   Grid3D(4, 4, 4, false),
+		"road":     RoadNetwork(1000, 2.2, 1),
+		"powerlaw": PowerLaw(500, 2, 1.5, 100, 1),
+		"banded":   Banded(100, 0, -1, 1),
+		"fi":       FullyIndecomposable(100, 2, 1),
+		"saddle":   SaddlePoint(100, 30, 2, 1),
+		"er":       RandomER(100, 100, 3, 1),
+	}
+	for name, g := range gens {
+		if g.Rows() <= 0 || g.Edges() <= 0 {
+			t.Errorf("%s: degenerate graph", name)
+		}
+		mt := g.MaximumMatching()
+		if err := g.ValidateMatching(mt); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestHeuristicsQualityProperty(t *testing.T) {
+	f := func(seed uint64, d uint8) bool {
+		g := RandomER(400, 400, float64(d%4)+2, seed)
+		res, err := g.TwoSidedMatch(&Options{ScalingIterations: 5, Seed: seed + 1})
+		if err != nil {
+			return false
+		}
+		if g.ValidateMatching(res.Matching) != nil {
+			return false
+		}
+		// Sparse ER around d=2..5: two-sided stays comfortably above 0.8.
+		return g.Quality(res.Matching) > 0.8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+// Command genmat writes synthetic benchmark matrices in Matrix Market
+// format, covering every workload family used by the experiments.
+//
+// Usage:
+//
+//	genmat -kind er -n 100000 -deg 4 -out er.mtx
+//	genmat -kind badks -n 3200 -k 32 -out hard.mtx
+//	genmat -kind grid3 -side 60 -out mesh.mtx
+//
+// Kinds: er, rect, full, badks, grid2, mesh2, grid3, grid3d27, road,
+// powerlaw, band, fi, kkt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	bipartite "repro"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "er", "matrix family")
+		out  = flag.String("out", "", "output .mtx path (required)")
+		n    = flag.Int("n", 10000, "primary dimension")
+		m    = flag.Int("m", 0, "secondary dimension (rect); defaults to n")
+		deg  = flag.Float64("deg", 4, "average degree (er/rect/road)")
+		k    = flag.Int("k", 8, "k parameter (badks)")
+		side = flag.Int("side", 50, "grid side (grid2/mesh2/grid3/grid3d27)")
+		seed = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "genmat: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *m == 0 {
+		*m = *n
+	}
+	var g *bipartite.Graph
+	switch *kind {
+	case "er":
+		g = bipartite.RandomER(*n, *n, *deg, *seed)
+	case "rect":
+		g = bipartite.RandomER(*n, *m, *deg, *seed)
+	case "full":
+		g = bipartite.Complete(*n)
+	case "badks":
+		g = bipartite.HardForKarpSipser(*n, *k)
+	case "grid2":
+		g = bipartite.Grid2D(*side, *side)
+	case "mesh2":
+		g = bipartite.Grid2D(*side, *side) // 5-point; see also the library's Mesh2D analog
+	case "grid3":
+		g = bipartite.Grid3D(*side, *side, *side, false)
+	case "grid3d27":
+		g = bipartite.Grid3D(*side, *side, *side, true)
+	case "road":
+		g = bipartite.RoadNetwork(*n, *deg, *seed)
+	case "powerlaw":
+		g = bipartite.PowerLaw(*n, 2, 1.5, *n, *seed)
+	case "band":
+		g = bipartite.Banded(*n, 0, -1, 1)
+	case "fi":
+		g = bipartite.FullyIndecomposable(*n, 2, *seed)
+	case "kkt":
+		g = bipartite.SaddlePoint(*n, *n/4, 2, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "genmat: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := g.WriteMatrixMarket(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "genmat: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d x %d, %d edges\n", *out, g.Rows(), g.Cols(), g.Edges())
+}

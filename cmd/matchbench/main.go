@@ -1,0 +1,103 @@
+// Command matchbench regenerates every table and figure of the paper's
+// evaluation section on synthetic analog workloads.
+//
+// Usage:
+//
+//	matchbench -exp all                         # everything (minutes)
+//	matchbench -exp table1,table2               # specific experiments
+//	matchbench -exp fig3,fig4 -threads 1,2,4,8  # custom thread sweep
+//	matchbench -exp table3 -scale paper         # paper-sized instances
+//
+// Experiments: qualityfi, table1, table2, table3, fig3, fig4, fig5,
+// conjecture, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension")
+		scale   = flag.String("scale", "small", "instance scale: tiny | small | paper")
+		runs    = flag.Int("runs", 10, "randomized repetitions for min-quality tables")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		threads = flag.String("threads", "1,2,4,8,16", "thread sweep for speedup experiments")
+	)
+	flag.Parse()
+
+	var tl []int
+	for _, tok := range strings.Split(*threads, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "matchbench: bad -threads element %q\n", tok)
+			os.Exit(2)
+		}
+		tl = append(tl, v)
+	}
+	cfg := bench.Config{
+		Scale:   *scale,
+		Threads: tl,
+		Runs:    *runs,
+		Seed:    *seed,
+		Out:     os.Stdout,
+	}.Defaults()
+
+	want := map[string]bool{}
+	for _, tok := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(tok))] = true
+	}
+	all := want["all"]
+	ran := 0
+	run := func(name string, f func()) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		fmt.Printf("\n### %s (scale=%s)\n", name, cfg.Scale)
+		f()
+		fmt.Printf("### %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("qualityfi", func() { bench.QualityFI(cfg, nil) })
+	run("table1", func() { bench.Table1(cfg, 0) })
+	run("table2", func() { bench.Table2(cfg, table2N(cfg.Scale)) })
+	run("table3", func() { bench.Table3(cfg) })
+	run("fig3", func() { bench.Fig3(cfg) })
+	run("fig4", func() { bench.Fig4(cfg) })
+	run("fig5", func() { bench.Fig5(cfg) })
+	run("conjecture", func() { bench.Conjecture(cfg, nil) })
+	run("ablation", func() {
+		bench.AblationScaling(cfg, 0)
+		bench.AblationSchedule(cfg, 0)
+		bench.AblationKSVariants(cfg, 0)
+	})
+	run("extension", func() {
+		bench.Walkup(cfg, nil)
+		bench.Undirected(cfg, 0)
+	})
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "matchbench: no experiment matched %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func table2N(scale string) int {
+	switch scale {
+	case "tiny":
+		return 5000
+	case "paper":
+		return 100000 // the paper's size
+	default:
+		return 50000
+	}
+}

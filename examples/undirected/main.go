@@ -1,0 +1,66 @@
+// Undirected: the paper's announced extension to general graphs. Each
+// vertex samples one neighbor from a symmetric doubly stochastic scaling;
+// the sampled 1-out graph is a pseudoforest (every component has at most
+// one cycle), so Karp–Sipser matches it exactly — including odd cycles,
+// which do not exist in the bipartite case.
+//
+//	go run ./examples/undirected
+package main
+
+import (
+	"fmt"
+
+	bipartite "repro"
+)
+
+func main() {
+	fmt.Println("1-out matching on general graphs (paper's future-work extension)")
+	fmt.Printf("\n%12s %10s %10s %12s %14s\n",
+		"graph", "vertices", "edges", "matched", "frac of max")
+
+	// Random sparse graph.
+	g := bipartite.RandomUndirected(500000, 6, 7)
+	res := g.Match(&bipartite.Options{ScalingIterations: 5, Seed: 1})
+	if err := g.Validate(res.Mate); err != nil {
+		panic(err)
+	}
+	// On ER(d=6) nearly all vertices are matchable; report the matched
+	// vertex fraction as a proxy for quality.
+	fmt.Printf("%12s %10d %10d %12d %14.3f\n", "ER d=6",
+		g.Vertices(), g.Edges(), res.Size, 2*float64(res.Size)/float64(g.Vertices()))
+
+	// Ring graph (one even cycle: has a perfect matching).
+	n := 400000
+	edges := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int{i, (i + 1) % n}
+	}
+	ring, err := bipartite.NewUndirected(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	res = ring.Match(&bipartite.Options{ScalingIterations: 2, Seed: 3})
+	if err := ring.Validate(res.Mate); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%12s %10d %10d %12d %14.3f\n", "ring",
+		ring.Vertices(), ring.Edges(), res.Size, 2*float64(res.Size)/float64(n))
+
+	// Triangular-ish graph with many odd cycles.
+	tri := make([][2]int, 0, 3*n/2)
+	for i := 0; i+2 < n; i += 2 {
+		tri = append(tri, [2]int{i, i + 1}, [2]int{i + 1, i + 2}, [2]int{i, i + 2})
+	}
+	trig, err := bipartite.NewUndirected(n, tri)
+	if err != nil {
+		panic(err)
+	}
+	res = trig.Match(&bipartite.Options{ScalingIterations: 2, Seed: 3})
+	if err := trig.Validate(res.Mate); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%12s %10d %10d %12d %14.3f\n", "triangles",
+		trig.Vertices(), trig.Edges(), res.Size, 2*float64(res.Size)/float64(n))
+
+	fmt.Println("\nall matchings validated ✓ (odd cycles handled by the cycle-walking phase)")
+}

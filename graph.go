@@ -1,0 +1,280 @@
+package bipartite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dm"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/ks"
+	"repro/internal/mmio"
+	"repro/internal/sparse"
+)
+
+// Matching pairs rows with columns: RowMate[i] is the column matched to
+// row i (or -1), ColMate[j] the row matched to column j (or -1), and Size
+// the cardinality.
+type Matching = exact.Matching
+
+// KarpSipserStats reports how a classic Karp–Sipser run unfolded
+// (degree-one rule matches vs random picks).
+type KarpSipserStats = ks.Stats
+
+// DMDecomposition is the coarse Dulmage–Mendelsohn decomposition returned
+// by Graph.DulmageMendelsohn.
+type DMDecomposition = dm.Coarse
+
+// Unmatched is the sentinel used in matching and choice arrays.
+const Unmatched = exact.NIL
+
+// Graph is a bipartite graph stored as the sparse pattern of its
+// biadjacency matrix. The zero value is not usable; construct with one of
+// the constructors or generators. A Graph is immutable after construction;
+// all methods are safe for concurrent use.
+type Graph struct {
+	a  *sparse.CSR
+	at *sparse.CSR // transpose, built lazily
+
+	sprank int // cached maximum matching size; -1 until computed
+}
+
+func newGraph(a *sparse.CSR) *Graph { return &Graph{a: a, sprank: -1} }
+
+// NewGraph builds a graph from raw CSR components: ptr has length rows+1,
+// idx holds the column index of each edge. The input is validated and the
+// rows are sorted if needed.
+func NewGraph(rows, cols int, ptr []int, idx []int32) (*Graph, error) {
+	a, err := sparse.New(rows, cols, ptr, idx, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !a.HasSortedRows() {
+		a.SortRows()
+	}
+	return newGraph(a), nil
+}
+
+// FromEdges builds a graph from an edge list; duplicate edges are merged.
+func FromEdges(rows, cols int, edges [][2]int) (*Graph, error) {
+	coords := make([]sparse.Coord, len(edges))
+	for k, e := range edges {
+		if e[0] < 0 || e[0] >= rows || e[1] < 0 || e[1] >= cols {
+			return nil, fmt.Errorf("bipartite: edge (%d,%d) outside %dx%d", e[0], e[1], rows, cols)
+		}
+		coords[k] = sparse.Coord{I: int32(e[0]), J: int32(e[1])}
+	}
+	a, err := sparse.FromCOO(rows, cols, coords, false)
+	if err != nil {
+		return nil, err
+	}
+	return newGraph(a), nil
+}
+
+// ReadMatrixMarket loads a graph from a Matrix Market coordinate file.
+func ReadMatrixMarket(path string) (*Graph, error) {
+	a, err := mmio.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return newGraph(a), nil
+}
+
+// WriteMatrixMarket stores the graph's pattern in Matrix Market format.
+func (g *Graph) WriteMatrixMarket(path string) error {
+	return mmio.WriteFile(path, g.a)
+}
+
+// --- generators -----------------------------------------------------------
+
+// RandomER returns an Erdős–Rényi random graph with the given shape and
+// average row degree (Matlab sprand-style, as in the paper's §4.1.3).
+func RandomER(rows, cols int, avgDeg float64, seed uint64) *Graph {
+	return newGraph(gen.ERAvgDeg(rows, cols, avgDeg, seed))
+}
+
+// Complete returns the complete bipartite graph K_{n,n} (the all-ones
+// matrix of Conjecture 1).
+func Complete(n int) *Graph { return newGraph(gen.Full(n)) }
+
+// HardForKarpSipser returns the Fig. 2 adversarial family: Karp–Sipser's
+// quality degrades as k grows while TwoSidedMatch is unaffected.
+func HardForKarpSipser(n, k int) *Graph { return newGraph(gen.BadKS(n, k)) }
+
+// Grid2D returns the 5-point stencil graph of an nx×ny mesh.
+func Grid2D(nx, ny int) *Graph { return newGraph(gen.Grid2D(nx, ny)) }
+
+// Grid3D returns the 7-point (or dense 27-point) stencil graph of an
+// nx×ny×nz mesh.
+func Grid3D(nx, ny, nz int, full27 bool) *Graph { return newGraph(gen.Grid3D(nx, ny, nz, full27)) }
+
+// RoadNetwork returns a road-network-like thinned grid with the given
+// average degree (slightly rank-deficient, like europe_osm/road_usa).
+func RoadNetwork(n int, avgDeg float64, seed uint64) *Graph {
+	return newGraph(gen.RoadLike(n, avgDeg, seed))
+}
+
+// PowerLaw returns a graph with Pareto(dmin, alpha) row degrees.
+func PowerLaw(n int, dmin, alpha float64, maxDeg int, seed uint64) *Graph {
+	return newGraph(gen.PowerLaw(n, dmin, alpha, maxDeg, seed))
+}
+
+// Banded returns a banded pattern with the given diagonal offsets.
+func Banded(n int, offsets ...int) *Graph { return newGraph(gen.Band(n, offsets...)) }
+
+// FullyIndecomposable returns a matrix with total support (identity +
+// cyclic shift + extras random entries per row), the §4.1.1 workload.
+func FullyIndecomposable(n, extras int, seed uint64) *Graph {
+	return newGraph(gen.FullyIndecomposable(n, extras, seed))
+}
+
+// SaddlePoint returns a KKT-structured symmetric pattern [[A B];[Bᵀ 0]].
+func SaddlePoint(nA, nB, extra int, seed uint64) *Graph {
+	return newGraph(gen.KKTLike(nA, nB, extra, seed))
+}
+
+// --- accessors ------------------------------------------------------------
+
+// Rows returns |VR|, the number of row vertices.
+func (g *Graph) Rows() int { return g.a.RowsN }
+
+// Cols returns |VC|, the number of column vertices.
+func (g *Graph) Cols() int { return g.a.ColsN }
+
+// Edges returns the number of edges.
+func (g *Graph) Edges() int { return g.a.NNZ() }
+
+// Degree returns the degree of row vertex i.
+func (g *Graph) Degree(i int) int { return g.a.Degree(i) }
+
+// AvgDegree returns the mean row degree.
+func (g *Graph) AvgDegree() float64 { return g.a.AvgDegree() }
+
+// DegreeVariance returns the row-degree variance (the load-imbalance
+// indicator discussed with Table 3).
+func (g *Graph) DegreeVariance() float64 { return g.a.DegreeVariance() }
+
+// Neighbors returns the column neighbors of row i (shared slice; do not
+// modify).
+func (g *Graph) Neighbors(i int) []int32 { return g.a.Row(i) }
+
+// HasEdge reports whether edge (i, j) is present.
+func (g *Graph) HasEdge(i, j int) bool {
+	row := g.a.Row(i)
+	k := sort.Search(len(row), func(k int) bool { return row[k] >= int32(j) })
+	return k < len(row) && row[k] == int32(j)
+}
+
+// CSR exposes the underlying matrix components (ptr, idx) for zero-copy
+// interop. The returned slices must not be modified.
+func (g *Graph) CSR() (rows, cols int, ptr []int, idx []int32) {
+	return g.a.RowsN, g.a.ColsN, g.a.Ptr, g.a.Idx
+}
+
+func (g *Graph) transpose() *sparse.CSR {
+	if g.at == nil {
+		g.at = g.a.Transpose()
+	}
+	return g.at
+}
+
+// --- exact matching and analysis -------------------------------------------
+
+// MaximumMatching computes a maximum-cardinality matching with
+// Hopcroft–Karp.
+func (g *Graph) MaximumMatching() *Matching { return exact.HopcroftKarp(g.a, nil) }
+
+// MaximumMatchingPushRelabel computes a maximum matching with the
+// push-relabel/auction scheme (the algorithm family of the GPU and
+// multicore maximum-transversal codes the paper cites). init may be nil
+// or a warm-start matching.
+func (g *Graph) MaximumMatchingPushRelabel(init *Matching) *Matching {
+	return exact.PushRelabel(g.a, init)
+}
+
+// MaximumMatchingFrom completes the given partial matching to a maximum
+// one (MC21 augmentation) and reports how many rows the warm start had
+// left free — the jump-start metric of the introduction.
+func (g *Graph) MaximumMatchingFrom(init *Matching) (*Matching, int) {
+	return exact.Augment(g.a, init)
+}
+
+// Sprank returns the maximum matching cardinality (structural rank),
+// caching the result.
+func (g *Graph) Sprank() int {
+	if g.sprank < 0 {
+		g.sprank = exact.Sprank(g.a)
+	}
+	return g.sprank
+}
+
+// MinimumVertexCover extracts a minimum vertex cover from a maximum
+// matching via König's theorem. Its size always equals the maximum
+// matching cardinality, which makes it an independent certificate of
+// optimality (see CertifyMaximum).
+func (g *Graph) MinimumVertexCover(mt *Matching) (rowInCover, colInCover []bool, size int) {
+	return exact.MinVertexCover(g.a, mt)
+}
+
+// CertifyMaximum reports whether mt is provably a maximum matching of g,
+// by checking validity and that the König cover built from it has exactly
+// mt.Size vertices and covers every edge.
+func (g *Graph) CertifyMaximum(mt *Matching) bool {
+	return exact.Certify(g.a, mt)
+}
+
+// DulmageMendelsohn computes the coarse Dulmage–Mendelsohn decomposition.
+func (g *Graph) DulmageMendelsohn() *DMDecomposition {
+	return dm.Decompose(g.a, g.transpose(), nil)
+}
+
+// FineDecomposition refines the square part of the coarse decomposition
+// into fully indecomposable blocks; it returns the block id of each S-row
+// (-1 outside S) and the number of blocks.
+func (g *Graph) FineDecomposition(c *DMDecomposition) (blockOfRow []int32, blocks int) {
+	return c.Fine(g.a)
+}
+
+// ErrInvalidMatching reports a matching that is inconsistent with the
+// graph.
+var ErrInvalidMatching = errors.New("bipartite: invalid matching")
+
+// ValidateMatching checks that m is a valid matching of g: mutually
+// consistent mates, every matched pair an actual edge, size correct.
+func (g *Graph) ValidateMatching(m *Matching) error {
+	if len(m.RowMate) != g.Rows() || len(m.ColMate) != g.Cols() {
+		return fmt.Errorf("%w: shape mismatch", ErrInvalidMatching)
+	}
+	size := 0
+	for i, j := range m.RowMate {
+		if j == Unmatched {
+			continue
+		}
+		if j < 0 || int(j) >= g.Cols() {
+			return fmt.Errorf("%w: row %d matched to out-of-range column %d", ErrInvalidMatching, i, j)
+		}
+		if m.ColMate[j] != int32(i) {
+			return fmt.Errorf("%w: row %d -> col %d but col %d -> row %d", ErrInvalidMatching, i, j, j, m.ColMate[j])
+		}
+		if !g.HasEdge(i, int(j)) {
+			return fmt.Errorf("%w: matched pair (%d,%d) is not an edge", ErrInvalidMatching, i, j)
+		}
+		size++
+	}
+	for j, i := range m.ColMate {
+		if i != Unmatched && m.RowMate[i] != int32(j) {
+			return fmt.Errorf("%w: col %d -> row %d but row %d -> col %d", ErrInvalidMatching, j, i, i, m.RowMate[i])
+		}
+	}
+	if size != m.Size {
+		return fmt.Errorf("%w: size %d but %d matched rows", ErrInvalidMatching, m.Size, size)
+	}
+	return nil
+}
+
+// Quality returns |m| / sprank(g), the metric reported throughout the
+// paper's evaluation.
+func (g *Graph) Quality(m *Matching) float64 {
+	return exact.Quality(m.Size, g.Sprank())
+}

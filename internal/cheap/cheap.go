@@ -1,0 +1,69 @@
+// Package cheap implements the two "cheap matching" heuristics reviewed in
+// the paper's §2.1. Both have a 1/2 worst-case approximation guarantee and
+// serve as the simplest baselines against which the scaled heuristics are
+// compared.
+package cheap
+
+import (
+	"repro/internal/exact"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// RandomEdge visits the edges in a uniformly random order and matches the
+// two endpoints of an edge when both are still free (the first §2.1
+// variant, analyzed by Dyer and Frieze).
+func RandomEdge(a *sparse.CSR, seed uint64) *exact.Matching {
+	n, m := a.RowsN, a.ColsN
+	mt := exact.NewMatching(n, m)
+	rng := xrand.New(seed)
+	order := rng.Perm(a.NNZ())
+	// Map flat edge position back to its row with a linear sweep index.
+	rowOf := make([]int32, a.NNZ())
+	for i := 0; i < n; i++ {
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			rowOf[p] = int32(i)
+		}
+	}
+	for _, p := range order {
+		i := rowOf[p]
+		j := a.Idx[p]
+		if mt.RowMate[i] == exact.NIL && mt.ColMate[j] == exact.NIL {
+			mt.RowMate[i] = j
+			mt.ColMate[j] = i
+			mt.Size++
+		}
+	}
+	return mt
+}
+
+// RandomVertex repeatedly selects a random free row and matches it with a
+// random free neighbor (the second §2.1 variant, with the Pothen–Fan 1/2
+// guarantee and the Aronson/Dyer/Frieze/Suen 0.5+ε analysis for random
+// order). Rows with no free neighbor are skipped.
+func RandomVertex(a *sparse.CSR, seed uint64) *exact.Matching {
+	n, m := a.RowsN, a.ColsN
+	mt := exact.NewMatching(n, m)
+	rng := xrand.New(seed)
+	order := rng.Perm(n)
+	free := make([]int32, 0, 8)
+	for _, i := range order {
+		if mt.RowMate[i] != exact.NIL {
+			continue
+		}
+		free = free[:0]
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			if mt.ColMate[a.Idx[p]] == exact.NIL {
+				free = append(free, a.Idx[p])
+			}
+		}
+		if len(free) == 0 {
+			continue
+		}
+		j := free[rng.Intn(len(free))]
+		mt.RowMate[i] = j
+		mt.ColMate[j] = i
+		mt.Size++
+	}
+	return mt
+}

@@ -1,0 +1,124 @@
+package cheap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func validate(t *testing.T, a *sparse.CSR, mt *exact.Matching) {
+	t.Helper()
+	size := 0
+	for i, j := range mt.RowMate {
+		if j == exact.NIL {
+			continue
+		}
+		size++
+		if mt.ColMate[j] != int32(i) {
+			t.Fatalf("inconsistent mates row %d col %d", i, j)
+		}
+		ok := false
+		for _, c := range a.Row(i) {
+			if c == j {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("matched non-edge (%d,%d)", i, j)
+		}
+	}
+	if size != mt.Size {
+		t.Fatalf("size %d vs %d matched", mt.Size, size)
+	}
+}
+
+func maximal(a *sparse.CSR, mt *exact.Matching) bool {
+	for i := 0; i < a.RowsN; i++ {
+		if mt.RowMate[i] != exact.NIL {
+			continue
+		}
+		for _, j := range a.Row(i) {
+			if mt.ColMate[j] == exact.NIL {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRandomEdgeValidAndMaximal(t *testing.T) {
+	f := func(seed uint64, d uint8) bool {
+		a := gen.ERAvgDeg(150, 150, float64(d%4)+1, seed)
+		mt := RandomEdge(a, seed+1)
+		return maximal(a, mt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	a := gen.ERAvgDeg(200, 200, 3, 7)
+	validate(t, a, RandomEdge(a, 3))
+}
+
+func TestRandomVertexValidAndMaximal(t *testing.T) {
+	f := func(seed uint64, d uint8) bool {
+		a := gen.ERAvgDeg(150, 150, float64(d%4)+1, seed)
+		mt := RandomVertex(a, seed+1)
+		return maximal(a, mt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	a := gen.ERAvgDeg(200, 200, 3, 7)
+	validate(t, a, RandomVertex(a, 3))
+}
+
+func TestHalfApproximationGuarantee(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		a := gen.ERAvgDeg(250, 250, 3, seed)
+		sp := exact.Sprank(a)
+		if m := RandomEdge(a, seed); 2*m.Size < sp {
+			t.Fatalf("RandomEdge %d below half of %d", m.Size, sp)
+		}
+		if m := RandomVertex(a, seed); 2*m.Size < sp {
+			t.Fatalf("RandomVertex %d below half of %d", m.Size, sp)
+		}
+	}
+}
+
+func TestPerfectOnIdentity(t *testing.T) {
+	a := gen.Identity(64)
+	if m := RandomEdge(a, 1); m.Size != 64 {
+		t.Fatalf("RandomEdge on identity: %d", m.Size)
+	}
+	if m := RandomVertex(a, 1); m.Size != 64 {
+		t.Fatalf("RandomVertex on identity: %d", m.Size)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := gen.ERAvgDeg(300, 300, 4, 9)
+	m1 := RandomEdge(a, 5)
+	m2 := RandomEdge(a, 5)
+	for i := range m1.RowMate {
+		if m1.RowMate[i] != m2.RowMate[i] {
+			t.Fatal("RandomEdge not deterministic")
+		}
+	}
+	v1 := RandomVertex(a, 5)
+	v2 := RandomVertex(a, 5)
+	for i := range v1.RowMate {
+		if v1.RowMate[i] != v2.RowMate[i] {
+			t.Fatal("RandomVertex not deterministic")
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	a, _ := sparse.FromCOO(5, 5, nil, false)
+	if RandomEdge(a, 1).Size != 0 || RandomVertex(a, 1).Size != 0 {
+		t.Fatal("empty graph produced matches")
+	}
+}

@@ -1,0 +1,360 @@
+// Package core implements the paper's two matching heuristics and their
+// specialized parallel Karp–Sipser kernel:
+//
+//   - OneSided (Algorithm 2, OneSidedMatch): every row samples one column
+//     with probability proportional to the doubly stochastic scaling of
+//     the matrix; concurrent writes into cmatch are last-write-wins and
+//     still define a valid matching of expected size ≥ (1-1/e)·n.
+//   - TwoSided (Algorithm 3, TwoSidedMatch): rows and columns both sample,
+//     the ≤2n chosen edges form a "1-out" graph on which Karp–Sipser is
+//     exact (every component has at most one cycle, Lemma 1).
+//   - KarpSipserMT (Algorithm 4): the two-phase parallel Karp–Sipser for
+//     1-out graphs, synchronizing only through compare-and-swap on the
+//     match array and fetch-and-add on the degree array.
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/exact"
+	"repro/internal/par"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// NIL marks an unmatched vertex / empty slot.
+const NIL = int32(-1)
+
+// Options configures the heuristics.
+type Options struct {
+	// Workers is the parallel width; <= 0 means GOMAXPROCS.
+	Workers int
+	// Policy schedules the sampling loops; the paper uses (dynamic,512)
+	// for sampling and (guided) for KarpSipserMT (see KSPolicy).
+	Policy par.Policy
+	// Chunk is the scheduling chunk; <= 0 means par.DefaultChunk.
+	Chunk int
+	// KSPolicy schedules the KarpSipserMT phases.
+	KSPolicy par.Policy
+	// Seed drives the per-worker RNG streams.
+	Seed uint64
+}
+
+func (o Options) workers() int { return par.Workers(o.Workers) }
+func (o Options) chunk() int {
+	if o.Chunk <= 0 {
+		return par.DefaultChunk
+	}
+	return o.Chunk
+}
+
+// SampleRowChoices draws, for every row i of a, a column j ∈ A_i* with
+// probability s_ij / Σ_k s_ik where s_ij = dr[i]·a_ij·dc[j] (the paper's
+// probability density function in Algorithms 2 and 3). Rows with no
+// entries get NIL. dr or dc may be nil for uniform sampling (the
+// "0 scaling iterations" configuration).
+func SampleRowChoices(a *sparse.CSR, dr, dc []float64, opt Options) []int32 {
+	choice := make([]int32, a.RowsN)
+	workers := opt.workers()
+	// Per-row RNG streams keyed by the row index: no shared state, and the
+	// sampled choices are identical for any worker count and scheduling
+	// policy under a fixed seed.
+	base := xrand.Base(opt.Seed)
+	par.For(a.RowsN, workers, opt.Policy, opt.chunk(), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rng := xrand.Indexed(base, i)
+			choice[i] = sampleRow(a, dr, dc, i, &rng)
+		}
+	})
+	return choice
+}
+
+// SampleColChoices is the column-side counterpart operating on the
+// transpose at: for every column j it draws a row i ∈ A_*j with probability
+// s_ij / Σ_k s_kj.
+func SampleColChoices(at *sparse.CSR, dr, dc []float64, opt Options) []int32 {
+	choice := make([]int32, at.RowsN)
+	workers := opt.workers()
+	base := xrand.Base(opt.Seed ^ 0x5DEECE66D)
+	par.For(at.RowsN, workers, opt.Policy, opt.chunk(), func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			rng := xrand.Indexed(base, j)
+			choice[j] = sampleRow(at, dc, dr, j, &rng)
+		}
+	})
+	return choice
+}
+
+// sampleRow draws one entry of row i proportionally to dr[i]*v*dc[j].
+// Since dr[i] is a common factor it cancels; only dc weights matter within
+// the row. A draw r ∈ (0, rowsum] is materialized by walking the prefix
+// sums, exactly as described under Algorithm 2.
+func sampleRow(a *sparse.CSR, dr, dc []float64, i int, rng *xrand.SplitMix64) int32 {
+	s, e := a.Ptr[i], a.Ptr[i+1]
+	if s == e {
+		return NIL
+	}
+	total := 0.0
+	for p := s; p < e; p++ {
+		total += weight(a, dc, p)
+	}
+	if total <= 0 {
+		// Degenerate scaling (all weights zero): fall back to uniform.
+		return a.Idx[s+rng.Intn(e-s)]
+	}
+	r := rng.Float64Open() * total
+	acc := 0.0
+	for p := s; p < e; p++ {
+		acc += weight(a, dc, p)
+		if acc >= r {
+			return a.Idx[p]
+		}
+	}
+	return a.Idx[e-1] // guard against round-off
+}
+
+func weight(a *sparse.CSR, dc []float64, p int) float64 {
+	w := 1.0
+	if a.Val != nil {
+		w = a.Val[p]
+	}
+	if dc != nil {
+		w *= dc[a.Idx[p]]
+	}
+	return w
+}
+
+// OneSided runs OneSidedMatch (Algorithm 2) given the matrix and its
+// scaling vectors. It returns the cmatch array (cmatch[j] = row matched to
+// column j, or NIL) and the matching cardinality. The concurrent
+// last-write-wins stores of the paper are implemented with atomic stores,
+// so the heuristic is race-free at any worker count without any locking or
+// conflict resolution.
+func OneSided(a *sparse.CSR, dr, dc []float64, opt Options) ([]int32, int) {
+	n, m := a.RowsN, a.ColsN
+	cmatch := make([]int32, m)
+	for j := range cmatch {
+		cmatch[j] = NIL
+	}
+	workers := opt.workers()
+	base := xrand.Base(opt.Seed)
+	par.For(n, workers, opt.Policy, opt.chunk(), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rng := xrand.Indexed(base, i)
+			j := sampleRow(a, dr, dc, i, &rng)
+			if j != NIL {
+				atomic.StoreInt32(&cmatch[j], int32(i))
+			}
+		}
+	})
+	size := 0
+	for _, i := range cmatch {
+		if i != NIL {
+			size++
+		}
+	}
+	return cmatch, size
+}
+
+// ChoiceGraph is the 1-out subgraph built by TwoSidedMatch: vertex u in
+// [0, N) is row u, vertex N+j is column j, and Choice[u] is the single
+// neighbor u sampled. The edge set of the graph is
+// {{u, Choice[u]}} ∪ {{Choice[v], v}}, at most N+M edges.
+type ChoiceGraph struct {
+	N, M   int
+	Choice []int32 // len N+M; Choice[u] is a vertex id in the opposite side
+}
+
+// NewChoiceGraph assembles a choice graph from row choices (column indices)
+// and column choices (row indices), converting them to vertex ids. Rows or
+// columns with NIL choices (empty rows/columns) point to themselves, which
+// KarpSipserMT treats as isolated.
+func NewChoiceGraph(n, m int, rchoice, cchoice []int32) *ChoiceGraph {
+	g := &ChoiceGraph{N: n, M: m, Choice: make([]int32, n+m)}
+	for i := 0; i < n; i++ {
+		if rchoice[i] == NIL {
+			g.Choice[i] = int32(i) // self loop = isolated
+		} else {
+			g.Choice[i] = int32(n) + rchoice[i]
+		}
+	}
+	for j := 0; j < m; j++ {
+		if cchoice[j] == NIL {
+			g.Choice[n+j] = int32(n + j)
+		} else {
+			g.Choice[n+j] = cchoice[j]
+		}
+	}
+	return g
+}
+
+// ToCSR materializes the choice graph as a bipartite CSR (rows × cols)
+// containing the union of the chosen edges. Used by tests to compare
+// KarpSipserMT against an exact algorithm, and by the fine-grained
+// structure analysis.
+func (g *ChoiceGraph) ToCSR() *sparse.CSR {
+	entries := make([]sparse.Coord, 0, g.N+g.M)
+	for u := 0; u < g.N; u++ {
+		v := g.Choice[u]
+		if int(v) != u {
+			entries = append(entries, sparse.Coord{I: int32(u), J: v - int32(g.N)})
+		}
+	}
+	for j := 0; j < g.M; j++ {
+		v := g.Choice[g.N+j]
+		if int(v) != g.N+j {
+			entries = append(entries, sparse.Coord{I: v, J: int32(j)})
+		}
+	}
+	a, err := sparse.FromCOO(g.N, g.M, entries, false)
+	if err != nil {
+		panic("core: choice graph produced invalid CSR: " + err.Error())
+	}
+	return a
+}
+
+// KarpSipserMT runs Algorithm 4 on a choice graph and returns the match
+// array over the N+M vertex ids. On graphs built by TwoSidedMatch the
+// result is a maximum matching of the choice graph (Lemmas 1–3). All
+// cross-thread communication happens through atomics: a compare-and-swap
+// claims a neighbor, a fetch-and-add tracks the residual degree, so the
+// heuristic needs no locks, no vertex lists and no conflict queues.
+func KarpSipserMT(g *ChoiceGraph, opt Options) []int32 {
+	nm := g.N + g.M
+	match := make([]int32, nm)
+	mark := make([]int32, nm)
+	deg := make([]int32, nm)
+	workers := opt.workers()
+	pol := opt.KSPolicy
+	chunk := opt.chunk()
+
+	par.For(nm, workers, pol, chunk, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			mark[u] = 1
+			deg[u] = 1
+			match[u] = NIL
+		}
+	})
+	// Vertices that were chosen by someone are not out-one candidates;
+	// each in-edge beyond the vertex's own out-edge bumps its degree.
+	par.For(nm, workers, pol, chunk, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			v := g.Choice[u]
+			if int(v) == u {
+				continue // isolated vertex: no edge at all
+			}
+			atomic.StoreInt32(&mark[v], 0)
+			if int(g.Choice[v]) != u {
+				atomic.AddInt32(&deg[v], 1)
+			}
+		}
+	})
+
+	// Phase 1: consume out-one vertices, following each chain of newly
+	// created out-one vertices without any list (Lemma 4: consuming an
+	// out-one vertex creates at most one new one).
+	par.For(nm, workers, pol, chunk, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if atomic.LoadInt32(&mark[u]) != 1 || int(g.Choice[u]) == u {
+				continue
+			}
+			curr := int32(u)
+			for curr != NIL {
+				nbr := g.Choice[curr]
+				if nbr == curr {
+					break // chain ran into an isolated (self-loop) vertex
+				}
+				if atomic.CompareAndSwapInt32(&match[nbr], NIL, curr) {
+					atomic.StoreInt32(&match[curr], nbr)
+					next := g.Choice[nbr]
+					if int(next) != int(nbr) && atomic.LoadInt32(&match[next]) == NIL &&
+						atomic.AddInt32(&deg[next], -1) == 1 {
+						// We performed the last consumption before next
+						// became out-one: continue the chain with it.
+						curr = next
+						continue
+					}
+				}
+				// Either the neighbor was claimed by another thread (the
+				// competing matching decision wins, ours is dropped), or
+				// the chain ended.
+				curr = NIL
+			}
+		}
+	})
+
+	// Phase 2: the residual graph is a disjoint union of simple cycles,
+	// 2-cliques and isolated vertices (Lemma 3); the column-side choice
+	// edges of each cycle form a maximum matching of it, so a single
+	// parallel sweep over column vertices finishes the job. The CAS never
+	// fails on valid choice graphs; it is kept so that adversarial inputs
+	// still yield a valid (if not maximum) matching.
+	par.For(g.M, workers, pol, chunk, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			u := int32(g.N + j)
+			v := g.Choice[u]
+			if v == u {
+				continue
+			}
+			if atomic.LoadInt32(&match[u]) == NIL && atomic.LoadInt32(&match[v]) == NIL {
+				if atomic.CompareAndSwapInt32(&match[v], NIL, u) {
+					atomic.StoreInt32(&match[u], v)
+				}
+			}
+		}
+	})
+	return match
+}
+
+// Result is the outcome of TwoSided.
+type Result struct {
+	// Match is the vertex-indexed match array of the choice graph
+	// (length N+M; see ChoiceGraph).
+	Match []int32
+	// Matching is the same matching in row/column form.
+	Matching *exact.Matching
+	// Graph is the sampled 1-out graph, exposed for analysis.
+	Graph *ChoiceGraph
+}
+
+// TwoSided runs TwoSidedMatch (Algorithm 3): sample row and column
+// choices from the scaled matrix, then match the resulting 1-out graph
+// exactly with KarpSipserMT.
+func TwoSided(a, at *sparse.CSR, dr, dc []float64, opt Options) *Result {
+	rchoice := SampleRowChoices(a, dr, dc, opt)
+	cchoice := SampleColChoices(at, dr, dc, opt)
+	g := NewChoiceGraph(a.RowsN, a.ColsN, rchoice, cchoice)
+	match := KarpSipserMT(g, opt)
+	return &Result{Match: match, Matching: DecodeMatch(g, match), Graph: g}
+}
+
+// DecodeMatch converts a vertex-indexed match array into row/column form,
+// validating mutual consistency (u matched to v implies v matched to u).
+func DecodeMatch(g *ChoiceGraph, match []int32) *exact.Matching {
+	mt := exact.NewMatching(g.N, g.M)
+	for u := 0; u < g.N; u++ {
+		v := match[u]
+		if v == NIL {
+			continue
+		}
+		if match[v] == int32(u) {
+			mt.RowMate[u] = v - int32(g.N)
+			mt.ColMate[v-int32(g.N)] = int32(u)
+			mt.Size++
+		}
+	}
+	return mt
+}
+
+// CMatchToMatching converts a OneSided cmatch array into row/column form.
+func CMatchToMatching(n int, cmatch []int32) *exact.Matching {
+	mt := exact.NewMatching(n, len(cmatch))
+	for j, i := range cmatch {
+		if i != NIL {
+			mt.ColMate[j] = i
+			mt.RowMate[i] = int32(j)
+			mt.Size++
+		}
+	}
+	return mt
+}

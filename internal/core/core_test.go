@@ -1,0 +1,519 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/scale"
+	"repro/internal/sparse"
+)
+
+func opts(workers int, seed uint64) Options {
+	return Options{Workers: workers, Policy: par.Dynamic, Chunk: 64, KSPolicy: par.Guided, Seed: seed}
+}
+
+func scaled(t testing.TB, a *sparse.CSR, iters int) (*sparse.CSR, []float64, []float64) {
+	t.Helper()
+	at := a.Transpose()
+	res, err := scale.SinkhornKnopp(a, at, scale.Options{MaxIters: iters, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return at, res.DR, res.DC
+}
+
+// componentCycleCount verifies Lemma 1: each connected component of the
+// choice graph has at most one simple cycle, i.e. edges <= vertices.
+func componentCycleCount(t *testing.T, g *ChoiceGraph) {
+	t.Helper()
+	nm := g.N + g.M
+	// Union-find over the undirected choice edges.
+	parent := make([]int32, nm)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) { parent[find(a)] = find(b) }
+
+	type edge struct{ u, v int32 }
+	seen := map[edge]bool{}
+	var edges []edge
+	for u := 0; u < nm; u++ {
+		v := g.Choice[u]
+		if int(v) == u {
+			continue
+		}
+		a, b := int32(u), v
+		if a > b {
+			a, b = b, a
+		}
+		if !seen[edge{a, b}] {
+			seen[edge{a, b}] = true
+			edges = append(edges, edge{a, b})
+		}
+	}
+	for _, e := range edges {
+		union(e.u, e.v)
+	}
+	vcount := map[int32]int{}
+	ecount := map[int32]int{}
+	for u := 0; u < nm; u++ {
+		vcount[find(int32(u))]++
+	}
+	for _, e := range edges {
+		ecount[find(e.u)]++
+	}
+	for root, ec := range ecount {
+		if ec > vcount[root] {
+			t.Fatalf("component of %d has %d edges > %d vertices (more than one cycle)",
+				root, ec, vcount[root])
+		}
+	}
+}
+
+func TestChoiceGraphLemma1(t *testing.T) {
+	f := func(seed uint64, d uint8) bool {
+		a := gen.ERAvgDeg(300, 300, float64(d%5)+1, seed)
+		at, dr, dc := scaled(t, a, 3)
+		o := opts(4, seed+1)
+		r := SampleRowChoices(a, dr, dc, o)
+		c := SampleColChoices(at, dr, dc, o)
+		g := NewChoiceGraph(a.RowsN, a.ColsN, r, c)
+		componentCycleCount(t, g)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleRowChoicesValidity(t *testing.T) {
+	a := gen.ERAvgDeg(500, 400, 4, 3)
+	at, dr, dc := scaled(t, a, 2)
+	r := SampleRowChoices(a, dr, dc, opts(3, 7))
+	if len(r) != a.RowsN {
+		t.Fatal("length mismatch")
+	}
+	for i, j := range r {
+		if a.Degree(i) == 0 {
+			if j != NIL {
+				t.Fatalf("empty row %d chose %d", i, j)
+			}
+			continue
+		}
+		found := false
+		for _, c := range a.Row(i) {
+			if c == j {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("row %d chose non-neighbor %d", i, j)
+		}
+	}
+	c := SampleColChoices(at, dr, dc, opts(3, 7))
+	for j, i := range c {
+		if at.Degree(j) == 0 {
+			if i != NIL {
+				t.Fatalf("empty col %d chose %d", j, i)
+			}
+			continue
+		}
+		found := false
+		for _, rr := range at.Row(j) {
+			if rr == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("col %d chose non-neighbor %d", j, i)
+		}
+	}
+}
+
+func TestSamplingDeterministicAcrossWorkerCounts(t *testing.T) {
+	a := gen.ERAvgDeg(1000, 1000, 4, 5)
+	_, dr, dc := scaled(t, a, 2)
+	base := SampleRowChoices(a, dr, dc, opts(1, 99))
+	for _, w := range []int{2, 4, 8} {
+		got := SampleRowChoices(a, dr, dc, opts(w, 99))
+		for i := range base {
+			if base[i] != got[i] {
+				t.Fatalf("row %d choice differs between 1 and %d workers", i, w)
+			}
+		}
+	}
+}
+
+func TestSamplingFollowsScaledDistribution(t *testing.T) {
+	// One row with extreme scaling skew: dc = (1, epsilon). The row must
+	// almost always choose column 0.
+	a := sparse.FromDense([][]int{{1, 1}})
+	dr := []float64{1}
+	dc := []float64{1, 1e-9}
+	count0 := 0
+	for s := uint64(0); s < 200; s++ {
+		o := opts(1, s+1)
+		r := SampleRowChoices(a, dr, dc, o)
+		if r[0] == 0 {
+			count0++
+		}
+	}
+	if count0 < 199 {
+		t.Fatalf("skewed sampling chose col 0 only %d/200 times", count0)
+	}
+}
+
+func TestSamplingUniformWithoutScaling(t *testing.T) {
+	// Without scaling vectors the choice is uniform over the row.
+	a := sparse.FromDense([][]int{{1, 1, 1, 1}})
+	counts := make([]int, 4)
+	for s := uint64(0); s < 4000; s++ {
+		r := SampleRowChoices(a, nil, nil, opts(1, s+1))
+		counts[r[0]]++
+	}
+	for j, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("column %d chosen %d/4000 times; expected ≈1000", j, c)
+		}
+	}
+}
+
+// --- KarpSipserMT ----------------------------------------------------------
+
+// handGraph builds a ChoiceGraph directly from rchoice/cchoice.
+func handGraph(n, m int, rchoice, cchoice []int32) *ChoiceGraph {
+	return NewChoiceGraph(n, m, rchoice, cchoice)
+}
+
+func ksSize(g *ChoiceGraph, workers int) int {
+	match := KarpSipserMT(g, opts(workers, 1))
+	return DecodeMatch(g, match).Size
+}
+
+func TestKarpSipserMTTwoClique(t *testing.T) {
+	// Row 0 and column 0 choose each other: one matched pair.
+	g := handGraph(1, 1, []int32{0}, []int32{0})
+	if got := ksSize(g, 1); got != 1 {
+		t.Fatalf("2-clique matched %d want 1", got)
+	}
+}
+
+func TestKarpSipserMTChain(t *testing.T) {
+	// r0->c0, c0->r1, r1->c1, c1->r2, r2->c2, c2->r2? Build a path:
+	// rchoice = [0,1,2], cchoice = [1,2,2]. Edges: (r0,c0),(r1,c0),(r1,c1),
+	// (r2,c1),(r2,c2) — a path with 6 vertices, maximum matching 3.
+	g := handGraph(3, 3, []int32{0, 1, 2}, []int32{1, 2, 2})
+	want := exact.HopcroftKarp(g.ToCSR(), nil).Size
+	if got := ksSize(g, 1); got != want {
+		t.Fatalf("chain matched %d want %d", got, want)
+	}
+}
+
+func TestKarpSipserMTCycle(t *testing.T) {
+	// 4-cycle: r0->c0, c0->r1, r1->c1, c1->r0. Max matching 2.
+	g := handGraph(2, 2, []int32{0, 1}, []int32{1, 0}) // cchoice[j]=row chosen by col j
+	if got := ksSize(g, 1); got != 2 {
+		t.Fatalf("cycle matched %d want 2", got)
+	}
+}
+
+func TestKarpSipserMTIsolated(t *testing.T) {
+	g := handGraph(2, 2, []int32{0, NIL}, []int32{0, NIL})
+	if got := ksSize(g, 1); got != 1 {
+		t.Fatalf("isolated handling matched %d want 1", got)
+	}
+}
+
+// TestKarpSipserMTExactness is the central property test: on 1-out graphs
+// built by TwoSidedMatch sampling, KarpSipserMT must equal Hopcroft–Karp
+// (Lemmas 1–3 made executable), for every worker count.
+func TestKarpSipserMTExactness(t *testing.T) {
+	workersList := []int{1, 2, 4, 8}
+	for seed := uint64(1); seed <= 30; seed++ {
+		n := 100 + int(seed)*37
+		a := gen.ERAvgDeg(n, n, float64(seed%5+1), seed)
+		at, dr, dc := scaled(t, a, 2)
+		o := opts(2, seed)
+		r := SampleRowChoices(a, dr, dc, o)
+		c := SampleColChoices(at, dr, dc, o)
+		g := NewChoiceGraph(a.RowsN, a.ColsN, r, c)
+		want := exact.HopcroftKarp(g.ToCSR(), nil).Size
+		for _, w := range workersList {
+			got := ksSize(g, w)
+			if got != want {
+				t.Fatalf("seed %d workers %d: KarpSipserMT %d != HopcroftKarp %d",
+					seed, w, got, want)
+			}
+		}
+	}
+}
+
+func TestKarpSipserMTExactnessQuick(t *testing.T) {
+	f := func(seed uint64, d uint8, w uint8) bool {
+		a := gen.ERAvgDeg(200, 200, float64(d%6)+1, seed)
+		at, dr, dc := scaled(t, a, 1)
+		o := opts(int(w)%4+1, seed^0xABCDEF)
+		r := SampleRowChoices(a, dr, dc, o)
+		c := SampleColChoices(at, dr, dc, o)
+		g := NewChoiceGraph(a.RowsN, a.ColsN, r, c)
+		want := exact.HopcroftKarp(g.ToCSR(), nil).Size
+		return ksSize(g, int(w)%4+1) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKarpSipserMTMatchingIsValid(t *testing.T) {
+	a := gen.ERAvgDeg(800, 700, 3, 13)
+	at, dr, dc := scaled(t, a, 2)
+	o := opts(8, 21)
+	r := SampleRowChoices(a, dr, dc, o)
+	c := SampleColChoices(at, dr, dc, o)
+	g := NewChoiceGraph(a.RowsN, a.ColsN, r, c)
+	match := KarpSipserMT(g, o)
+	// Mutual consistency over all vertices.
+	for u, v := range match {
+		if v == NIL {
+			continue
+		}
+		if match[v] != int32(u) {
+			t.Fatalf("match[%d]=%d but match[%d]=%d", u, v, v, match[v])
+		}
+		// Matched pairs must be choice edges.
+		if g.Choice[u] != v && g.Choice[v] != int32(u) {
+			t.Fatalf("pair (%d,%d) is not a choice edge", u, v)
+		}
+		// Bipartiteness: one endpoint per side.
+		uRow := u < g.N
+		vRow := int(v) < g.N
+		if uRow == vRow {
+			t.Fatalf("pair (%d,%d) within one side", u, v)
+		}
+	}
+	mt := DecodeMatch(g, match)
+	if mt.Size == 0 {
+		t.Fatal("empty matching on dense-enough graph")
+	}
+}
+
+func TestKarpSipserMTAdversarialChoices(t *testing.T) {
+	// Many columns pointing at one row and vice versa: the kernel must
+	// still terminate with a valid matching for any worker count.
+	n, m := 50, 50
+	r := make([]int32, n)
+	c := make([]int32, m)
+	for i := range r {
+		r[i] = 0 // every row chooses column 0
+	}
+	for j := range c {
+		c[j] = 1 // every column chooses row 1
+	}
+	g := handGraph(n, m, r, c)
+	for _, w := range []int{1, 2, 4} {
+		match := KarpSipserMT(g, opts(w, 5))
+		for u, v := range match {
+			if v != NIL && match[v] != int32(u) {
+				t.Fatalf("workers %d: inconsistent match", w)
+			}
+		}
+		mt := DecodeMatch(g, match)
+		want := exact.HopcroftKarp(g.ToCSR(), nil).Size
+		if mt.Size != want {
+			t.Fatalf("workers %d: star graph matched %d want %d", w, mt.Size, want)
+		}
+	}
+}
+
+// --- OneSided / TwoSided ----------------------------------------------------
+
+func TestOneSidedValidMatching(t *testing.T) {
+	a := gen.ERAvgDeg(600, 500, 4, 3)
+	_, dr, dc := scaled(t, a, 5)
+	cmatch, size := OneSided(a, dr, dc, opts(4, 17))
+	if len(cmatch) != a.ColsN {
+		t.Fatal("cmatch length")
+	}
+	rowUsed := map[int32]bool{}
+	count := 0
+	for j, i := range cmatch {
+		if i == NIL {
+			continue
+		}
+		count++
+		if rowUsed[i] {
+			t.Fatalf("row %d matched to multiple columns", i)
+		}
+		rowUsed[i] = true
+		found := false
+		for _, c := range a.Row(int(i)) {
+			if int(c) == j {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("cmatch pair (%d,%d) is not an edge", i, j)
+		}
+	}
+	if count != size {
+		t.Fatalf("size %d but %d slots filled", size, count)
+	}
+}
+
+func TestOneSidedGuaranteeOnFullMatrix(t *testing.T) {
+	// On the all-ones matrix the bound is essentially tight: expected
+	// matched fraction -> 1 - 1/e ≈ 0.632. Check a generous window.
+	n := 4000
+	a := gen.Full(n)
+	_, dr, dc := scaled(t, a, 1)
+	_, size := OneSided(a, dr, dc, opts(4, 7))
+	frac := float64(size) / float64(n)
+	if frac < 0.61 || frac > 0.66 {
+		t.Fatalf("full-matrix one-sided fraction %v want ≈0.632", frac)
+	}
+}
+
+func TestOneSidedBeatsGuaranteeOnTotalSupport(t *testing.T) {
+	for _, extras := range []int{1, 2, 4} {
+		a := gen.FullyIndecomposable(3000, extras, uint64(extras))
+		_, dr, dc := scaled(t, a, 10)
+		worst := 1.0
+		for seed := uint64(1); seed <= 3; seed++ {
+			_, size := OneSided(a, dr, dc, opts(4, seed))
+			if q := float64(size) / 3000.0; q < worst {
+				worst = q
+			}
+		}
+		if worst < 0.632 {
+			t.Fatalf("extras=%d: one-sided quality %v below the 0.632 guarantee", extras, worst)
+		}
+	}
+}
+
+func TestTwoSidedConjectureOnTotalSupport(t *testing.T) {
+	for _, extras := range []int{1, 2, 4} {
+		a := gen.FullyIndecomposable(3000, extras, uint64(100+extras))
+		at, dr, dc := scaled(t, a, 10)
+		worst := 1.0
+		for seed := uint64(1); seed <= 3; seed++ {
+			res := TwoSided(a, at, dr, dc, opts(4, seed))
+			if q := float64(res.Matching.Size) / 3000.0; q < worst {
+				worst = q
+			}
+		}
+		if worst < 0.86 {
+			t.Fatalf("extras=%d: two-sided quality %v below the 0.866 conjecture", extras, worst)
+		}
+	}
+}
+
+func TestTwoSidedOnFullMatrixMatchesConjecture(t *testing.T) {
+	// The supporting evidence for Conjecture 1: on the all-ones matrix
+	// the 1-out graph's maximum matching is ≈ 2(1-ρ)n ≈ 0.866n.
+	n := 4000
+	a := gen.Full(n)
+	at, dr, dc := scaled(t, a, 1)
+	res := TwoSided(a, at, dr, dc, opts(4, 11))
+	frac := float64(res.Matching.Size) / float64(n)
+	if frac < 0.85 || frac > 0.885 {
+		t.Fatalf("full-matrix two-sided fraction %v want ≈0.866", frac)
+	}
+}
+
+func TestTwoSidedMatchingValid(t *testing.T) {
+	a := gen.ERAvgDeg(700, 800, 3, 31)
+	at, dr, dc := scaled(t, a, 3)
+	res := TwoSided(a, at, dr, dc, opts(6, 3))
+	mt := res.Matching
+	for i, j := range mt.RowMate {
+		if j == NIL {
+			continue
+		}
+		if mt.ColMate[j] != int32(i) {
+			t.Fatalf("inconsistent pair (%d,%d)", i, j)
+		}
+		found := false
+		for _, c := range a.Row(i) {
+			if c == j {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("matched non-edge (%d,%d)", i, j)
+		}
+	}
+}
+
+func TestTwoSidedSizeDeterministicAcrossWorkers(t *testing.T) {
+	a := gen.ERAvgDeg(1000, 1000, 4, 41)
+	at, dr, dc := scaled(t, a, 2)
+	sizes := map[int]bool{}
+	for _, w := range []int{1, 2, 4, 8} {
+		res := TwoSided(a, at, dr, dc, opts(w, 55))
+		sizes[res.Matching.Size] = true
+	}
+	if len(sizes) != 1 {
+		t.Fatalf("matching size varies with worker count: %v", sizes)
+	}
+}
+
+func TestTwoSidedBetterThanOneSided(t *testing.T) {
+	// On total-support instances two-sided should dominate one-sided
+	// (0.866 vs 0.632 asymptotics).
+	a := gen.FullyIndecomposable(5000, 2, 61)
+	at, dr, dc := scaled(t, a, 5)
+	_, oneSize := OneSided(a, dr, dc, opts(4, 5))
+	res := TwoSided(a, at, dr, dc, opts(4, 5))
+	if res.Matching.Size <= oneSize {
+		t.Fatalf("two-sided %d not better than one-sided %d", res.Matching.Size, oneSize)
+	}
+}
+
+func TestChoiceGraphToCSR(t *testing.T) {
+	g := handGraph(2, 2, []int32{0, 1}, []int32{1, 0})
+	a := g.ToCSR()
+	if a.RowsN != 2 || a.ColsN != 2 {
+		t.Fatal("shape")
+	}
+	// Edges: (0,0),(1,1) from rows; cchoice c0->r1 => (1,0), c1->r0 => (0,1).
+	if a.NNZ() != 4 {
+		t.Fatalf("nnz %d want 4", a.NNZ())
+	}
+}
+
+func TestCMatchToMatching(t *testing.T) {
+	cm := []int32{2, NIL, 0}
+	mt := CMatchToMatching(3, cm)
+	if mt.Size != 2 || mt.RowMate[2] != 0 || mt.RowMate[0] != 2 {
+		t.Fatalf("decode wrong: %+v", mt)
+	}
+}
+
+func TestEmptyMatrixHeuristics(t *testing.T) {
+	a, _ := sparse.FromCOO(10, 10, nil, false)
+	at := a.Transpose()
+	cmatch, size := OneSided(a, nil, nil, opts(2, 1))
+	if size != 0 {
+		t.Fatal("one-sided matched on empty matrix")
+	}
+	for _, v := range cmatch {
+		if v != NIL {
+			t.Fatal("cmatch not NIL on empty matrix")
+		}
+	}
+	res := TwoSided(a, at, nil, nil, opts(2, 1))
+	if res.Matching.Size != 0 {
+		t.Fatal("two-sided matched on empty matrix")
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/xrand"
+)
+
+// TestKarpSipserMTExhaustiveTiny enumerates EVERY possible choice graph on
+// small bipartite vertex sets and checks KarpSipserMT against Hopcroft-
+// Karp on each. This covers all 2-clique / chain / cycle / in-one /
+// out-one interactions exhaustively rather than probabilistically.
+func TestKarpSipserMTExhaustiveTiny(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		for m := 1; m <= 3; m++ {
+			// Row u chooses a column in [0,m); column j a row in [0,n).
+			rch := make([]int32, n)
+			cch := make([]int32, m)
+			var rec func(pos int)
+			total := 0
+			rec = func(pos int) {
+				if pos == n+m {
+					total++
+					g := NewChoiceGraph(n, m, rch, cch)
+					want := exact.HopcroftKarp(g.ToCSR(), nil).Size
+					for _, w := range []int{1, 2} {
+						match := KarpSipserMT(g, opts(w, 1))
+						got := DecodeMatch(g, match).Size
+						if got != want {
+							t.Fatalf("n=%d m=%d rch=%v cch=%v workers=%d: got %d want %d",
+								n, m, rch, cch, w, got, want)
+						}
+					}
+					return
+				}
+				if pos < n {
+					for j := int32(0); j < int32(m); j++ {
+						rch[pos] = j
+						rec(pos + 1)
+					}
+					return
+				}
+				for i := int32(0); i < int32(n); i++ {
+					cch[pos-n] = i
+					rec(pos + 1)
+				}
+			}
+			rec(0)
+			if n == 3 && m == 3 && total != 27*27 {
+				t.Fatalf("enumeration covered %d cases, want %d", total, 27*27)
+			}
+		}
+	}
+}
+
+// TestKarpSipserMTExhaustiveWithNIL covers partial choice graphs (empty
+// rows/columns produce NIL choices).
+func TestKarpSipserMTExhaustiveWithNIL(t *testing.T) {
+	n, m := 2, 2
+	vals := []int32{NIL, 0, 1}
+	rch := make([]int32, n)
+	cch := make([]int32, m)
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, c := range vals {
+				for _, d := range vals {
+					rch[0], rch[1] = a, b
+					cch[0], cch[1] = c, d
+					g := NewChoiceGraph(n, m, rch, cch)
+					want := exact.HopcroftKarp(g.ToCSR(), nil).Size
+					got := DecodeMatch(g, KarpSipserMT(g, opts(2, 1))).Size
+					if got != want {
+						t.Fatalf("rch=[%d %d] cch=[%d %d]: got %d want %d",
+							a, b, c, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKarpSipserMTRandomFunctionalStress hits larger random choice arrays
+// (not necessarily from scaled sampling) at high worker counts.
+func TestKarpSipserMTRandomFunctionalStress(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 40; trial++ {
+		n := 50 + rng.Intn(400)
+		m := 50 + rng.Intn(400)
+		rch := make([]int32, n)
+		cch := make([]int32, m)
+		for i := range rch {
+			rch[i] = int32(rng.Intn(m))
+		}
+		for j := range cch {
+			cch[j] = int32(rng.Intn(n))
+		}
+		g := NewChoiceGraph(n, m, rch, cch)
+		want := exact.HopcroftKarp(g.ToCSR(), nil).Size
+		for _, w := range []int{1, 3, 8, 16} {
+			got := DecodeMatch(g, KarpSipserMT(g, opts(w, uint64(trial)))).Size
+			if got != want {
+				t.Fatalf("trial %d workers %d: got %d want %d", trial, w, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package dm computes the Dulmage–Mendelsohn decomposition of a bipartite
+// graph. The paper's §3.3 uses it to explain how doubly stochastic scaling
+// behaves on matrices without perfect matchings: entries in the
+// off-diagonal "*" blocks (which can never belong to a maximum matching)
+// are driven to zero by the scaling iteration, which is exactly why the
+// heuristics remain effective on deficient matrices.
+//
+// The coarse decomposition splits rows and columns into the horizontal
+// (H), square (S) and vertical (V) parts; the fine decomposition refines S
+// into its fully indecomposable diagonal blocks via strongly connected
+// components of the matching-contracted digraph.
+package dm
+
+import (
+	"repro/internal/exact"
+	"repro/internal/sparse"
+)
+
+// Part identifies the coarse block a vertex belongs to.
+type Part int8
+
+const (
+	// PartH is the horizontal block (more columns than rows; all its rows
+	// are matched).
+	PartH Part = iota
+	// PartS is the square block with a perfect matching.
+	PartS
+	// PartV is the vertical block (more rows than columns; all its
+	// columns are matched).
+	PartV
+)
+
+// Coarse is the coarse Dulmage–Mendelsohn decomposition.
+type Coarse struct {
+	RowPart []Part // len RowsN
+	ColPart []Part // len ColsN
+	// Counts per part.
+	HR, HC, SR, SC, VR, VC int
+	// Matching is the maximum matching the decomposition was built from.
+	Matching *exact.Matching
+}
+
+// Decompose computes the coarse decomposition from a maximum matching
+// (computed internally when mt is nil). at must be the transpose of a.
+func Decompose(a, at *sparse.CSR, mt *exact.Matching) *Coarse {
+	if mt == nil {
+		mt = exact.HopcroftKarp(a, nil)
+	}
+	n, m := a.RowsN, a.ColsN
+	c := &Coarse{
+		RowPart:  make([]Part, n),
+		ColPart:  make([]Part, m),
+		Matching: mt,
+	}
+	for i := range c.RowPart {
+		c.RowPart[i] = PartS
+	}
+	for j := range c.ColPart {
+		c.ColPart[j] = PartS
+	}
+
+	// H: columns reachable by alternating paths from unmatched columns
+	// (col -> any row -> matched col), plus the rows met on the way.
+	colSeen := make([]bool, m)
+	rowSeen := make([]bool, n)
+	queue := make([]int32, 0)
+	for j := 0; j < m; j++ {
+		if mt.ColMate[j] == exact.NIL {
+			colSeen[j] = true
+			queue = append(queue, int32(j))
+		}
+	}
+	for qh := 0; qh < len(queue); qh++ {
+		j := queue[qh]
+		for p := at.Ptr[j]; p < at.Ptr[j+1]; p++ {
+			i := at.Idx[p]
+			if rowSeen[i] {
+				continue
+			}
+			rowSeen[i] = true
+			j2 := mt.RowMate[i] // must exist: otherwise M was not maximum
+			if j2 != exact.NIL && !colSeen[j2] {
+				colSeen[j2] = true
+				queue = append(queue, j2)
+			}
+		}
+	}
+	for j := 0; j < m; j++ {
+		if colSeen[j] {
+			c.ColPart[j] = PartH
+		}
+	}
+	for i := 0; i < n; i++ {
+		if rowSeen[i] {
+			c.RowPart[i] = PartH
+		}
+	}
+
+	// V: rows reachable by alternating paths from unmatched rows
+	// (row -> any col -> matched row), plus the columns met on the way.
+	for j := range colSeen {
+		colSeen[j] = false
+	}
+	for i := range rowSeen {
+		rowSeen[i] = false
+	}
+	queue = queue[:0]
+	for i := 0; i < n; i++ {
+		if mt.RowMate[i] == exact.NIL {
+			rowSeen[i] = true
+			queue = append(queue, int32(i))
+		}
+	}
+	for qh := 0; qh < len(queue); qh++ {
+		i := queue[qh]
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			j := a.Idx[p]
+			if colSeen[j] {
+				continue
+			}
+			colSeen[j] = true
+			i2 := mt.ColMate[j]
+			if i2 != exact.NIL && !rowSeen[i2] {
+				rowSeen[i2] = true
+				queue = append(queue, i2)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if rowSeen[i] {
+			c.RowPart[i] = PartV
+		}
+	}
+	for j := 0; j < m; j++ {
+		if colSeen[j] {
+			c.ColPart[j] = PartV
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		switch c.RowPart[i] {
+		case PartH:
+			c.HR++
+		case PartS:
+			c.SR++
+		default:
+			c.VR++
+		}
+	}
+	for j := 0; j < m; j++ {
+		switch c.ColPart[j] {
+		case PartH:
+			c.HC++
+		case PartS:
+			c.SC++
+		default:
+			c.VC++
+		}
+	}
+	return c
+}
+
+// CheckBlockStructure verifies the defining zero-block invariants of the
+// decomposition on the matrix: with rows ordered (H,S,V) and columns
+// ordered (H,S,V) there are no entries in S×H, V×H or V×S. It returns the
+// number of violations (zero for a correct decomposition).
+func (c *Coarse) CheckBlockStructure(a *sparse.CSR) int {
+	bad := 0
+	for i := 0; i < a.RowsN; i++ {
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			j := a.Idx[p]
+			rp, cp := c.RowPart[i], c.ColPart[j]
+			if (rp == PartS && cp == PartH) ||
+				(rp == PartV && cp == PartH) ||
+				(rp == PartV && cp == PartS) {
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
+// Fine refines the square part into fully indecomposable blocks: the
+// strongly connected components of the digraph whose nodes are the matched
+// pairs (i, mate(i)) of S and whose arcs follow the off-matching entries.
+// It returns the block id of every S-row's matched pair, the number of
+// blocks, and nil block ids for rows outside S.
+func (c *Coarse) Fine(a *sparse.CSR) (blockOfRow []int32, blocks int) {
+	n := a.RowsN
+	blockOfRow = make([]int32, n)
+	for i := range blockOfRow {
+		blockOfRow[i] = -1
+	}
+	// Tarjan SCC, iterative, over S-rows; the node of row i is i itself
+	// (standing for the pair (i, RowMate[i])). Arc i -> ColMate[j] for
+	// every entry j of row i inside S.
+	const undef = int32(-1)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = undef
+	}
+	var stack []int32
+	var next int32
+	type frame struct {
+		v   int32
+		arc int
+	}
+	var callStack []frame
+
+	strongconnect := func(root int32) {
+		callStack = append(callStack[:0], frame{v: root, arc: a.Ptr[root]})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			advanced := false
+			for f.arc < a.Ptr[v+1] {
+				j := a.Idx[f.arc]
+				f.arc++
+				if c.ColPart[j] != PartS {
+					continue
+				}
+				w := c.Matching.ColMate[j]
+				if w == exact.NIL || c.RowPart[w] != PartS {
+					continue
+				}
+				if index[w] == undef {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w, arc: a.Ptr[w]})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is done: pop, propagate lowlink, emit SCC if root.
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					blockOfRow[w] = int32(blocks)
+					if w == v {
+						break
+					}
+				}
+				blocks++
+			}
+		}
+	}
+
+	for i := int32(0); int(i) < n; i++ {
+		if c.RowPart[i] == PartS && index[i] == undef {
+			strongconnect(i)
+		}
+	}
+	return blockOfRow, blocks
+}

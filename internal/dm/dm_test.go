@@ -1,0 +1,241 @@
+package dm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func decompose(t *testing.T, a *sparse.CSR) *Coarse {
+	t.Helper()
+	return Decompose(a, a.Transpose(), nil)
+}
+
+func TestPerfectMatchingIsAllSquare(t *testing.T) {
+	a := gen.FullyIndecomposable(100, 2, 3)
+	c := decompose(t, a)
+	if c.HR != 0 || c.HC != 0 || c.VR != 0 || c.VC != 0 {
+		t.Fatalf("perfect-matching matrix has H/V parts: %+v", c)
+	}
+	if c.SR != 100 || c.SC != 100 {
+		t.Fatalf("square part %d/%d want 100/100", c.SR, c.SC)
+	}
+	if bad := c.CheckBlockStructure(a); bad != 0 {
+		t.Fatalf("%d block violations", bad)
+	}
+}
+
+func TestWideMatrixIsHorizontal(t *testing.T) {
+	// 2 rows x 5 cols, all ones: everything in H.
+	grid := [][]int{
+		{1, 1, 1, 1, 1},
+		{1, 1, 1, 1, 1},
+	}
+	a := sparse.FromDense(grid)
+	c := Decompose(a, a.Transpose(), nil)
+	if c.HR != 2 || c.HC != 5 {
+		t.Fatalf("H part %d rows %d cols; want 2/5", c.HR, c.HC)
+	}
+	if c.CheckBlockStructure(a) != 0 {
+		t.Fatal("block violations")
+	}
+}
+
+func TestTallMatrixIsVertical(t *testing.T) {
+	grid := [][]int{
+		{1, 1},
+		{1, 1},
+		{1, 1},
+		{1, 1},
+	}
+	a := sparse.FromDense(grid)
+	c := Decompose(a, a.Transpose(), nil)
+	if c.VR != 4 || c.VC != 2 {
+		t.Fatalf("V part %d rows %d cols; want 4/2", c.VR, c.VC)
+	}
+}
+
+func TestMixedBlocksKnownExample(t *testing.T) {
+	// Block upper-triangular by construction:
+	// rows 0-1 x cols 0-2 horizontal (2x3 full),
+	// rows 2-3 x cols 3-4 square (identity),
+	// rows 4-6 x col 5 vertical (3x1 full).
+	grid := [][]int{
+		{1, 1, 1, 0, 1, 0}, // H row (may also touch later cols)
+		{1, 1, 1, 0, 0, 0},
+		{0, 0, 0, 1, 0, 1}, // S rows
+		{0, 0, 0, 0, 1, 0},
+		{0, 0, 0, 0, 0, 1}, // V rows
+		{0, 0, 0, 0, 0, 1},
+		{0, 0, 0, 0, 0, 1},
+	}
+	a := sparse.FromDense(grid)
+	c := Decompose(a, a.Transpose(), nil)
+	if c.HR != 2 || c.HC != 3 {
+		t.Fatalf("H = %dx%d want 2x3", c.HR, c.HC)
+	}
+	if c.SR != 2 || c.SC != 2 {
+		t.Fatalf("S = %dx%d want 2x2", c.SR, c.SC)
+	}
+	if c.VR != 3 || c.VC != 1 {
+		t.Fatalf("V = %dx%d want 3x1", c.VR, c.VC)
+	}
+	if bad := c.CheckBlockStructure(a); bad != 0 {
+		t.Fatalf("%d block violations", bad)
+	}
+}
+
+func TestBlockInvariantsRandom(t *testing.T) {
+	f := func(seed uint64, r8, c8, d uint8) bool {
+		rows := int(r8)%60 + 1
+		cols := int(c8)%60 + 1
+		nnz := (int(d)%4 + 1) * rows
+		a := gen.ER(rows, cols, nnz, seed)
+		c := Decompose(a, a.Transpose(), nil)
+		if c.CheckBlockStructure(a) != 0 {
+			return false
+		}
+		// Part sizes are consistent.
+		if c.HR+c.SR+c.VR != rows || c.HC+c.SC+c.VC != cols {
+			return false
+		}
+		// S is square and perfectly matched; H has more cols than rows
+		// unless empty; V more rows than cols unless empty.
+		if c.SR != c.SC {
+			return false
+		}
+		if c.HR > 0 || c.HC > 0 {
+			if c.HC <= c.HR {
+				return false
+			}
+		}
+		if c.VR > 0 || c.VC > 0 {
+			if c.VR <= c.VC {
+				return false
+			}
+		}
+		// Every S row and H row is matched; every V column is matched.
+		for i := 0; i < rows; i++ {
+			if c.RowPart[i] != PartV && c.Matching.RowMate[i] == exact.NIL {
+				return false
+			}
+		}
+		for j := 0; j < cols; j++ {
+			if c.ColPart[j] != PartH && c.Matching.ColMate[j] == exact.NIL {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchedPairsStayInSamePart(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := gen.ER(50, 50, 120, seed)
+		c := Decompose(a, a.Transpose(), nil)
+		for i := 0; i < 50; i++ {
+			j := c.Matching.RowMate[i]
+			if j == exact.NIL {
+				continue
+			}
+			if c.RowPart[i] != c.ColPart[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFineSingleBlockForFullyIndecomposable(t *testing.T) {
+	a := gen.FullyIndecomposable(80, 0, 1) // identity + cycle shift: one block
+	c := decompose(t, a)
+	_, blocks := c.Fine(a)
+	if blocks != 1 {
+		t.Fatalf("fully indecomposable matrix split into %d blocks", blocks)
+	}
+}
+
+func TestFineBlockDiagonal(t *testing.T) {
+	// Two independent fully indecomposable blocks on the diagonal.
+	b1 := gen.FullyIndecomposable(10, 0, 1)
+	entries := b1.ToCOO()
+	for _, e := range gen.FullyIndecomposable(15, 0, 2).ToCOO() {
+		entries = append(entries, sparse.Coord{I: e.I + 10, J: e.J + 10})
+	}
+	a, err := sparse.FromCOO(25, 25, entries, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := decompose(t, a)
+	blockOf, blocks := c.Fine(a)
+	if blocks != 2 {
+		t.Fatalf("expected 2 fine blocks, got %d", blocks)
+	}
+	// Rows of the same diagonal block must share a block id.
+	for i := 1; i < 10; i++ {
+		if blockOf[i] != blockOf[0] {
+			t.Fatalf("rows 0 and %d in different blocks", i)
+		}
+	}
+	for i := 11; i < 25; i++ {
+		if blockOf[i] != blockOf[10] {
+			t.Fatalf("rows 10 and %d in different blocks", i)
+		}
+	}
+	if blockOf[0] == blockOf[10] {
+		t.Fatal("independent blocks merged")
+	}
+}
+
+func TestFineIdentityIsNBlocks(t *testing.T) {
+	a := gen.Identity(12)
+	c := decompose(t, a)
+	_, blocks := c.Fine(a)
+	if blocks != 12 {
+		t.Fatalf("identity should give 12 singleton blocks, got %d", blocks)
+	}
+}
+
+func TestFineSkipsNonSquarePart(t *testing.T) {
+	grid := [][]int{
+		{1, 1, 1}, // H
+		{0, 0, 1},
+	}
+	a := sparse.FromDense(grid)
+	c := Decompose(a, a.Transpose(), nil)
+	blockOf, _ := c.Fine(a)
+	for i, b := range blockOf {
+		if c.RowPart[i] != PartS && b != -1 {
+			t.Fatalf("row %d outside S got block %d", i, b)
+		}
+	}
+}
+
+func TestDecomposeWithProvidedMatching(t *testing.T) {
+	a := gen.ER(40, 40, 100, 5)
+	mt := exact.HopcroftKarp(a, nil)
+	c := Decompose(a, a.Transpose(), mt)
+	if c.Matching != mt {
+		t.Fatal("provided matching not used")
+	}
+	if c.CheckBlockStructure(a) != 0 {
+		t.Fatal("block violations with provided matching")
+	}
+}
+
+func TestBadKSIsAllSquare(t *testing.T) {
+	a := gen.BadKS(64, 8)
+	c := decompose(t, a)
+	if c.SR != 64 || c.SC != 64 {
+		t.Fatalf("BadKS should be all square, got S=%dx%d", c.SR, c.SC)
+	}
+}

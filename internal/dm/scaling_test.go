@@ -1,0 +1,107 @@
+package dm
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/scale"
+	"repro/internal/sparse"
+)
+
+// TestScalingKillsStarBlocks verifies the paper's §3.3 claim: on a matrix
+// without total support, Sinkhorn-Knopp drives the entries that cannot
+// belong to any maximum matching (the off-diagonal "*" blocks of the DM
+// block-triangular form) toward zero, while entries inside the blocks
+// stay bounded away from zero. This is the mechanism that lets the
+// heuristics ignore useless edges on deficient inputs.
+func TestScalingKillsStarBlocks(t *testing.T) {
+	// Build [[S1, *], [0, S2]] where S1, S2 are fully indecomposable and
+	// the * block couples them. * entries are in no perfect matching.
+	n1, n2 := 40, 60
+	entries := gen.FullyIndecomposable(n1, 0, 1).ToCOO()
+	for _, e := range gen.FullyIndecomposable(n2, 0, 2).ToCOO() {
+		entries = append(entries, sparse.Coord{I: e.I + int32(n1), J: e.J + int32(n1)})
+	}
+	// Coupling entries in the upper-right block.
+	for k := 0; k < 25; k++ {
+		entries = append(entries, sparse.Coord{I: int32(k % n1), J: int32(n1 + (7*k)%n2)})
+	}
+	a, err := sparse.FromCOO(n1+n2, n1+n2, entries, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := a.Transpose()
+	if exact.Sprank(a) != n1+n2 {
+		t.Fatal("construction should have a perfect matching")
+	}
+
+	res, err := scale.SinkhornKnopp(a, at, scale.Options{MaxIters: 2000, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var maxStar, minBlock float64
+	minBlock = 1e300
+	for i := 0; i < a.RowsN; i++ {
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			j := int(a.Idx[p])
+			s := scale.Entry(a, res.DR, res.DC, i, p)
+			inStar := i < n1 && j >= n1
+			if inStar {
+				if s > maxStar {
+					maxStar = s
+				}
+			} else if s < minBlock {
+				minBlock = s
+			}
+		}
+	}
+	if maxStar > 0.05*minBlock {
+		t.Fatalf("star-block entries not vanishing: max*=%.3g vs min block=%.3g",
+			maxStar, minBlock)
+	}
+}
+
+// TestScalingIdentifiesMatchableEntries is the same phenomenon end to end:
+// on a sprank-deficient matrix the fine DM blocks of the square part
+// receive all the probability mass, so the heuristics' choices concentrate
+// on matchable edges.
+func TestScalingSquarePartGetsMass(t *testing.T) {
+	a := gen.ERAvgDeg(300, 300, 2, 9) // deficient
+	at := a.Transpose()
+	c := Decompose(a, at, nil)
+	if c.SR == 0 || c.HR+c.VR == 0 {
+		t.Skip("instance not mixed enough")
+	}
+	res, err := scale.SinkhornKnopp(a, at, scale.Options{MaxIters: 500, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For a row in S, the mass on edges that leave the S x S block should
+	// be small relative to the row total (those edges cannot be in a
+	// maximum matching when they point into H-columns... they can point
+	// into V? S-rows only see S and V... by the block structure S rows
+	// have entries in S and H* is excluded. Entries from S-rows to
+	// V-columns do not exist; to H-columns they are in the "*" region).
+	var inS, outS float64
+	for i := 0; i < a.RowsN; i++ {
+		if c.RowPart[i] != PartS {
+			continue
+		}
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			s := scale.Entry(a, res.DR, res.DC, i, p)
+			if c.ColPart[a.Idx[p]] == PartS {
+				inS += s
+			} else {
+				outS += s
+			}
+		}
+	}
+	if inS == 0 {
+		t.Skip("no S-to-S mass")
+	}
+	if outS > 0.02*inS {
+		t.Fatalf("mass escaping the square part: out=%.3g in=%.3g", outS, inS)
+	}
+}

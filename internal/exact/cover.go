@@ -1,0 +1,107 @@
+package exact
+
+import "repro/internal/sparse"
+
+// MinVertexCover extracts a minimum vertex cover from a maximum matching
+// via König's theorem: with Z the set of vertices reachable by alternating
+// paths from unmatched rows, the cover is (rows ∉ Z) ∪ (columns ∈ Z), and
+// |cover| = |matching|.
+//
+// Because every edge must be covered and no cover can be smaller than a
+// matching, a returned cover whose size equals mt.Size is a *certificate*
+// that mt is maximum — the test suite uses it to certify the exact solvers
+// without trusting a second matching algorithm.
+func MinVertexCover(a *sparse.CSR, mt *Matching) (rowInCover, colInCover []bool, size int) {
+	n, m := a.RowsN, a.ColsN
+	rowZ := make([]bool, n)
+	colZ := make([]bool, m)
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if mt.RowMate[i] == NIL {
+			rowZ[i] = true
+			queue = append(queue, int32(i))
+		}
+	}
+	for qh := 0; qh < len(queue); qh++ {
+		i := queue[qh]
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			j := a.Idx[p]
+			if colZ[j] {
+				continue
+			}
+			colZ[j] = true
+			i2 := mt.ColMate[j]
+			// j must be matched: an unmatched j here would complete an
+			// augmenting path, contradicting maximality. Guard anyway so
+			// non-maximum inputs yield a (non-certifying) cover attempt.
+			if i2 != NIL && !rowZ[i2] {
+				rowZ[i2] = true
+				queue = append(queue, i2)
+			}
+		}
+	}
+	rowInCover = make([]bool, n)
+	colInCover = make([]bool, m)
+	for i := 0; i < n; i++ {
+		if !rowZ[i] {
+			rowInCover[i] = true
+			size++
+		}
+	}
+	for j := 0; j < m; j++ {
+		if colZ[j] {
+			colInCover[j] = true
+			size++
+		}
+	}
+	return rowInCover, colInCover, size
+}
+
+// VerifyCover checks that (rowInCover, colInCover) touches every edge of
+// a; it returns the number of uncovered edges (0 for a valid cover).
+func VerifyCover(a *sparse.CSR, rowInCover, colInCover []bool) int {
+	bad := 0
+	for i := 0; i < a.RowsN; i++ {
+		if rowInCover[i] {
+			continue
+		}
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			if !colInCover[a.Idx[p]] {
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
+// Certify returns true iff mt is provably a maximum matching of a: it
+// must be a valid matching and the König cover built from it must cover
+// every edge with exactly mt.Size vertices.
+func Certify(a *sparse.CSR, mt *Matching) bool {
+	// Validity.
+	seen := 0
+	for i, j := range mt.RowMate {
+		if j == NIL {
+			continue
+		}
+		if j < 0 || int(j) >= a.ColsN || mt.ColMate[j] != int32(i) {
+			return false
+		}
+		ok := false
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			if a.Idx[p] == j {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+		seen++
+	}
+	if seen != mt.Size {
+		return false
+	}
+	rows, cols, size := MinVertexCover(a, mt)
+	return size == mt.Size && VerifyCover(a, rows, cols) == 0
+}

@@ -1,0 +1,132 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+// bruteForce computes the exact maximum matching size by exponential
+// search over column subsets (memoized on (row, used-column bitmask)).
+// Only usable for cols <= 20; it is the ground-truth oracle for the three
+// polynomial algorithms.
+func bruteForce(a *sparse.CSR) int {
+	if a.ColsN > 20 {
+		panic("bruteForce: too many columns")
+	}
+	memo := map[uint64]int{}
+	var rec func(i int, used uint32) int
+	rec = func(i int, used uint32) int {
+		if i == a.RowsN {
+			return 0
+		}
+		key := uint64(i)<<32 | uint64(used)
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		best := rec(i+1, used) // leave row i unmatched
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			j := a.Idx[p]
+			if used&(1<<uint(j)) == 0 {
+				if v := 1 + rec(i+1, used|1<<uint(j)); v > best {
+					best = v
+				}
+			}
+		}
+		memo[key] = best
+		return best
+	}
+	return rec(0, 0)
+}
+
+func TestBruteForceOracleKnown(t *testing.T) {
+	a := sparse.FromDense([][]int{
+		{1, 1, 0},
+		{1, 0, 0},
+		{0, 1, 0},
+	})
+	if got := bruteForce(a); got != 2 {
+		t.Fatalf("oracle %d want 2", got)
+	}
+	if got := bruteForce(gen.Identity(8)); got != 8 {
+		t.Fatalf("oracle identity %d", got)
+	}
+}
+
+// TestAllSolversMatchOracle compares Hopcroft–Karp, MC21 and PushRelabel
+// against exhaustive search on thousands of small random instances.
+func TestAllSolversMatchOracle(t *testing.T) {
+	f := func(seed uint64, r8, c8, d uint8) bool {
+		rows := int(r8)%10 + 1
+		cols := int(c8)%10 + 1
+		nnz := int(d) % (rows*cols + 1)
+		a := gen.ER(rows, cols, nnz, seed)
+		want := bruteForce(a)
+		if HopcroftKarp(a, nil).Size != want {
+			t.Logf("HK wrong on seed=%d %dx%d nnz=%d", seed, rows, cols, nnz)
+			return false
+		}
+		if MC21(a, nil).Size != want {
+			t.Logf("MC21 wrong on seed=%d %dx%d nnz=%d", seed, rows, cols, nnz)
+			return false
+		}
+		if PushRelabel(a, nil).Size != want {
+			t.Logf("PushRelabel wrong on seed=%d %dx%d nnz=%d", seed, rows, cols, nnz)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushRelabelMatchesHKOnLargerInstances(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		n := 500 + int(seed)*100
+		a := gen.ERAvgDeg(n, n, float64(seed%5)+1, seed)
+		hk := HopcroftKarp(a, nil)
+		pr := PushRelabel(a, nil)
+		checkMatching(t, a, pr)
+		if pr.Size != hk.Size {
+			t.Fatalf("seed %d: PushRelabel %d != HK %d", seed, pr.Size, hk.Size)
+		}
+	}
+}
+
+func TestPushRelabelRectangularAndDeficient(t *testing.T) {
+	cases := []*sparse.CSR{
+		gen.ER(40, 90, 200, 3),
+		gen.ER(90, 40, 200, 3),
+		gen.BadKS(64, 8),
+		gen.Identity(50),
+		sparse.FromDense([][]int{{0, 0}, {0, 0}}), // empty
+	}
+	for k, a := range cases {
+		pr := PushRelabel(a, nil)
+		checkMatching(t, a, pr)
+		if pr.Size != HopcroftKarp(a, nil).Size {
+			t.Fatalf("case %d: sizes differ", k)
+		}
+	}
+}
+
+func TestPushRelabelWarmStart(t *testing.T) {
+	a := gen.FullyIndecomposable(400, 2, 7)
+	init := NewMatching(400, 400)
+	for i := 0; i < 200; i++ {
+		init.RowMate[i] = int32(i)
+		init.ColMate[i] = int32(i)
+		init.Size++
+	}
+	pr := PushRelabel(a, init)
+	checkMatching(t, a, pr)
+	if pr.Size != 400 {
+		t.Fatalf("warm-started push-relabel size %d want 400", pr.Size)
+	}
+	if init.Size != 200 {
+		t.Fatal("warm start mutated")
+	}
+}

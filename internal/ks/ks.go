@@ -1,0 +1,173 @@
+// Package ks implements the classic sequential Karp–Sipser heuristic for
+// bipartite graphs (Karp and Sipser, FOCS 1981), the baseline of the
+// paper's Table 1 experiment.
+//
+// The heuristic repeats two rules until the graph is consumed:
+//
+//  1. if a vertex of degree one exists, match it with its unique neighbor
+//     (an optimal decision) and delete both;
+//  2. otherwise pick an edge uniformly at random among the remaining
+//     edges, match its endpoints and delete them.
+//
+// The stage before the first random pick is Phase 1; everything after is
+// Phase 2. The implementation keeps an explicit degree-one queue and a
+// live-edge array with swap-remove lazy deletion so that every random draw
+// is uniform over the currently alive edges — the property the Fig. 2
+// bad-case analysis relies on.
+package ks
+
+import (
+	"repro/internal/exact"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// Stats reports how the run unfolded.
+type Stats struct {
+	Phase1Matches int // matches made by the degree-one rule before the first random pick
+	RandomPicks   int // matches made by rule 2
+	DegreeOne     int // total matches made by the degree-one rule
+}
+
+// Run executes Karp–Sipser on the bipartite graph with CSR a and its
+// transpose at, using the RNG seed. It returns the matching and statistics.
+func Run(a, at *sparse.CSR, seed uint64) (*exact.Matching, Stats) {
+	n, m := a.RowsN, a.ColsN
+	rng := xrand.New(seed)
+	mt := exact.NewMatching(n, m)
+	var st Stats
+
+	// Vertices 0..n-1 are rows; n..n+m-1 are columns.
+	deg := make([]int32, n+m)
+	for i := 0; i < n; i++ {
+		deg[i] = int32(a.Degree(i))
+	}
+	for j := 0; j < m; j++ {
+		deg[n+j] = int32(at.Degree(j))
+	}
+	alive := make([]bool, n+m)
+	for v := range alive {
+		alive[v] = deg[v] > 0
+	}
+
+	queue := make([]int32, 0, n+m)
+	for v := 0; v < n+m; v++ {
+		if alive[v] && deg[v] == 1 {
+			queue = append(queue, int32(v))
+		}
+	}
+
+	// Live edge array for uniform random picks (row, col packed).
+	type edge struct{ i, j int32 }
+	edges := make([]edge, 0, a.NNZ())
+	for i := 0; i < n; i++ {
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			edges = append(edges, edge{int32(i), a.Idx[p]})
+		}
+	}
+
+	// consume removes vertex v from the graph, decrementing neighbor
+	// degrees and enqueueing fresh degree-one vertices.
+	consume := func(v int32) {
+		alive[v] = false
+		if v < int32(n) {
+			i := int(v)
+			for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+				u := int32(n) + a.Idx[p]
+				if alive[u] {
+					deg[u]--
+					if deg[u] == 1 {
+						queue = append(queue, u)
+					}
+				}
+			}
+			return
+		}
+		j := int(v) - n
+		for p := at.Ptr[j]; p < at.Ptr[j+1]; p++ {
+			u := at.Idx[p]
+			if alive[u] {
+				deg[u]--
+				if deg[u] == 1 {
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+
+	match := func(i, j int32) {
+		mt.RowMate[i] = j
+		mt.ColMate[j] = i
+		mt.Size++
+		consume(i)
+		consume(int32(n) + j)
+	}
+
+	// liveNeighbor returns the unique alive neighbor of a degree-one
+	// vertex (scanning its adjacency).
+	liveNeighbor := func(v int32) (int32, bool) {
+		if v < int32(n) {
+			i := int(v)
+			for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+				if alive[int32(n)+a.Idx[p]] {
+					return a.Idx[p], true
+				}
+			}
+			return 0, false
+		}
+		j := int(v) - n
+		for p := at.Ptr[j]; p < at.Ptr[j+1]; p++ {
+			if alive[at.Idx[p]] {
+				return at.Idx[p], true
+			}
+		}
+		return 0, false
+	}
+
+	inPhase1 := true
+	drainQueue := func() {
+		for qh := 0; qh < len(queue); qh++ {
+			v := queue[qh]
+			if !alive[v] || deg[v] != 1 {
+				continue
+			}
+			if v < int32(n) {
+				if j, ok := liveNeighbor(v); ok {
+					match(v, j)
+					st.DegreeOne++
+					if inPhase1 {
+						st.Phase1Matches++
+					}
+				}
+			} else {
+				if i, ok := liveNeighbor(v); ok {
+					match(i, v-int32(n))
+					st.DegreeOne++
+					if inPhase1 {
+						st.Phase1Matches++
+					}
+				}
+			}
+		}
+		queue = queue[:0]
+	}
+
+	drainQueue()
+	inPhase1 = false
+	for len(edges) > 0 {
+		// Uniform pick over live edges with swap-remove lazy deletion.
+		k := rng.Intn(len(edges))
+		e := edges[k]
+		if !alive[e.i] || !alive[int32(n)+e.j] {
+			edges[k] = edges[len(edges)-1]
+			edges = edges[:len(edges)-1]
+			continue
+		}
+		match(e.i, e.j)
+		st.RandomPicks++
+		edges[k] = edges[len(edges)-1]
+		edges = edges[:len(edges)-1]
+		drainQueue()
+	}
+	return mt, st
+}

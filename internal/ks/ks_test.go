@@ -1,0 +1,187 @@
+package ks
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func runKS(t *testing.T, a *sparse.CSR, seed uint64) (*exact.Matching, Stats) {
+	t.Helper()
+	mt, st := Run(a, a.Transpose(), seed)
+	// Validate.
+	size := 0
+	for i, j := range mt.RowMate {
+		if j == exact.NIL {
+			continue
+		}
+		size++
+		if mt.ColMate[j] != int32(i) {
+			t.Fatalf("inconsistent mates row %d col %d", i, j)
+		}
+		ok := false
+		for _, c := range a.Row(i) {
+			if c == j {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("matched non-edge (%d,%d)", i, j)
+		}
+	}
+	if size != mt.Size {
+		t.Fatalf("size %d vs %d matched", mt.Size, size)
+	}
+	return mt, st
+}
+
+func TestKSExactOnTrees(t *testing.T) {
+	// A path graph is a tree: KS phase 1 alone finds a maximum matching.
+	n := 50
+	entries := []sparse.Coord{}
+	for i := 0; i < n; i++ {
+		entries = append(entries, sparse.Coord{I: int32(i), J: int32(i)})
+		if i+1 < n {
+			entries = append(entries, sparse.Coord{I: int32(i + 1), J: int32(i)})
+		}
+	}
+	a, _ := sparse.FromCOO(n, n, entries, false)
+	mt, st := runKS(t, a, 1)
+	if mt.Size != n {
+		t.Fatalf("KS on path: %d want %d", mt.Size, n)
+	}
+	if st.RandomPicks != 0 {
+		t.Fatalf("KS needed %d random picks on a tree", st.RandomPicks)
+	}
+}
+
+func TestKSExactOnIdentity(t *testing.T) {
+	a := gen.Identity(40)
+	mt, st := runKS(t, a, 1)
+	if mt.Size != 40 || st.RandomPicks != 0 {
+		t.Fatalf("identity: size %d, random %d", mt.Size, st.RandomPicks)
+	}
+}
+
+func TestKSMaximalMatching(t *testing.T) {
+	// KS always produces a maximal matching: no edge with both endpoints
+	// free can remain.
+	f := func(seed uint64, d uint8) bool {
+		a := gen.ERAvgDeg(200, 200, float64(d%5)+1, seed)
+		mt, _ := Run(a, a.Transpose(), seed)
+		for i := 0; i < a.RowsN; i++ {
+			if mt.RowMate[i] != exact.NIL {
+				continue
+			}
+			for _, j := range a.Row(i) {
+				if mt.ColMate[j] == exact.NIL {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSAtLeastHalf(t *testing.T) {
+	// Maximal matchings are 1/2-approximations.
+	for seed := uint64(1); seed <= 10; seed++ {
+		a := gen.ERAvgDeg(300, 300, 3, seed)
+		mt, _ := runKS(t, a, seed)
+		sp := exact.Sprank(a)
+		if 2*mt.Size < sp {
+			t.Fatalf("KS size %d below half of %d", mt.Size, sp)
+		}
+	}
+}
+
+func TestKSNearOptimalOnSparseRandom(t *testing.T) {
+	// Aronson–Frieze–Pittel: KS leaves o(n) vertices unmatched on sparse
+	// random graphs. Expect >= 0.95 quality on ER with d=2..3.
+	a := gen.ERAvgDeg(5000, 5000, 2, 77)
+	mt, _ := runKS(t, a, 99)
+	sp := exact.Sprank(a)
+	if q := float64(mt.Size) / float64(sp); q < 0.95 {
+		t.Fatalf("KS quality %v on sparse ER, expected near-optimal", q)
+	}
+}
+
+func TestKSBadCaseDegradesWithK(t *testing.T) {
+	// The Table 1 phenomenon: KS quality decreases as k grows. At k=32 the
+	// paper measures ≈0.67 (min of 10 runs); allow slack but require a
+	// clear gap from optimal.
+	n := 640
+	q := func(k int) float64 {
+		a := gen.BadKS(n, k)
+		at := a.Transpose()
+		worst := 1.0
+		for seed := uint64(1); seed <= 5; seed++ {
+			mt, _ := Run(a, at, seed)
+			if v := float64(mt.Size) / float64(n); v < worst {
+				worst = v
+			}
+		}
+		return worst
+	}
+	q1, q32 := q(1), q(32)
+	if q1 != 1.0 {
+		t.Fatalf("k=1 should be solved exactly by phase 1, got %v", q1)
+	}
+	if q32 > 0.85 {
+		t.Fatalf("k=32 quality %v: bad case not hurting KS", q32)
+	}
+}
+
+func TestKSPhase1StatsOnBadCase(t *testing.T) {
+	// k>1 has no degree-one vertices: phase 1 must make zero matches.
+	a := gen.BadKS(64, 4)
+	_, st := runKS(t, a, 3)
+	if st.Phase1Matches != 0 {
+		t.Fatalf("phase 1 matched %d on k=4 bad case", st.Phase1Matches)
+	}
+	if st.RandomPicks == 0 {
+		t.Fatal("expected random picks on k=4 bad case")
+	}
+}
+
+func TestKSDeterministicPerSeed(t *testing.T) {
+	a := gen.ERAvgDeg(500, 500, 4, 5)
+	at := a.Transpose()
+	m1, _ := Run(a, at, 42)
+	m2, _ := Run(a, at, 42)
+	for i := range m1.RowMate {
+		if m1.RowMate[i] != m2.RowMate[i] {
+			t.Fatal("same seed produced different matchings")
+		}
+	}
+}
+
+func TestKSEmptyAndTiny(t *testing.T) {
+	empty, _ := sparse.FromCOO(3, 3, nil, false)
+	mt, st := runKS(t, empty, 1)
+	if mt.Size != 0 || st.RandomPicks != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+	single := sparse.FromDense([][]int{{1}})
+	mt, _ = runKS(t, single, 1)
+	if mt.Size != 1 {
+		t.Fatal("single edge not matched")
+	}
+}
+
+func TestKSRectangular(t *testing.T) {
+	a := gen.ER(50, 80, 200, 9)
+	mt, _ := runKS(t, a, 2)
+	if mt.Size > 50 {
+		t.Fatal("matching exceeds row count")
+	}
+	if 2*mt.Size < exact.Sprank(a) {
+		t.Fatal("below half-approximation on rectangular instance")
+	}
+}

@@ -1,0 +1,91 @@
+package ks
+
+import (
+	"sync/atomic"
+
+	"repro/internal/exact"
+	"repro/internal/par"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// RunApprox is an Azad-et-al-style multithreaded Karp–Sipser for general
+// bipartite graphs (the paper's reference [4]): a parallel degree-one pass
+// followed by a parallel random-vertex pass, synchronized only by
+// compare-and-swap claims. Unlike the exact sequential Run it does not
+// maintain a global degree-one list, so it misses some optimal decisions —
+// it is "successful but without any known quality guarantee", which is
+// precisely the gap the paper's TwoSidedMatch + KarpSipserMT combination
+// closes. It is provided as the parallel baseline for comparisons.
+func RunApprox(a, at *sparse.CSR, seed uint64, workers int) *exact.Matching {
+	n, m := a.RowsN, a.ColsN
+	mt := exact.NewMatching(n, m)
+	rowMate := mt.RowMate
+	colMate := mt.ColMate
+
+	// Claim protocol: CAS the column first, then publish the row side.
+	tryMatch := func(i, j int32) bool {
+		if atomic.LoadInt32(&rowMate[i]) != exact.NIL {
+			return false
+		}
+		if !atomic.CompareAndSwapInt32(&colMate[j], exact.NIL, i) {
+			return false
+		}
+		if !atomic.CompareAndSwapInt32(&rowMate[i], exact.NIL, j) {
+			// The row was taken concurrently; release the column.
+			atomic.StoreInt32(&colMate[j], exact.NIL)
+			return false
+		}
+		return true
+	}
+
+	// Pass 1: degree-one rule, both sides, without degree tracking — only
+	// vertices that are degree-one in the *input* are handled (newly
+	// arising degree-one vertices are missed; that is the approximation).
+	par.For(n, workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if a.Degree(i) == 1 {
+				tryMatch(int32(i), a.Idx[a.Ptr[i]])
+			}
+		}
+	})
+	par.For(m, workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if at.Degree(j) == 1 {
+				tryMatch(at.Idx[at.Ptr[j]], int32(j))
+			}
+		}
+	})
+
+	// Pass 2: random-order greedy over rows; each row claims a random
+	// free neighbor (retrying over its adjacency once).
+	base := xrand.Base(seed)
+	par.For(n, workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if atomic.LoadInt32(&rowMate[i]) != exact.NIL {
+				continue
+			}
+			deg := a.Degree(i)
+			if deg == 0 {
+				continue
+			}
+			rng := xrand.Indexed(base, i)
+			off := rng.Intn(deg)
+			for k := 0; k < deg; k++ {
+				j := a.Idx[a.Ptr[i]+(off+k)%deg]
+				if atomic.LoadInt32(&colMate[j]) == exact.NIL && tryMatch(int32(i), j) {
+					break
+				}
+			}
+		}
+	})
+
+	size := 0
+	for i := 0; i < n; i++ {
+		if rowMate[i] != exact.NIL {
+			size++
+		}
+	}
+	mt.Size = size
+	return mt
+}

@@ -1,0 +1,114 @@
+package ks
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestRunApproxValidMatching(t *testing.T) {
+	f := func(seed uint64, d uint8, w uint8) bool {
+		a := gen.ERAvgDeg(300, 300, float64(d%5)+1, seed)
+		at := a.Transpose()
+		mt := RunApprox(a, at, seed, int(w)%8+1)
+		size := 0
+		for i, j := range mt.RowMate {
+			if j == exact.NIL {
+				continue
+			}
+			size++
+			if mt.ColMate[j] != int32(i) {
+				return false
+			}
+			ok := false
+			for _, c := range a.Row(i) {
+				if c == j {
+					ok = true
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return size == mt.Size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunApproxMaximal(t *testing.T) {
+	// The second pass gives every free row a full scan over its adjacency,
+	// so the result is maximal (>= 1/2 of the maximum).
+	for seed := uint64(1); seed <= 10; seed++ {
+		a := gen.ERAvgDeg(400, 400, 3, seed)
+		at := a.Transpose()
+		mt := RunApprox(a, at, seed, 4)
+		for i := 0; i < a.RowsN; i++ {
+			if mt.RowMate[i] != exact.NIL {
+				continue
+			}
+			for _, j := range a.Row(i) {
+				if mt.ColMate[j] == exact.NIL {
+					t.Fatalf("seed %d: free edge (%d,%d) remains", seed, i, j)
+				}
+			}
+		}
+		if 2*mt.Size < exact.Sprank(a) {
+			t.Fatalf("seed %d: below half-approximation", seed)
+		}
+	}
+}
+
+func TestRunApproxWeakerThanExactKS(t *testing.T) {
+	// On sparse random graphs the exact sequential KS (with full degree
+	// tracking) should dominate the approximate parallel variant on
+	// average — this is the gap the paper's §2.1/§3.2 discussion points
+	// at. Compare sums over several seeds to avoid flakiness.
+	a := gen.ERAvgDeg(20000, 20000, 2, 5)
+	at := a.Transpose()
+	exactSum, approxSum := 0, 0
+	for seed := uint64(1); seed <= 5; seed++ {
+		mt, _ := Run(a, at, seed)
+		exactSum += mt.Size
+		approxSum += RunApprox(a, at, seed, 8).Size
+	}
+	if approxSum >= exactSum {
+		t.Fatalf("approximate KS (%d) should not beat exact KS (%d) on sparse ER",
+			approxSum, exactSum)
+	}
+}
+
+func TestRunApproxDegreeOnePass(t *testing.T) {
+	// On a path graph the input has two degree-one endpoints; the parallel
+	// variant still produces a valid maximal matching (though possibly
+	// smaller than the exact KS result of n).
+	a := gen.Band(101, 0, -1) // bidiagonal: rows 1..n have degree 2, row 0 degree 1
+	at := a.Transpose()
+	mt := RunApprox(a, at, 3, 4)
+	if mt.Size == 0 {
+		t.Fatal("no matches on bidiagonal")
+	}
+	if 2*mt.Size < exact.Sprank(a) {
+		t.Fatal("below half guarantee")
+	}
+}
+
+func TestRunApproxManyWorkersConsistentValidity(t *testing.T) {
+	a := gen.ERAvgDeg(5000, 5000, 4, 9)
+	at := a.Transpose()
+	for _, w := range []int{1, 2, 8, 16, 32} {
+		mt := RunApprox(a, at, 7, w)
+		bad := 0
+		for i, j := range mt.RowMate {
+			if j != exact.NIL && mt.ColMate[j] != int32(i) {
+				bad++
+			}
+		}
+		if bad != 0 {
+			t.Fatalf("workers=%d: %d inconsistent pairs", w, bad)
+		}
+	}
+}

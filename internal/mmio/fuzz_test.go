@@ -1,0 +1,40 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the MatrixMarket parser with arbitrary inputs: it
+// must never panic, and anything it accepts must round-trip to an
+// equivalent matrix.
+func FuzzRead(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 3 2\n1 1 0.5\n2 3 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 2\n3 1 4\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n0 0 0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n-1 2 1\n1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		a, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if verr := a.Validate(); verr != nil {
+			t.Fatalf("accepted invalid matrix: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, a); werr != nil {
+			t.Fatalf("cannot re-serialize accepted matrix: %v", werr)
+		}
+		b, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("cannot re-parse own output: %v", rerr)
+		}
+		if !a.Equal(b) {
+			t.Fatal("round trip changed the matrix")
+		}
+	})
+}

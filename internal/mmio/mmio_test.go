@@ -1,0 +1,161 @@
+package mmio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func TestReadPatternGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 4 3
+1 1
+2 3
+3 4
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RowsN != 3 || a.ColsN != 4 || a.NNZ() != 3 {
+		t.Fatalf("parsed %dx%d nnz=%d", a.RowsN, a.ColsN, a.NNZ())
+	}
+	if a.Val != nil {
+		t.Fatal("pattern file produced values")
+	}
+	if a.Row(1)[0] != 2 {
+		t.Fatal("entry (2,3) misplaced")
+	}
+}
+
+func TestReadRealSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2.0
+2 1 -1.0
+3 3 4.5
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric expansion: (2,1) also gives (1,2).
+	if a.NNZ() != 4 {
+		t.Fatalf("nnz %d want 4 after expansion", a.NNZ())
+	}
+	found := false
+	for p := a.Ptr[0]; p < a.Ptr[1]; p++ {
+		if a.Idx[p] == 1 && a.Val[p] == -1.0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mirrored entry (1,2) missing")
+	}
+}
+
+func TestReadIntegerField(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer general
+2 2 2
+1 1 5
+2 2 -3
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Val == nil || a.Val[0] != 5 {
+		t.Fatal("integer values not parsed")
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "%%NotMatrixMarket matrix coordinate pattern general\n1 1 0\n",
+		"array format":   "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"complex field":  "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad size":       "%%MatrixMarket matrix coordinate pattern general\nnope\n",
+		"short entries":  "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n",
+		"out of range":   "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n",
+		"missing value":  "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1\n",
+		"bad value":      "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 xyz\n",
+		"bad entry line": "%%MatrixMarket matrix coordinate pattern general\n1 1 1\nfoo\n",
+		"skew symmetry":  "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 1.0\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRoundTripPattern(t *testing.T) {
+	f := func(seed uint64, d uint8) bool {
+		a := gen.ER(40, 50, int(d)%200+1, seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, a); err != nil {
+			return false
+		}
+		b, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripWeighted(t *testing.T) {
+	a, err := sparse.FromCOO(3, 3, []sparse.Coord{
+		{I: 0, J: 0, V: 1.5}, {I: 1, J: 2, V: -2.25}, {I: 2, J: 1, V: 1e-30},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("weighted round trip changed matrix")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.mtx")
+	a := gen.ERAvgDeg(100, 100, 3, 7)
+	if err := WriteFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("file round trip changed matrix")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestHeaderCaseInsensitive(t *testing.T) {
+	in := "%%MatrixMarket MATRIX Coordinate Pattern GENERAL\n1 1 1\n1 1\n"
+	if _, err := Read(strings.NewReader(in)); err != nil {
+		t.Fatalf("case-insensitive header rejected: %v", err)
+	}
+}

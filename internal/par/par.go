@@ -1,0 +1,233 @@
+// Package par provides an OpenMP-like parallel-for runtime on top of
+// goroutines. It supports the three loop scheduling policies used by the
+// paper's OpenMP implementation (static, dynamic and guided) so that the
+// experiments can reproduce the same work-distribution behaviour:
+// (dynamic,512) for the scaling and sampling loops, (guided) for
+// KarpSipserMT.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects how loop iterations are distributed over workers.
+type Policy int
+
+const (
+	// Static splits the iteration space into one contiguous block per
+	// worker. No synchronization during the loop; best for uniform work.
+	Static Policy = iota
+	// Dynamic hands out fixed-size chunks from a shared counter; workers
+	// grab the next chunk when they finish one. Equivalent to OpenMP
+	// schedule(dynamic,chunk).
+	Dynamic
+	// Guided hands out exponentially shrinking chunks, each roughly
+	// remaining/(2*workers) but never below the chunk parameter.
+	// Equivalent to OpenMP schedule(guided,chunk).
+	Guided
+)
+
+// String returns the OpenMP-style name of the policy.
+func (p Policy) String() string {
+	switch p {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultChunk is the chunk size used when the caller passes chunk <= 0.
+// It matches the (dynamic,512) OpenMP schedule used by the paper.
+const DefaultChunk = 512
+
+// Workers normalizes a requested worker count: values <= 0 mean
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For executes body over the half-open range [0, n) using the given number
+// of workers and scheduling policy. body receives the worker id (0-based)
+// and a sub-range [lo, hi) to process. It returns once all iterations are
+// done. A non-positive worker count uses GOMAXPROCS; a non-positive chunk
+// uses DefaultChunk. With a single worker the loop runs inline, which keeps
+// sequential baselines free of goroutine overhead.
+func For(n, workers int, policy Policy, chunk int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	if workers == 1 {
+		body(0, 0, n)
+		return
+	}
+	switch policy {
+	case Static:
+		staticFor(n, workers, body)
+	case Dynamic:
+		dynamicFor(n, workers, chunk, body)
+	case Guided:
+		guidedFor(n, workers, chunk, body)
+	default:
+		staticFor(n, workers, body)
+	}
+}
+
+func staticFor(n, workers int, body func(worker, lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			if lo < hi {
+				body(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func dynamicFor(n, workers, chunk int, body func(worker, lo, hi int)) {
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func guidedFor(n, workers, minChunk int, body func(worker, lo, hi int)) {
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				for {
+					cur := atomic.LoadInt64(&next)
+					remaining := int64(n) - cur
+					if remaining <= 0 {
+						return
+					}
+					size := remaining / int64(2*workers)
+					if size < int64(minChunk) {
+						size = int64(minChunk)
+					}
+					if size > remaining {
+						size = remaining
+					}
+					if atomic.CompareAndSwapInt64(&next, cur, cur+size) {
+						body(w, int(cur), int(cur+size))
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Do runs fn once per worker id in [0, workers) concurrently and waits for
+// all of them. It is the building block for loops that need per-worker
+// state such as RNG streams.
+func Do(workers int, fn func(worker int)) {
+	workers = Workers(workers)
+	if workers == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ReduceFloat64 runs a parallel-for and combines one float64 partial result
+// per worker with combine (which must be associative and commutative).
+// identity is the initial value of every partial accumulator.
+func ReduceFloat64(n, workers int, policy Policy, chunk int, identity float64,
+	body func(worker, lo, hi int, acc float64) float64,
+	combine func(a, b float64) float64) float64 {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	parts := make([]float64, workers)
+	for i := range parts {
+		parts[i] = identity
+	}
+	For(n, workers, policy, chunk, func(w, lo, hi int) {
+		parts[w] = body(w, lo, hi, parts[w])
+	})
+	out := identity
+	for _, p := range parts {
+		out = combine(out, p)
+	}
+	return out
+}
+
+// ReduceInt64 is ReduceFloat64 for int64 accumulators.
+func ReduceInt64(n, workers int, policy Policy, chunk int, identity int64,
+	body func(worker, lo, hi int, acc int64) int64,
+	combine func(a, b int64) int64) int64 {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	parts := make([]int64, workers)
+	for i := range parts {
+		parts[i] = identity
+	}
+	For(n, workers, policy, chunk, func(w, lo, hi int) {
+		parts[w] = body(w, lo, hi, parts[w])
+	})
+	out := identity
+	for _, p := range parts {
+		out = combine(out, p)
+	}
+	return out
+}

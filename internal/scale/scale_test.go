@@ -1,0 +1,283 @@
+package scale
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func run(t *testing.T, a *sparse.CSR, iters int, workers int) *Result {
+	t.Helper()
+	res, err := SinkhornKnopp(a, a.Transpose(), Options{MaxIters: iters, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func rowColSums(a *sparse.CSR, dr, dc []float64) (rows, cols []float64) {
+	rows = make([]float64, a.RowsN)
+	cols = make([]float64, a.ColsN)
+	for i := 0; i < a.RowsN; i++ {
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			v := 1.0
+			if a.Val != nil {
+				v = a.Val[p]
+			}
+			s := dr[i] * v * dc[a.Idx[p]]
+			rows[i] += s
+			cols[a.Idx[p]] += s
+		}
+	}
+	return rows, cols
+}
+
+func TestIdentityScalesImmediately(t *testing.T) {
+	a := gen.Identity(10)
+	res := run(t, a, 1, 1)
+	rows, cols := rowColSums(a, res.DR, res.DC)
+	for i := range rows {
+		if math.Abs(rows[i]-1) > 1e-12 || math.Abs(cols[i]-1) > 1e-12 {
+			t.Fatalf("identity not doubly stochastic after 1 iter: row %v col %v", rows[i], cols[i])
+		}
+	}
+}
+
+func TestFullMatrixScalesToUniform(t *testing.T) {
+	n := 8
+	a := gen.Full(n)
+	res := run(t, a, 1, 2)
+	// The doubly stochastic scaling of the all-ones matrix is s_ij = 1/n.
+	for i := 0; i < n; i++ {
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			if s := Entry(a, res.DR, res.DC, i, p); math.Abs(s-1.0/float64(n)) > 1e-12 {
+				t.Fatalf("s[%d][%d] = %v want %v", i, a.Idx[p], s, 1.0/float64(n))
+			}
+		}
+	}
+}
+
+func TestConvergenceOnTotalSupport(t *testing.T) {
+	a := gen.FullyIndecomposable(200, 2, 3)
+	res := run(t, a, 200, 4)
+	if res.Err > 1e-6 {
+		t.Fatalf("did not converge: err %v after %d iters", res.Err, res.Iters)
+	}
+	rows, cols := rowColSums(a, res.DR, res.DC)
+	for i := range rows {
+		if math.Abs(rows[i]-1) > 1e-5 {
+			t.Fatalf("row %d sum %v", i, rows[i])
+		}
+	}
+	for j := range cols {
+		if math.Abs(cols[j]-1) > 1e-5 {
+			t.Fatalf("col %d sum %v", j, cols[j])
+		}
+	}
+}
+
+func TestRowSumsAreOneAfterEachIteration(t *testing.T) {
+	// Sinkhorn-Knopp normalizes rows second, so row sums are exactly one
+	// (modulo round-off) after every iteration.
+	a := gen.ERAvgDeg(300, 300, 4, 11)
+	res := run(t, a, 3, 3)
+	rows, _ := rowColSums(a, res.DR, res.DC)
+	for i := range rows {
+		if rows[i] != 0 && math.Abs(rows[i]-1) > 1e-9 {
+			t.Fatalf("row %d sum %v after row-normalizing iteration", i, rows[i])
+		}
+	}
+}
+
+func TestErrorHistoryDecreasesOnTotalSupport(t *testing.T) {
+	a := gen.FullyIndecomposable(500, 1, 17)
+	res := run(t, a, 30, 2)
+	if len(res.History) != res.Iters+1 {
+		t.Fatalf("history length %d want %d", len(res.History), res.Iters+1)
+	}
+	if res.History[len(res.History)-1] >= res.History[0] {
+		t.Fatalf("error did not decrease: %v -> %v", res.History[0], res.History[len(res.History)-1])
+	}
+}
+
+func TestUnscaledErrorIsMaxDegreeMinusOne(t *testing.T) {
+	// Before scaling dr=dc=1, so a column's sum is its degree; the matrix
+	// with a full column has initial error n-1 as the paper notes.
+	n := 50
+	a := gen.BadKS(n, 2)
+	res := run(t, a, 0, 1)
+	if res.Err != float64(n-1) {
+		t.Fatalf("unscaled error %v want %v", res.Err, float64(n-1))
+	}
+	if res.Iters != 0 {
+		t.Fatalf("0 iterations requested but ran %d", res.Iters)
+	}
+}
+
+func TestZeroIterationsLeavesOnes(t *testing.T) {
+	a := gen.ERAvgDeg(100, 100, 3, 5)
+	res := run(t, a, 0, 1)
+	for _, v := range res.DR {
+		if v != 1 {
+			t.Fatal("dr touched with 0 iterations")
+		}
+	}
+	for _, v := range res.DC {
+		if v != 1 {
+			t.Fatal("dc touched with 0 iterations")
+		}
+	}
+}
+
+func TestToleranceStopsEarly(t *testing.T) {
+	a := gen.FullyIndecomposable(300, 2, 7)
+	res, err := SinkhornKnopp(a, a.Transpose(), Options{MaxIters: 1000, Tol: 1e-3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters == 1000 {
+		t.Fatal("tolerance did not stop the iteration")
+	}
+	if res.Err > 1e-3 {
+		t.Fatalf("stopped with error %v above tolerance", res.Err)
+	}
+}
+
+func TestWorkersProduceIdenticalScaling(t *testing.T) {
+	a := gen.ERAvgDeg(400, 400, 5, 23)
+	at := a.Transpose()
+	base, err := SinkhornKnopp(a, at, Options{MaxIters: 8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		res, err := SinkhornKnopp(a, at, Options{MaxIters: 8, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.DR {
+			if base.DR[i] != res.DR[i] {
+				t.Fatalf("dr[%d] differs between 1 and %d workers", i, w)
+			}
+		}
+		for j := range base.DC {
+			if base.DC[j] != res.DC[j] {
+				t.Fatalf("dc[%d] differs between 1 and %d workers", j, w)
+			}
+		}
+	}
+}
+
+func TestShapeMismatchRejected(t *testing.T) {
+	a := gen.Identity(4)
+	b := gen.Identity(5)
+	if _, err := SinkhornKnopp(a, b, Options{MaxIters: 1}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := Ruiz(a, b, Options{MaxIters: 1}); err == nil {
+		t.Fatal("shape mismatch accepted by Ruiz")
+	}
+}
+
+func TestEmptyRowsAndColsSurvive(t *testing.T) {
+	// A matrix with an empty row and column: scaling must not divide by
+	// zero and must leave their factors finite.
+	a, err := sparse.FromCOO(3, 3, []sparse.Coord{{I: 0, J: 0}, {I: 1, J: 1}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, a, 5, 1)
+	for _, v := range append(append([]float64{}, res.DR...), res.DC...) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite scaling factor %v", v)
+		}
+	}
+}
+
+func TestRuizConvergesOnTotalSupport(t *testing.T) {
+	a := gen.FullyIndecomposable(200, 2, 29)
+	res, err := Ruiz(a, a.Transpose(), Options{MaxIters: 300, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err > 1e-4 {
+		t.Fatalf("Ruiz did not converge: err %v", res.Err)
+	}
+}
+
+func TestRuizSlowerThanSinkhornKnopp(t *testing.T) {
+	// Knight–Ruiz–Uçar: SK converges faster on unsymmetric matrices.
+	// Compare the error after the same number of iterations on a
+	// total-support instance (deficient ones pin both errors at 1 because
+	// of empty columns).
+	a := gen.FullyIndecomposable(500, 3, 31)
+	at := a.Transpose()
+	sk, err := SinkhornKnopp(a, at, Options{MaxIters: 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz, err := Ruiz(a, at, Options{MaxIters: 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Err > rz.Err {
+		t.Fatalf("expected SK error <= Ruiz error after 10 iters; got SK=%v Ruiz=%v", sk.Err, rz.Err)
+	}
+}
+
+func TestWeightedMatrixScaling(t *testing.T) {
+	a, err := sparse.FromCOO(2, 2, []sparse.Coord{
+		{I: 0, J: 0, V: 4}, {I: 0, J: 1, V: 1}, {I: 1, J: 0, V: 1}, {I: 1, J: 1, V: 4}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, a, 100, 1)
+	rows, cols := rowColSums(a, res.DR, res.DC)
+	for i := range rows {
+		if math.Abs(rows[i]-1) > 1e-8 || math.Abs(cols[i]-1) > 1e-8 {
+			t.Fatalf("weighted scaling row %v col %v", rows[i], cols[i])
+		}
+	}
+}
+
+func TestColErrorMatchesDirectComputation(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := gen.ERAvgDeg(60, 60, 3, seed)
+		at := a.Transpose()
+		res, err := SinkhornKnopp(a, at, Options{MaxIters: 2, Workers: 1})
+		if err != nil {
+			return false
+		}
+		_, cols := rowColSums(a, res.DR, res.DC)
+		want := 0.0
+		for j, s := range cols {
+			d := math.Abs(s - 1)
+			if at.Ptr[j] == at.Ptr[j+1] {
+				d = 1 // empty column contributes |0*dc-1| = 1
+			}
+			if d > want {
+				want = d
+			}
+		}
+		got := ColError(at, res.DR, res.DC, 2)
+		return math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowErrorSymmetric(t *testing.T) {
+	a := gen.FullyIndecomposable(100, 1, 41)
+	at := a.Transpose()
+	res, err := SinkhornKnopp(a, at, Options{MaxIters: 50, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := RowError(a, res.DR, res.DC, 1); e > 1e-6 {
+		t.Fatalf("row error %v after convergence", e)
+	}
+}

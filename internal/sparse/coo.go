@@ -1,0 +1,98 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coord is a single (row, column) coordinate, optionally weighted.
+type Coord struct {
+	I, J int32
+	V    float64
+}
+
+// FromCOO builds a CSR from coordinate entries, sorting them and removing
+// duplicates (keeping the last value for a duplicate coordinate, like most
+// assembly conventions). Entries out of range yield an error.
+func FromCOO(rows, cols int, entries []Coord, weighted bool) (*CSR, error) {
+	for _, e := range entries {
+		if e.I < 0 || int(e.I) >= rows || e.J < 0 || int(e.J) >= cols {
+			return nil, fmt.Errorf("%w: entry (%d,%d) outside %dx%d", ErrInvalid, e.I, e.J, rows, cols)
+		}
+	}
+	sorted := append([]Coord(nil), entries...)
+	sort.Slice(sorted, func(x, y int) bool {
+		if sorted[x].I != sorted[y].I {
+			return sorted[x].I < sorted[y].I
+		}
+		return sorted[x].J < sorted[y].J
+	})
+	// Dedupe in place, last value wins.
+	w := 0
+	for r := 0; r < len(sorted); r++ {
+		if w > 0 && sorted[w-1].I == sorted[r].I && sorted[w-1].J == sorted[r].J {
+			sorted[w-1].V = sorted[r].V
+			continue
+		}
+		sorted[w] = sorted[r]
+		w++
+	}
+	sorted = sorted[:w]
+
+	a := &CSR{RowsN: rows, ColsN: cols}
+	a.Ptr = make([]int, rows+1)
+	for _, e := range sorted {
+		a.Ptr[e.I+1]++
+	}
+	for i := 0; i < rows; i++ {
+		a.Ptr[i+1] += a.Ptr[i]
+	}
+	a.Idx = make([]int32, len(sorted))
+	if weighted {
+		a.Val = make([]float64, len(sorted))
+	}
+	for p, e := range sorted {
+		a.Idx[p] = e.J
+		if weighted {
+			a.Val[p] = e.V
+		}
+	}
+	return a, nil
+}
+
+// ToCOO returns the coordinate entries of the matrix in row-major order.
+func (a *CSR) ToCOO() []Coord {
+	out := make([]Coord, 0, a.NNZ())
+	for i := 0; i < a.RowsN; i++ {
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			c := Coord{I: int32(i), J: a.Idx[p], V: 1}
+			if a.Val != nil {
+				c.V = a.Val[p]
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FromDense builds a pattern CSR from a dense 0/1 grid; handy in tests.
+func FromDense(grid [][]int) *CSR {
+	rows := len(grid)
+	cols := 0
+	if rows > 0 {
+		cols = len(grid[0])
+	}
+	var entries []Coord
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if grid[i][j] != 0 {
+				entries = append(entries, Coord{I: int32(i), J: int32(j)})
+			}
+		}
+	}
+	a, err := FromCOO(rows, cols, entries, false)
+	if err != nil {
+		panic(err) // impossible: indices constructed in range
+	}
+	return a
+}

@@ -1,0 +1,298 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func randomCSR(seed uint64, rows, cols, nnz int) *CSR {
+	rng := xrand.New(seed)
+	entries := make([]Coord, nnz)
+	for k := range entries {
+		entries[k] = Coord{I: int32(rng.Intn(rows)), J: int32(rng.Intn(cols))}
+	}
+	a, err := FromCOO(rows, cols, entries, false)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(2, 2, []int{0, 1, 2}, []int32{0, 1}, nil); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		rows int
+		cols int
+		ptr  []int
+		idx  []int32
+		val  []float64
+	}{
+		{"short ptr", 2, 2, []int{0, 1}, []int32{0}, nil},
+		{"ptr0 nonzero", 2, 2, []int{1, 1, 2}, []int32{0, 1}, nil},
+		{"ptr end mismatch", 2, 2, []int{0, 1, 3}, []int32{0, 1}, nil},
+		{"non-monotone", 2, 2, []int{0, 2, 1}, []int32{0, 1}, nil},
+		{"index range", 2, 2, []int{0, 1, 2}, []int32{0, 5}, nil},
+		{"negative index", 2, 2, []int{0, 1, 2}, []int32{0, -1}, nil},
+		{"val length", 2, 2, []int{0, 1, 2}, []int32{0, 1}, []float64{1}},
+		{"negative dims", -1, 2, []int{0}, nil, nil},
+	}
+	for _, c := range cases {
+		if _, err := New(c.rows, c.cols, c.ptr, c.idx, c.val); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestFromCOODedupe(t *testing.T) {
+	entries := []Coord{{0, 1, 1}, {0, 1, 5}, {1, 0, 2}, {0, 0, 3}}
+	a, err := FromCOO(2, 2, entries, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 3 {
+		t.Fatalf("nnz = %d want 3 after dedupe", a.NNZ())
+	}
+	// Duplicate (0,1) keeps the last value.
+	found := false
+	for p := a.Ptr[0]; p < a.Ptr[1]; p++ {
+		if a.Idx[p] == 1 {
+			found = true
+			if a.Val[p] != 5 {
+				t.Fatalf("dedupe kept value %v want 5", a.Val[p])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("entry (0,1) missing")
+	}
+}
+
+func TestFromCOORejectsOutOfRange(t *testing.T) {
+	if _, err := FromCOO(2, 2, []Coord{{5, 0, 0}}, false); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	if _, err := FromCOO(2, 2, []Coord{{0, -1, 0}}, false); err == nil {
+		t.Fatal("negative column accepted")
+	}
+}
+
+func TestFromCOOSortedRows(t *testing.T) {
+	a := randomCSR(1, 50, 60, 400)
+	if !a.HasSortedRows() {
+		t.Fatal("FromCOO output not sorted")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64, r8, c8 uint8, n16 uint16) bool {
+		rows := int(r8)%40 + 1
+		cols := int(c8)%40 + 1
+		nnz := int(n16) % (rows * cols)
+		a := randomCSR(seed, rows, cols, nnz)
+		tt := a.Transpose().Transpose()
+		return a.Equal(tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposePreservesEdges(t *testing.T) {
+	a := randomCSR(7, 30, 40, 200)
+	at := a.Transpose()
+	if at.RowsN != a.ColsN || at.ColsN != a.RowsN || at.NNZ() != a.NNZ() {
+		t.Fatal("transpose shape/nnz mismatch")
+	}
+	// Every edge must appear transposed.
+	edges := map[[2]int32]bool{}
+	for _, c := range a.ToCOO() {
+		edges[[2]int32{c.I, c.J}] = true
+	}
+	for _, c := range at.ToCOO() {
+		if !edges[[2]int32{c.J, c.I}] {
+			t.Fatalf("edge (%d,%d) in transpose but (%d,%d) not in original", c.I, c.J, c.J, c.I)
+		}
+	}
+}
+
+func TestTransposeWeighted(t *testing.T) {
+	a, err := FromCOO(2, 3, []Coord{{0, 1, 2.5}, {1, 0, -1}, {1, 2, 7}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := a.Transpose()
+	for _, c := range at.ToCOO() {
+		var want float64
+		for _, o := range a.ToCOO() {
+			if o.I == c.J && o.J == c.I {
+				want = o.V
+			}
+		}
+		if c.V != want {
+			t.Fatalf("transposed value (%d,%d)=%v want %v", c.I, c.J, c.V, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := randomCSR(3, 10, 10, 30)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone differs")
+	}
+	b.Idx[0] = (b.Idx[0] + 1) % int32(b.ColsN)
+	if a.Equal(b) && a.Idx[0] == b.Idx[0] {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	a := &CSR{RowsN: 2, ColsN: 5, Ptr: []int{0, 3, 5}, Idx: []int32{4, 0, 2, 3, 1}}
+	a.SortRows()
+	if !a.HasSortedRows() {
+		t.Fatalf("rows not sorted: %v", a.Idx)
+	}
+}
+
+func TestSortRowsWeighted(t *testing.T) {
+	a := &CSR{RowsN: 1, ColsN: 4, Ptr: []int{0, 3}, Idx: []int32{3, 0, 2}, Val: []float64{30, 0, 20}}
+	a.SortRows()
+	want := []int32{0, 2, 3}
+	wantV := []float64{0, 20, 30}
+	for k := range want {
+		if a.Idx[k] != want[k] || a.Val[k] != wantV[k] {
+			t.Fatalf("sorted row = %v / %v", a.Idx, a.Val)
+		}
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	a := FromDense([][]int{
+		{1, 1, 1, 1},
+		{1, 0, 0, 0},
+		{0, 0, 0, 0},
+	})
+	if a.Degree(0) != 4 || a.Degree(1) != 1 || a.Degree(2) != 0 {
+		t.Fatal("degrees wrong")
+	}
+	if a.MaxDegree() != 4 {
+		t.Fatal("max degree wrong")
+	}
+	if a.EmptyRows() != 1 {
+		t.Fatal("empty rows wrong")
+	}
+	if got := a.AvgDegree(); got != 5.0/3.0 {
+		t.Fatalf("avg degree %v", got)
+	}
+	if a.DegreeVariance() <= 0 {
+		t.Fatal("variance should be positive for skewed degrees")
+	}
+}
+
+func TestPermuteRows(t *testing.T) {
+	a := FromDense([][]int{
+		{1, 0, 0},
+		{0, 1, 0},
+		{0, 0, 1},
+	})
+	b, err := a.PermuteRows([]int32{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromDense([][]int{
+		{0, 0, 1},
+		{1, 0, 0},
+		{0, 1, 0},
+	})
+	if !b.Equal(want) {
+		t.Fatalf("permuted:\n%v\nwant:\n%v", b, want)
+	}
+	if _, err := a.PermuteRows([]int32{0}); err == nil {
+		t.Fatal("bad perm length accepted")
+	}
+}
+
+func TestPermuteCols(t *testing.T) {
+	a := FromDense([][]int{
+		{1, 1, 0},
+		{0, 0, 1},
+	})
+	// old column j -> perm[j]: 0->2, 1->0, 2->1
+	b, err := a.PermuteCols([]int32{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromDense([][]int{
+		{1, 0, 1},
+		{0, 1, 0},
+	})
+	if !b.Equal(want) {
+		t.Fatalf("permuted:\n%v\nwant:\n%v", b, want)
+	}
+	if _, err := a.PermuteCols([]int32{0}); err == nil {
+		t.Fatal("bad perm length accepted")
+	}
+}
+
+func TestPermutationRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		a := randomCSR(seed, 20, 20, 80)
+		p := rng.Perm(20)
+		inv := make([]int32, 20)
+		for i, v := range p {
+			inv[v] = int32(i)
+		}
+		b, err := a.PermuteRows(p)
+		if err != nil {
+			return false
+		}
+		c, err := b.PermuteRows(inv)
+		if err != nil {
+			return false
+		}
+		return c.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a := FromDense([][]int{{1, 0}, {0, 1}})
+	s := a.String()
+	if !strings.Contains(s, "1.") || !strings.Contains(s, ".1") {
+		t.Fatalf("unexpected rendering:\n%s", s)
+	}
+	big := randomCSR(1, 100, 100, 10)
+	if !strings.Contains(big.String(), "nnz=") {
+		t.Fatal("large matrix should summarize")
+	}
+}
+
+func TestToCOORoundTrip(t *testing.T) {
+	a := randomCSR(9, 25, 35, 120)
+	b, err := FromCOO(25, 35, a.ToCOO(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("COO round trip changed matrix")
+	}
+}
+
+func TestRowValNilForPattern(t *testing.T) {
+	a := randomCSR(2, 5, 5, 5)
+	if a.RowVal(0) != nil {
+		t.Fatal("pattern matrix should have nil RowVal")
+	}
+}

@@ -1,0 +1,199 @@
+// Package xrand implements small, fast, deterministic pseudo-random number
+// generators for the randomized matching heuristics. Each parallel worker
+// gets its own independent stream derived from (seed, worker id), so runs
+// are reproducible for a fixed seed regardless of scheduling, and there is
+// no shared RNG state to contend on.
+package xrand
+
+import "math"
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. It is
+// used both directly and to seed Xoshiro256 streams.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *SplitMix64) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *SplitMix64) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform value in (0, 1].
+func (r *SplitMix64) Float64Open() float64 {
+	return 1.0 - r.Float64()
+}
+
+// Intn returns a uniform value in [0, n); it panics if n <= 0.
+func (r *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul64(v, bound)
+	if lo < bound {
+		threshold := (-bound) % bound
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = mul64(v, bound)
+		}
+	}
+	return int(hi)
+}
+
+// Base mixes a user seed into a base value for Indexed streams.
+func Base(seed uint64) uint64 {
+	return NewSplitMix64(seed).Uint64()
+}
+
+// Indexed returns an independent deterministic generator for element i of
+// a parallel loop: the stream depends only on (base, i), never on
+// scheduling, so parallel randomized loops give identical results for
+// every worker count and loop schedule. base should come from Base.
+func Indexed(base uint64, i int) SplitMix64 {
+	return SplitMix64{state: base ^ (uint64(i)+1)*0x9E3779B97F4A7C15}
+}
+
+// Xoshiro256 implements xoshiro256++, a fast all-purpose generator with a
+// 2^256-1 period. The zero value is invalid; use New or NewStream.
+type Xoshiro256 struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Xoshiro256 seeded from seed via splitmix64, as recommended
+// by the xoshiro authors.
+func New(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	x := &Xoshiro256{s0: sm.Uint64(), s1: sm.Uint64(), s2: sm.Uint64(), s3: sm.Uint64()}
+	if x.s0|x.s1|x.s2|x.s3 == 0 {
+		x.s0 = 1 // the all-zero state is a fixed point; avoid it
+	}
+	return x
+}
+
+// NewStream returns an independent generator for the given worker id under
+// a common base seed. Streams for different ids are decorrelated by mixing
+// the id through splitmix64 before seeding.
+func NewStream(seed uint64, worker int) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	base := sm.Uint64()
+	mix := NewSplitMix64(base ^ (0x9E3779B97F4A7C15 * (uint64(worker) + 1)))
+	x := &Xoshiro256{s0: mix.Uint64(), s1: mix.Uint64(), s2: mix.Uint64(), s3: mix.Uint64()}
+	if x.s0|x.s1|x.s2|x.s3 == 0 {
+		x.s0 = 1
+	}
+	return x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := rotl(x.s0+x.s3, 23) + x.s0
+	t := x.s1 << 17
+	x.s2 ^= x.s0
+	x.s3 ^= x.s1
+	x.s1 ^= x.s2
+	x.s0 ^= x.s3
+	x.s2 ^= t
+	x.s3 = rotl(x.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform value in (0, 1]; useful for drawing from
+// half-open intervals (0, total] as in the paper's sampling step.
+func (x *Xoshiro256) Float64Open() float64 {
+	return 1.0 - x.Float64()
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint64(n)
+	v := x.Uint64()
+	hi, lo := mul64(v, bound)
+	if lo < bound {
+		threshold := (-bound) % bound
+		for lo < threshold {
+			v = x.Uint64()
+			hi, lo = mul64(v, bound)
+		}
+	}
+	return int(hi)
+}
+
+// Int31n returns a uniform int32 in [0, n).
+func (x *Xoshiro256) Int31n(n int32) int32 {
+	return int32(x.Intn(int(n)))
+}
+
+// Perm returns a random permutation of [0, n) as int32 values.
+func (x *Xoshiro256) Perm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomly permutes the first n elements using swap, mirroring
+// math/rand's API.
+func (x *Xoshiro256) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := x.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1.
+func (x *Xoshiro256) ExpFloat64() float64 {
+	return -math.Log(x.Float64Open())
+}
+
+// Pareto returns a Pareto(alpha) sample with minimum xm (heavy-tailed
+// degree distributions for the power-law generator).
+func (x *Xoshiro256) Pareto(xm, alpha float64) float64 {
+	return xm / math.Pow(x.Float64Open(), 1.0/alpha)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0 := a & mask32
+	a1 := a >> 32
+	b0 := b & mask32
+	b1 := b >> 32
+	t := a1*b0 + (a0*b0)>>32
+	lo1 := t & mask32
+	hi1 := t >> 32
+	lo1 += a0 * b1
+	hi = a1*b1 + hi1 + lo1>>32
+	lo = a * b
+	return hi, lo
+}

@@ -1,0 +1,214 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the public-domain splitmix64.c.
+	r := NewSplitMix64(0)
+	want := []uint64{
+		0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F,
+	}
+	for k, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("splitmix64[%d] = %#x want %#x", k, got, w)
+		}
+	}
+}
+
+func TestXoshiroDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds coincided %d/1000 times", same)
+	}
+}
+
+func TestStreamsAreDecorrelated(t *testing.T) {
+	s0, s1 := NewStream(7, 0), NewStream(7, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if s0.Uint64() == s1.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("worker streams coincided %d/1000 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+		o := r.Float64Open()
+		if o <= 0 || o > 1 {
+			t.Fatalf("Float64Open out of (0,1]: %v", o)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(99)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBoundsAndUniformity(t *testing.T) {
+	r := New(5)
+	const buckets = 10
+	const draws = 100000
+	var hist [buckets]int
+	for i := 0; i < draws; i++ {
+		v := r.Intn(buckets)
+		if v < 0 || v >= buckets {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		hist[v]++
+	}
+	for b, c := range hist {
+		if math.Abs(float64(c)-draws/buckets) > 0.1*draws/buckets {
+			t.Fatalf("bucket %d count %d deviates >10%% from %d", b, c, draws/buckets)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnOne(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100; i++ {
+		if r.Intn(1) != 0 {
+			t.Fatal("Intn(1) != 0")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz)%200 + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(11)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset sum: %d != %d", got, sum)
+	}
+}
+
+func TestParetoRespectsMinimum(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(2.0, 1.5); v < 2.0 {
+			t.Fatalf("Pareto below minimum: %v", v)
+		}
+	}
+}
+
+func TestExpFloat64Positive(t *testing.T) {
+	r := New(17)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64 negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1.0) > 0.02 {
+		t.Fatalf("ExpFloat64 mean %v too far from 1", mean)
+	}
+}
+
+func TestMul64MatchesBigMultiplication(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Verify via 32-bit split arithmetic done a second, independent way.
+		a0, a1 := a&0xFFFFFFFF, a>>32
+		b0, b1 := b&0xFFFFFFFF, b>>32
+		lolo := a0 * b0
+		mid1 := a1 * b0
+		mid2 := a0 * b1
+		carry := (lolo>>32 + mid1&0xFFFFFFFF + mid2&0xFFFFFFFF) >> 32
+		wantHi := a1*b1 + mid1>>32 + mid2>>32 + carry
+		wantLo := a * b
+		return hi == wantHi && lo == wantLo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000003)
+	}
+	_ = sink
+}

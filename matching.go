@@ -1,0 +1,200 @@
+package bipartite
+
+import (
+	"math"
+
+	"repro/internal/cheap"
+	"repro/internal/core"
+	"repro/internal/ks"
+	"repro/internal/par"
+	"repro/internal/scale"
+)
+
+// Options configures the randomized heuristics. The zero value (or a nil
+// pointer) means: 5 Sinkhorn–Knopp scaling iterations, all CPUs, seed 1,
+// the paper's scheduling policies.
+type Options struct {
+	// ScalingIterations is the number of Sinkhorn–Knopp iterations run
+	// before sampling. 0 means uniform (unscaled) sampling, as in the
+	// "0 iterations" columns of Tables 1–2. Negative means the default
+	// of 5, which suffices for the guarantees on almost all instances
+	// (paper §4.1).
+	ScalingIterations int
+	// Workers is the parallel width; <= 0 uses all CPUs.
+	Workers int
+	// Seed makes runs reproducible; 0 is replaced by 1.
+	Seed uint64
+	// UseRuiz switches the scaling method from Sinkhorn–Knopp to Ruiz
+	// equilibration (the §2.2 alternative; converges more slowly).
+	UseRuiz bool
+	// SkewAware splits rows/columns with enormous degree across all
+	// workers during scaling (the §2.2 load-balance remark); results are
+	// numerically equal up to round-off reassociation.
+	SkewAware bool
+}
+
+func (o *Options) normalized() Options {
+	var v Options
+	if o != nil {
+		v = *o
+	}
+	if v.ScalingIterations < 0 {
+		v.ScalingIterations = 5
+	}
+	if o == nil {
+		v.ScalingIterations = 5
+	}
+	if v.Seed == 0 {
+		v.Seed = 1
+	}
+	return v
+}
+
+func (v Options) coreOptions() core.Options {
+	return core.Options{
+		Workers:  v.Workers,
+		Policy:   par.Dynamic,
+		Chunk:    par.DefaultChunk,
+		KSPolicy: par.Guided,
+		Seed:     v.Seed,
+	}
+}
+
+// Scaling is the result of a matrix scaling run: s_ij = DR[i]·DC[j] for
+// each edge (i, j) of the pattern.
+type Scaling struct {
+	DR, DC []float64
+	// Iterations actually performed.
+	Iterations int
+	// Error is max_j |colsum_j - 1| after the last iteration.
+	Error float64
+	// History holds the error before each iteration (History[0] is the
+	// unscaled error).
+	History []float64
+}
+
+// Scale runs the configured scaling method and returns the scaling
+// vectors. Most callers use OneSidedMatch / TwoSidedMatch directly, which
+// scale internally; Scale is exposed for scaling-only workflows and the
+// experiments.
+func (g *Graph) Scale(opt *Options) (*Scaling, error) {
+	v := opt.normalized()
+	sopt := scale.Options{
+		MaxIters: v.ScalingIterations,
+		Workers:  v.Workers,
+		Policy:   par.Dynamic,
+	}
+	var res *scale.Result
+	var err error
+	switch {
+	case v.UseRuiz:
+		res, err = scale.Ruiz(g.a, g.transpose(), sopt)
+	case v.SkewAware:
+		res, err = scale.SinkhornKnoppSkewAware(g.a, g.transpose(), sopt)
+	default:
+		res, err = scale.SinkhornKnopp(g.a, g.transpose(), sopt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Scaling{DR: res.DR, DC: res.DC, Iterations: res.Iters, Error: res.Err, History: res.History}, nil
+}
+
+// MatchResult is the outcome of a heuristic matching run.
+type MatchResult struct {
+	// Matching is the computed matching (always valid).
+	Matching *Matching
+	// Scaling reports the scaling stage that preceded sampling.
+	Scaling *Scaling
+}
+
+// OneSidedMatch runs the OneSidedMatch heuristic (Algorithm 2):
+// Sinkhorn–Knopp scaling followed by one random column choice per row,
+// with last-write-wins conflict semantics. Guaranteed expected quality
+// ≥ 1 − 1/e ≈ 0.632 on matrices with total support.
+func (g *Graph) OneSidedMatch(opt *Options) (*MatchResult, error) {
+	v := opt.normalized()
+	sc, err := g.Scale(opt)
+	if err != nil {
+		return nil, err
+	}
+	cmatch, _ := core.OneSided(g.a, sc.DR, sc.DC, v.coreOptions())
+	mt := core.CMatchToMatching(g.Rows(), cmatch)
+	return &MatchResult{Matching: mt, Scaling: sc}, nil
+}
+
+// TwoSidedMatch runs the TwoSidedMatch heuristic (Algorithm 3): both
+// sides sample one neighbor each, and the specialized parallel
+// Karp–Sipser kernel (Algorithm 4) matches the sampled 1-out graph
+// exactly. Conjectured quality ≥ 2(1 − ρ) ≈ 0.866 on matrices with total
+// support.
+func (g *Graph) TwoSidedMatch(opt *Options) (*MatchResult, error) {
+	v := opt.normalized()
+	sc, err := g.Scale(opt)
+	if err != nil {
+		return nil, err
+	}
+	res := core.TwoSided(g.a, g.transpose(), sc.DR, sc.DC, v.coreOptions())
+	return &MatchResult{Matching: res.Matching, Scaling: sc}, nil
+}
+
+// KarpSipser runs the classic sequential Karp–Sipser heuristic (the
+// Table 1 baseline) and reports its phase statistics.
+func (g *Graph) KarpSipser(seed uint64) (*Matching, KarpSipserStats) {
+	if seed == 0 {
+		seed = 1
+	}
+	return ks.Run(g.a, g.transpose(), seed)
+}
+
+// KarpSipserParallel runs an Azad-et-al-style multithreaded Karp–Sipser
+// on the full graph (the paper's reference [4]): fast and lock-free but
+// without a quality guarantee, since newly arising degree-one vertices are
+// not tracked. Provided as the parallel baseline that TwoSidedMatch's
+// exact-on-1-out kernel is designed to improve upon.
+func (g *Graph) KarpSipserParallel(seed uint64, workers int) *Matching {
+	if seed == 0 {
+		seed = 1
+	}
+	return ks.RunApprox(g.a, g.transpose(), seed, workers)
+}
+
+// CheapRandomEdge runs the §2.1 random-edge-visit 1/2-approximation.
+func (g *Graph) CheapRandomEdge(seed uint64) *Matching {
+	if seed == 0 {
+		seed = 1
+	}
+	return cheap.RandomEdge(g.a, seed)
+}
+
+// CheapRandomVertex runs the §2.1 random-vertex-random-neighbor
+// 1/2-approximation.
+func (g *Graph) CheapRandomVertex(seed uint64) *Matching {
+	if seed == 0 {
+		seed = 1
+	}
+	return cheap.RandomVertex(g.a, seed)
+}
+
+// OneSidedGuarantee returns the OneSidedMatch approximation bound implied
+// by an imperfect scaling: if every column sum of the scaled matrix is at
+// least alpha, the expected matching size is at least n·(1 − e^{−alpha})
+// (§3.3; alpha = 1 recovers the 1 − 1/e ≈ 0.632 bound, alpha = 0.92 gives
+// ≈ 0.6015). Use 1 − scalingError as a conservative alpha.
+func OneSidedGuarantee(alpha float64) float64 {
+	if alpha < 0 {
+		alpha = 0
+	}
+	return 1 - math.Exp(-alpha)
+}
+
+// TwoSidedConjecture returns the conjectured TwoSidedMatch ratio
+// 2(1 − ρ) ≈ 0.866 where ρ is the unique root of x·eˣ = 1 (Conjecture 1).
+func TwoSidedConjecture() float64 {
+	x := 0.5
+	for i := 0; i < 60; i++ {
+		f := x*math.Exp(x) - 1
+		x -= f / (math.Exp(x) * (1 + x))
+	}
+	return 2 * (1 - x)
+}
