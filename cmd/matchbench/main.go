@@ -9,13 +9,20 @@
 //	matchbench -exp table3 -scale paper         # paper-sized instances
 //
 // Experiments: qualityfi, table1, table2, table3, fig3, fig4, fig5,
-// conjecture, ablation.
+// conjecture, ablation, extension, perf.
+//
+// The perf experiment additionally writes its records to a
+// machine-readable JSON file (-json, default BENCH_matchbench.json) so
+// the performance trajectory can be tracked across commits, and any run
+// can capture a CPU profile with -cpuprofile.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -23,22 +30,42 @@ import (
 	"repro/internal/bench"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds main's body so error exits unwind the deferred CPU-profile
+// stop and file close instead of truncating the profile via os.Exit.
+func run() int {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension")
+		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension,perf")
 		scale   = flag.String("scale", "small", "instance scale: tiny | small | paper")
 		runs    = flag.Int("runs", 10, "randomized repetitions for min-quality tables")
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
 		threads = flag.String("threads", "1,2,4,8,16", "thread sweep for speedup experiments")
+		jsonOut = flag.String("json", "BENCH_matchbench.json", "write perf records to this JSON file (empty disables)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matchbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "matchbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var tl []int
 	for _, tok := range strings.Split(*threads, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil || v < 1 {
 			fmt.Fprintf(os.Stderr, "matchbench: bad -threads element %q\n", tok)
-			os.Exit(2)
+			return 2
 		}
 		tl = append(tl, v)
 	}
@@ -56,7 +83,8 @@ func main() {
 	}
 	all := want["all"]
 	ran := 0
-	run := func(name string, f func()) {
+	failed := 0
+	runExp := func(name string, f func()) {
 		if !all && !want[name] {
 			return
 		}
@@ -67,28 +95,53 @@ func main() {
 		fmt.Printf("### %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
-	run("qualityfi", func() { bench.QualityFI(cfg, nil) })
-	run("table1", func() { bench.Table1(cfg, 0) })
-	run("table2", func() { bench.Table2(cfg, table2N(cfg.Scale)) })
-	run("table3", func() { bench.Table3(cfg) })
-	run("fig3", func() { bench.Fig3(cfg) })
-	run("fig4", func() { bench.Fig4(cfg) })
-	run("fig5", func() { bench.Fig5(cfg) })
-	run("conjecture", func() { bench.Conjecture(cfg, nil) })
-	run("ablation", func() {
+	runExp("qualityfi", func() { bench.QualityFI(cfg, nil) })
+	runExp("table1", func() { bench.Table1(cfg, 0) })
+	runExp("table2", func() { bench.Table2(cfg, table2N(cfg.Scale)) })
+	runExp("table3", func() { bench.Table3(cfg) })
+	runExp("fig3", func() { bench.Fig3(cfg) })
+	runExp("fig4", func() { bench.Fig4(cfg) })
+	runExp("fig5", func() { bench.Fig5(cfg) })
+	runExp("conjecture", func() { bench.Conjecture(cfg, nil) })
+	runExp("ablation", func() {
 		bench.AblationScaling(cfg, 0)
 		bench.AblationSchedule(cfg, 0)
 		bench.AblationKSVariants(cfg, 0)
 	})
-	run("extension", func() {
+	runExp("extension", func() {
 		bench.Walkup(cfg, nil)
 		bench.Undirected(cfg, 0)
+	})
+	runExp("perf", func() {
+		records := bench.Perf(cfg)
+		if *jsonOut == "" {
+			return
+		}
+		blob, err := json.MarshalIndent(struct {
+			Schema  string             `json:"schema"`
+			Scale   string             `json:"scale"`
+			Seed    uint64             `json:"seed"`
+			Records []bench.PerfRecord `json:"records"`
+		}{"matchbench/perf/v1", cfg.Scale, cfg.Seed, records}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matchbench: -json: %v\n", err)
+			failed = 1
+			return
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "matchbench: -json: %v\n", err)
+			failed = 1
+			return
+		}
+		fmt.Printf("perf records written to %s\n", *jsonOut)
 	})
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "matchbench: no experiment matched %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return failed
 }
 
 func table2N(scale string) int {

@@ -30,6 +30,28 @@
 //	fmt.Printf("matched %d of %d (quality %.3f)\n",
 //		res.Matching.Size, max, float64(res.Matching.Size)/float64(max))
 //
-// All heuristics are deterministic for a fixed Options.Seed and worker
-// count, and are free of data races at any level of parallelism.
+// # Execution model
+//
+// Every parallel stage — scaling sweeps, sampling, both Karp–Sipser
+// phases — is dispatched to a persistent pool of parked workers rather
+// than to freshly spawned goroutines, so the dozens of parallel regions
+// inside one matching call cost a channel handoff each instead of a
+// goroutine spawn. By default the stages share one process-wide pool
+// sized to GOMAXPROCS; servers that want isolation or a width cap create
+// a Pool explicitly and pass it via Options.Pool — one warm worker set
+// then serves any number of concurrent matching calls.
+//
+// The Sinkhorn–Knopp stage runs a fused loop that touches the matrix
+// twice per iteration instead of three times (the convergence-error sweep
+// is folded into the next column pass) and hands its final row/column
+// sums to the sampling stage, which therefore draws each edge with a
+// single prefix walk instead of a sum pass plus a walk pass. The fusion
+// is exact: reported errors, scaling vectors and sampled choices are
+// bit-identical to the textbook formulation.
+//
+// All heuristics are deterministic for a fixed Options.Seed regardless of
+// worker count, scheduling policy or pool width (OneSidedMatch's
+// last-write-wins conflict order is the one documented, scheduling-
+// dependent exception), and are free of data races at any level of
+// parallelism.
 package bipartite

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/exact"
@@ -27,7 +28,7 @@ const NIL = int32(-1)
 
 // Options configures the heuristics.
 type Options struct {
-	// Workers is the parallel width; <= 0 means GOMAXPROCS.
+	// Workers is the parallel width; <= 0 means the pool width.
 	Workers int
 	// Policy schedules the sampling loops; the paper uses (dynamic,512)
 	// for sampling and (guided) for KarpSipserMT (see KSPolicy).
@@ -38,9 +39,30 @@ type Options struct {
 	KSPolicy par.Policy
 	// Seed drives the per-worker RNG streams.
 	Seed uint64
+	// Pool is the worker pool every parallel region dispatches to; nil
+	// means the process-wide par.Default pool. Passing the pool the
+	// scaling stage used keeps one resident worker set hot across the
+	// whole matching call.
+	Pool *par.Pool
+	// RowTotals and ColTotals, when non-nil, are the precomputed scaled
+	// row and column sampling denominators (scale.Result.RSum / CSum):
+	// RowTotals[i] = Σ_j a_ij·dc[j], ColTotals[j] = Σ_i dr[i]·a_ij.
+	// With them each sample is a single prefix walk over the row instead
+	// of a sum pass plus a walk pass; sampled choices are bit-identical
+	// either way because the scaling row pass accumulates the very same
+	// products in the very same order. Nil means sampling sums on the
+	// fly (the uniform / 0-iteration configurations).
+	RowTotals, ColTotals []float64
 }
 
-func (o Options) workers() int { return par.Workers(o.Workers) }
+func (o Options) pool() *par.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return par.Default()
+}
+
+func (o Options) workers() int { return o.pool().Workers(o.Workers) }
 func (o Options) chunk() int {
 	if o.Chunk <= 0 {
 		return par.DefaultChunk
@@ -55,15 +77,16 @@ func (o Options) chunk() int {
 // "0 scaling iterations" configuration).
 func SampleRowChoices(a *sparse.CSR, dr, dc []float64, opt Options) []int32 {
 	choice := make([]int32, a.RowsN)
-	workers := opt.workers()
 	// Per-row RNG streams keyed by the row index: no shared state, and the
 	// sampled choices are identical for any worker count and scheduling
 	// policy under a fixed seed.
 	base := xrand.Base(opt.Seed)
-	par.For(a.RowsN, workers, opt.Policy, opt.chunk(), func(_, lo, hi int) {
+	tot := opt.RowTotals
+	opt.pool().For(a.RowsN, opt.Workers, opt.Policy, opt.chunk(), func(_, lo, hi int) {
+		var rng xrand.SplitMix64
 		for i := lo; i < hi; i++ {
-			rng := xrand.Indexed(base, i)
-			choice[i] = sampleRow(a, dr, dc, i, &rng)
+			rng.SetIndexed(base, i)
+			choice[i] = sampleRow(a, dc, i, tot, &rng)
 		}
 	})
 	return choice
@@ -74,12 +97,13 @@ func SampleRowChoices(a *sparse.CSR, dr, dc []float64, opt Options) []int32 {
 // s_ij / Σ_k s_kj.
 func SampleColChoices(at *sparse.CSR, dr, dc []float64, opt Options) []int32 {
 	choice := make([]int32, at.RowsN)
-	workers := opt.workers()
 	base := xrand.Base(opt.Seed ^ 0x5DEECE66D)
-	par.For(at.RowsN, workers, opt.Policy, opt.chunk(), func(_, lo, hi int) {
+	tot := opt.ColTotals
+	opt.pool().For(at.RowsN, opt.Workers, opt.Policy, opt.chunk(), func(_, lo, hi int) {
+		var rng xrand.SplitMix64
 		for j := lo; j < hi; j++ {
-			rng := xrand.Indexed(base, j)
-			choice[j] = sampleRow(at, dc, dr, j, &rng)
+			rng.SetIndexed(base, j)
+			choice[j] = sampleRow(at, dr, j, tot, &rng)
 		}
 	})
 	return choice
@@ -88,15 +112,21 @@ func SampleColChoices(at *sparse.CSR, dr, dc []float64, opt Options) []int32 {
 // sampleRow draws one entry of row i proportionally to dr[i]*v*dc[j].
 // Since dr[i] is a common factor it cancels; only dc weights matter within
 // the row. A draw r ∈ (0, rowsum] is materialized by walking the prefix
-// sums, exactly as described under Algorithm 2.
-func sampleRow(a *sparse.CSR, dr, dc []float64, i int, rng *xrand.SplitMix64) int32 {
+// sums, exactly as described under Algorithm 2. When tot carries the
+// precomputed row sums (exported by the scaling row pass) the sum pass is
+// skipped entirely and the draw is a single prefix walk.
+func sampleRow(a *sparse.CSR, dc []float64, i int, tot []float64, rng *xrand.SplitMix64) int32 {
 	s, e := a.Ptr[i], a.Ptr[i+1]
 	if s == e {
 		return NIL
 	}
-	total := 0.0
-	for p := s; p < e; p++ {
-		total += weight(a, dc, p)
+	var total float64
+	if tot != nil {
+		total = tot[i]
+	} else {
+		for p := s; p < e; p++ {
+			total += weight(a, dc, p)
+		}
 	}
 	if total <= 0 {
 		// Degenerate scaling (all weights zero): fall back to uniform.
@@ -136,12 +166,13 @@ func OneSided(a *sparse.CSR, dr, dc []float64, opt Options) ([]int32, int) {
 	for j := range cmatch {
 		cmatch[j] = NIL
 	}
-	workers := opt.workers()
 	base := xrand.Base(opt.Seed)
-	par.For(n, workers, opt.Policy, opt.chunk(), func(_, lo, hi int) {
+	tot := opt.RowTotals
+	opt.pool().For(n, opt.Workers, opt.Policy, opt.chunk(), func(_, lo, hi int) {
+		var rng xrand.SplitMix64
 		for i := lo; i < hi; i++ {
-			rng := xrand.Indexed(base, i)
-			j := sampleRow(a, dr, dc, i, &rng)
+			rng.SetIndexed(base, i)
+			j := sampleRow(a, dc, i, tot, &rng)
 			if j != NIL {
 				atomic.StoreInt32(&cmatch[j], int32(i))
 			}
@@ -224,11 +255,12 @@ func KarpSipserMT(g *ChoiceGraph, opt Options) []int32 {
 	match := make([]int32, nm)
 	mark := make([]int32, nm)
 	deg := make([]int32, nm)
-	workers := opt.workers()
+	pool := opt.pool()
+	workers := opt.Workers
 	pol := opt.KSPolicy
 	chunk := opt.chunk()
 
-	par.For(nm, workers, pol, chunk, func(_, lo, hi int) {
+	pool.For(nm, workers, pol, chunk, func(_, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			mark[u] = 1
 			deg[u] = 1
@@ -237,7 +269,7 @@ func KarpSipserMT(g *ChoiceGraph, opt Options) []int32 {
 	})
 	// Vertices that were chosen by someone are not out-one candidates;
 	// each in-edge beyond the vertex's own out-edge bumps its degree.
-	par.For(nm, workers, pol, chunk, func(_, lo, hi int) {
+	pool.For(nm, workers, pol, chunk, func(_, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			v := g.Choice[u]
 			if int(v) == u {
@@ -253,7 +285,7 @@ func KarpSipserMT(g *ChoiceGraph, opt Options) []int32 {
 	// Phase 1: consume out-one vertices, following each chain of newly
 	// created out-one vertices without any list (Lemma 4: consuming an
 	// out-one vertex creates at most one new one).
-	par.For(nm, workers, pol, chunk, func(_, lo, hi int) {
+	pool.For(nm, workers, pol, chunk, func(_, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			if atomic.LoadInt32(&mark[u]) != 1 || int(g.Choice[u]) == u {
 				continue
@@ -289,7 +321,7 @@ func KarpSipserMT(g *ChoiceGraph, opt Options) []int32 {
 	// parallel sweep over column vertices finishes the job. The CAS never
 	// fails on valid choice graphs; it is kept so that adversarial inputs
 	// still yield a valid (if not maximum) matching.
-	par.For(g.M, workers, pol, chunk, func(_, lo, hi int) {
+	pool.For(g.M, workers, pol, chunk, func(_, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			u := int32(g.N + j)
 			v := g.Choice[u]
@@ -319,10 +351,26 @@ type Result struct {
 
 // TwoSided runs TwoSidedMatch (Algorithm 3): sample row and column
 // choices from the scaled matrix, then match the resulting 1-out graph
-// exactly with KarpSipserMT.
+// exactly with KarpSipserMT. The two sampling loops are independent
+// (disjoint outputs, RNG streams keyed by element index), so at parallel
+// widths above one they run concurrently on the shared pool — the columns
+// of a row-imbalanced instance fill the bubbles of the row loop and vice
+// versa. Results are identical to running them back to back.
 func TwoSided(a, at *sparse.CSR, dr, dc []float64, opt Options) *Result {
-	rchoice := SampleRowChoices(a, dr, dc, opt)
-	cchoice := SampleColChoices(at, dr, dc, opt)
+	var rchoice, cchoice []int32
+	if opt.workers() > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cchoice = SampleColChoices(at, dr, dc, opt)
+		}()
+		rchoice = SampleRowChoices(a, dr, dc, opt)
+		wg.Wait()
+	} else {
+		rchoice = SampleRowChoices(a, dr, dc, opt)
+		cchoice = SampleColChoices(at, dr, dc, opt)
+	}
 	g := NewChoiceGraph(a.RowsN, a.ColsN, rchoice, cchoice)
 	match := KarpSipserMT(g, opt)
 	return &Result{Match: match, Matching: DecodeMatch(g, match), Graph: g}

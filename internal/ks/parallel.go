@@ -18,6 +18,16 @@ import (
 // precisely the gap the paper's TwoSidedMatch + KarpSipserMT combination
 // closes. It is provided as the parallel baseline for comparisons.
 func RunApprox(a, at *sparse.CSR, seed uint64, workers int) *exact.Matching {
+	return RunApproxPool(a, at, seed, workers, nil)
+}
+
+// RunApproxPool is RunApprox dispatching its passes to the given worker
+// pool (nil means par.Default), so one resident pool serves scaling,
+// sampling and this baseline alike.
+func RunApproxPool(a, at *sparse.CSR, seed uint64, workers int, pool *par.Pool) *exact.Matching {
+	if pool == nil {
+		pool = par.Default()
+	}
 	n, m := a.RowsN, a.ColsN
 	mt := exact.NewMatching(n, m)
 	rowMate := mt.RowMate
@@ -42,14 +52,14 @@ func RunApprox(a, at *sparse.CSR, seed uint64, workers int) *exact.Matching {
 	// Pass 1: degree-one rule, both sides, without degree tracking — only
 	// vertices that are degree-one in the *input* are handled (newly
 	// arising degree-one vertices are missed; that is the approximation).
-	par.For(n, workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
+	pool.For(n, workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if a.Degree(i) == 1 {
 				tryMatch(int32(i), a.Idx[a.Ptr[i]])
 			}
 		}
 	})
-	par.For(m, workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
+	pool.For(m, workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			if at.Degree(j) == 1 {
 				tryMatch(at.Idx[at.Ptr[j]], int32(j))
@@ -60,7 +70,8 @@ func RunApprox(a, at *sparse.CSR, seed uint64, workers int) *exact.Matching {
 	// Pass 2: random-order greedy over rows; each row claims a random
 	// free neighbor (retrying over its adjacency once).
 	base := xrand.Base(seed)
-	par.For(n, workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
+	pool.For(n, workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
+		var rng xrand.SplitMix64
 		for i := lo; i < hi; i++ {
 			if atomic.LoadInt32(&rowMate[i]) != exact.NIL {
 				continue
@@ -69,7 +80,7 @@ func RunApprox(a, at *sparse.CSR, seed uint64, workers int) *exact.Matching {
 			if deg == 0 {
 				continue
 			}
-			rng := xrand.Indexed(base, i)
+			rng.SetIndexed(base, i)
 			off := rng.Intn(deg)
 			for k := 0; k < deg; k++ {
 				j := a.Idx[a.Ptr[i]+(off+k)%deg]

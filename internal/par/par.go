@@ -1,16 +1,20 @@
-// Package par provides an OpenMP-like parallel-for runtime on top of
-// goroutines. It supports the three loop scheduling policies used by the
-// paper's OpenMP implementation (static, dynamic and guided) so that the
-// experiments can reproduce the same work-distribution behaviour:
-// (dynamic,512) for the scaling and sampling loops, (guided) for
-// KarpSipserMT.
+// Package par provides an OpenMP-like parallel-for runtime on top of a
+// persistent worker pool. It supports the three loop scheduling policies
+// used by the paper's OpenMP implementation (static, dynamic and guided)
+// so that the experiments can reproduce the same work-distribution
+// behaviour: (dynamic,512) for the scaling and sampling loops, (guided)
+// for KarpSipserMT.
+//
+// Parallel regions do not spawn goroutines: they are dispatched to parked
+// workers of a Pool (see its documentation for the runtime design and
+// lifecycle). The package-level For, Do, ReduceFloat64 and ReduceInt64
+// use the process-wide Default pool; callers that want an isolated or
+// width-limited set of workers create their own Pool with NewPool and use
+// the identically-named methods, reusing the one pool across scaling,
+// sampling and both Karp–Sipser phases.
 package par
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "runtime"
 
 // Policy selects how loop iterations are distributed over workers.
 type Policy int
@@ -57,177 +61,36 @@ func Workers(n int) int {
 }
 
 // For executes body over the half-open range [0, n) using the given number
-// of workers and scheduling policy. body receives the worker id (0-based)
-// and a sub-range [lo, hi) to process. It returns once all iterations are
-// done. A non-positive worker count uses GOMAXPROCS; a non-positive chunk
-// uses DefaultChunk. With a single worker the loop runs inline, which keeps
-// sequential baselines free of goroutine overhead.
+// of worker slots and scheduling policy, dispatched to the Default pool.
+// body receives the worker id (0-based, dense in [0, workers)) and a
+// sub-range [lo, hi) to process. It returns once all iterations are done.
+// A non-positive worker count uses the pool width; a non-positive chunk
+// uses DefaultChunk. With a single worker the loop runs inline, which
+// keeps sequential baselines free of any dispatch overhead.
 func For(n, workers int, policy Policy, chunk int, body func(worker, lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers = Workers(workers)
-	if workers > n {
-		workers = n
-	}
-	if chunk <= 0 {
-		chunk = DefaultChunk
-	}
-	if workers == 1 {
-		body(0, 0, n)
-		return
-	}
-	switch policy {
-	case Static:
-		staticFor(n, workers, body)
-	case Dynamic:
-		dynamicFor(n, workers, chunk, body)
-	case Guided:
-		guidedFor(n, workers, chunk, body)
-	default:
-		staticFor(n, workers, body)
-	}
+	Default().For(n, workers, policy, chunk, body)
 }
 
-func staticFor(n, workers int, body func(worker, lo, hi int)) {
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			lo := w * n / workers
-			hi := (w + 1) * n / workers
-			if lo < hi {
-				body(w, lo, hi)
-			}
-		}(w)
-	}
-	wg.Wait()
-}
-
-func dynamicFor(n, workers, chunk int, body func(worker, lo, hi int)) {
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				body(w, lo, hi)
-			}
-		}(w)
-	}
-	wg.Wait()
-}
-
-func guidedFor(n, workers, minChunk int, body func(worker, lo, hi int)) {
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for {
-				for {
-					cur := atomic.LoadInt64(&next)
-					remaining := int64(n) - cur
-					if remaining <= 0 {
-						return
-					}
-					size := remaining / int64(2*workers)
-					if size < int64(minChunk) {
-						size = int64(minChunk)
-					}
-					if size > remaining {
-						size = remaining
-					}
-					if atomic.CompareAndSwapInt64(&next, cur, cur+size) {
-						body(w, int(cur), int(cur+size))
-						break
-					}
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-}
-
-// Do runs fn once per worker id in [0, workers) concurrently and waits for
-// all of them. It is the building block for loops that need per-worker
-// state such as RNG streams.
+// Do runs fn once per worker id in [0, workers) concurrently on the
+// Default pool and waits for all of them. It is the building block for
+// loops that need per-worker state such as RNG streams.
 func Do(workers int, fn func(worker int)) {
-	workers = Workers(workers)
-	if workers == 1 {
-		fn(0)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			fn(w)
-		}(w)
-	}
-	wg.Wait()
+	Default().Do(workers, fn)
 }
 
-// ReduceFloat64 runs a parallel-for and combines one float64 partial result
-// per worker with combine (which must be associative and commutative).
-// identity is the initial value of every partial accumulator.
+// ReduceFloat64 runs a parallel-for on the Default pool and combines one
+// float64 partial result per worker with combine (which must be
+// associative and commutative). identity is the initial value of every
+// partial accumulator.
 func ReduceFloat64(n, workers int, policy Policy, chunk int, identity float64,
 	body func(worker, lo, hi int, acc float64) float64,
 	combine func(a, b float64) float64) float64 {
-	workers = Workers(workers)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	parts := make([]float64, workers)
-	for i := range parts {
-		parts[i] = identity
-	}
-	For(n, workers, policy, chunk, func(w, lo, hi int) {
-		parts[w] = body(w, lo, hi, parts[w])
-	})
-	out := identity
-	for _, p := range parts {
-		out = combine(out, p)
-	}
-	return out
+	return Default().ReduceFloat64(n, workers, policy, chunk, identity, body, combine)
 }
 
 // ReduceInt64 is ReduceFloat64 for int64 accumulators.
 func ReduceInt64(n, workers int, policy Policy, chunk int, identity int64,
 	body func(worker, lo, hi int, acc int64) int64,
 	combine func(a, b int64) int64) int64 {
-	workers = Workers(workers)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	parts := make([]int64, workers)
-	for i := range parts {
-		parts[i] = identity
-	}
-	For(n, workers, policy, chunk, func(w, lo, hi int) {
-		parts[w] = body(w, lo, hi, parts[w])
-	})
-	out := identity
-	for _, p := range parts {
-		out = combine(out, p)
-	}
-	return out
+	return Default().ReduceInt64(n, workers, policy, chunk, identity, body, combine)
 }

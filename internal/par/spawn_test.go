@@ -1,0 +1,91 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forSpawn is the pre-pool loop runtime: it spawns fresh goroutines and a
+// WaitGroup on every call. It lives in the test binary only, as the
+// baseline that BenchmarkForOverhead measures the pool dispatch against
+// and as an executable record of the semantics the pool preserves.
+func forSpawn(n, workers int, policy Policy, chunk int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	if workers == 1 {
+		body(0, 0, n)
+		return
+	}
+	switch policy {
+	case Dynamic:
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+					if lo >= n {
+						return
+					}
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					body(w, lo, hi)
+				}
+			}(w)
+		}
+		wg.Wait()
+	case Guided:
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					cur := atomic.LoadInt64(&next)
+					remaining := int64(n) - cur
+					if remaining <= 0 {
+						return
+					}
+					size := remaining / int64(2*workers)
+					if size < int64(chunk) {
+						size = int64(chunk)
+					}
+					if size > remaining {
+						size = remaining
+					}
+					if atomic.CompareAndSwapInt64(&next, cur, cur+size) {
+						body(w, int(cur), int(cur+size))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	default: // Static
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				lo := w * n / workers
+				hi := (w + 1) * n / workers
+				if lo < hi {
+					body(w, lo, hi)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}

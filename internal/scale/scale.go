@@ -6,6 +6,20 @@
 // Algorithm 1 in the paper), and the Ruiz equilibration iteration reviewed
 // in §2.2 for comparison. Both produce scaling vectors dr, dc rather than
 // materializing the scaled matrix.
+//
+// The fixed-iteration-count configuration the experiments use (Tol <= 0)
+// runs a fused Sinkhorn–Knopp loop that touches the matrix twice per
+// iteration instead of three times: the scaling-error sweep is folded into
+// the next iteration's column pass (the column sums it needs are the same
+// sums the error is defined over), the initial error sweep doubles as the
+// first column pass, and one deferred sweep after the loop settles the
+// final error. The fused loop reports the exact same Err and History
+// values, measured at the same points, as the classic
+// column/row/error-sweep formulation — only the number of passes over the
+// matrix changes. It also exports the per-row and per-column scaled sums
+// of the final vectors (Result.RSum, Result.CSum), which are precisely the
+// sampling denominators Algorithms 2 and 3 need, so sampling can skip its
+// own sum pass over the matrix.
 package scale
 
 import (
@@ -24,14 +38,34 @@ type Options struct {
 	MaxIters int
 	// Tol stops the iteration once the scaling error (max |colsum-1|)
 	// drops below it. Tol <= 0 disables the convergence check so that
-	// exactly MaxIters iterations run, as the experiments require.
+	// exactly MaxIters iterations run, as the experiments require; this
+	// is also the configuration that takes the fused two-sweep loop.
 	Tol float64
-	// Workers is the parallel width; <= 0 means GOMAXPROCS.
+	// Workers is the parallel width; <= 0 means the pool width.
 	Workers int
 	// Policy is the loop scheduling policy; the paper uses (dynamic,512).
 	Policy par.Policy
 	// Chunk is the scheduling chunk size; <= 0 means par.DefaultChunk.
 	Chunk int
+	// Pool is the worker pool the scaling sweeps are dispatched to; nil
+	// means the process-wide par.Default pool. Callers that run scaling,
+	// sampling and matching back to back pass one pool through all of
+	// them.
+	Pool *par.Pool
+}
+
+func (o Options) pool() *par.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return par.Default()
+}
+
+func (o Options) chunkOrDefault() int {
+	if o.Chunk <= 0 {
+		return par.DefaultChunk
+	}
+	return o.Chunk
 }
 
 // Result carries the scaling vectors and convergence information.
@@ -47,6 +81,15 @@ type Result struct {
 	// History[0] being the unscaled error (n-1 for a matrix with a full
 	// column, as noted in the paper).
 	History []float64
+	// RSum and CSum are the raw scaled sums of the final vectors:
+	// RSum[i] = Σ_j a_ij·DC[j] and CSum[j] = Σ_i DR[i]·a_ij, zero for
+	// empty rows/columns. These are bit-for-bit the row and column
+	// sampling totals of Algorithms 2 and 3 (the common factor DR[i],
+	// resp. DC[j], cancels inside one row, resp. column), so the
+	// sampling kernels reuse them instead of re-summing the matrix.
+	// They are nil when the convergence-checked (Tol > 0) path runs,
+	// and RSum is nil after zero iterations.
+	RSum, CSum []float64
 }
 
 // ErrShape reports mismatched matrix/transpose arguments.
@@ -62,32 +105,118 @@ func SinkhornKnopp(a, at *sparse.CSR, opt Options) (*Result, error) {
 	if a.RowsN != at.ColsN || a.ColsN != at.RowsN {
 		return nil, ErrShape
 	}
-	workers := par.Workers(opt.Workers)
-	chunk := opt.Chunk
-	if chunk <= 0 {
-		chunk = par.DefaultChunk
-	}
 	n, m := a.RowsN, a.ColsN
 	res := &Result{DR: ones(n), DC: ones(m)}
+	if opt.Tol > 0 {
+		// The convergence check needs the error of an iteration before
+		// deciding whether to run the next one, which forces the classic
+		// dedicated error sweep per iteration.
+		sinkhornKnoppTol(a, at, opt, res)
+		return res, nil
+	}
 
-	res.Err = colError(at, res.DR, res.DC, workers, opt.Policy, chunk)
+	p := opt.pool()
+	chunk := opt.chunkOrDefault()
+	csum := make([]float64, m)
+
+	// The initial error sweep already computes Σ_i dr[i]·a_ij for every
+	// column — the exact sums the first column pass needs — so the first
+	// column pass degenerates to inverting them.
+	res.Err = colSumsAndError(at, res.DR, res.DC, csum, p, opt.Workers, opt.Policy, chunk)
+	res.History = append(res.History, res.Err)
+	if opt.MaxIters <= 0 {
+		res.CSum = csum
+		return res, nil
+	}
+
+	rsum := make([]float64, n)
+	// Row pass: dr[i] <- 1 / Σ_{j in Ai*} a_ij*dc[j]. The last iteration
+	// keeps the raw sums: they are the row sampling totals.
+	rowPass := func(rsumOut []float64) {
+		p.For(n, opt.Workers, opt.Policy, chunk, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s, e := a.Ptr[i], a.Ptr[i+1]
+				sum := 0.0
+				if a.Val == nil {
+					for q := s; q < e; q++ {
+						sum += res.DC[a.Idx[q]]
+					}
+				} else {
+					for q := s; q < e; q++ {
+						sum += res.DC[a.Idx[q]] * a.Val[q]
+					}
+				}
+				if rsumOut != nil {
+					rsumOut[i] = sum
+				}
+				if sum > 0 {
+					res.DR[i] = 1.0 / sum
+				}
+			}
+		})
+	}
+	rsumIfLast := func(it int) []float64 {
+		if it == opt.MaxIters-1 {
+			return rsum
+		}
+		return nil
+	}
+	// Iteration 0: the column pass reuses the sums of the initial sweep,
+	// so it degenerates to inverting them: dc[j] <- 1/csum[j].
+	p.For(m, opt.Workers, opt.Policy, chunk, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if csum[j] > 0 {
+				res.DC[j] = 1.0 / csum[j]
+			}
+		}
+	})
+	rowPass(rsumIfLast(0))
+	res.Iters++
+	for it := 1; it < opt.MaxIters; it++ {
+		// Fused column pass: the fresh column sums determine both the
+		// error of the state entering this iteration (the previous
+		// iteration's result, measured against the not-yet-updated dc)
+		// and the new dc.
+		err := colPassFused(at, res.DR, res.DC, p, opt.Workers, opt.Policy, chunk)
+		res.History = append(res.History, err)
+		rowPass(rsumIfLast(it))
+		res.Iters++
+	}
+	// Deferred final sweep: the error of the last iteration, and the
+	// column sampling totals of the final vectors.
+	res.Err = colSumsAndError(at, res.DR, res.DC, csum, p, opt.Workers, opt.Policy, chunk)
+	res.History = append(res.History, res.Err)
+	res.RSum = rsum
+	res.CSum = csum
+	return res, nil
+}
+
+// sinkhornKnoppTol is the classic three-sweep loop used when a convergence
+// tolerance is set. It reports the same Err/History as the fused loop for
+// the iterations it runs, but leaves RSum/CSum nil.
+func sinkhornKnoppTol(a, at *sparse.CSR, opt Options, res *Result) {
+	p := opt.pool()
+	chunk := opt.chunkOrDefault()
+	n, m := a.RowsN, a.ColsN
+
+	res.Err = colSumsAndError(at, res.DR, res.DC, nil, p, opt.Workers, opt.Policy, chunk)
 	res.History = append(res.History, res.Err)
 	for it := 0; it < opt.MaxIters; it++ {
-		if opt.Tol > 0 && res.Err <= opt.Tol {
+		if res.Err <= opt.Tol {
 			break
 		}
 		// Column pass: dc[j] <- 1 / sum_{i in A*j} dr[i]*a_ij.
-		par.For(m, workers, opt.Policy, chunk, func(_, lo, hi int) {
+		p.For(m, opt.Workers, opt.Policy, chunk, func(_, lo, hi int) {
 			for j := lo; j < hi; j++ {
 				csum := 0.0
 				s, e := at.Ptr[j], at.Ptr[j+1]
 				if at.Val == nil {
-					for p := s; p < e; p++ {
-						csum += res.DR[at.Idx[p]]
+					for q := s; q < e; q++ {
+						csum += res.DR[at.Idx[q]]
 					}
 				} else {
-					for p := s; p < e; p++ {
-						csum += res.DR[at.Idx[p]] * at.Val[p]
+					for q := s; q < e; q++ {
+						csum += res.DR[at.Idx[q]] * at.Val[q]
 					}
 				}
 				if csum > 0 {
@@ -96,17 +225,17 @@ func SinkhornKnopp(a, at *sparse.CSR, opt Options) (*Result, error) {
 			}
 		})
 		// Row pass: dr[i] <- 1 / sum_{j in Ai*} a_ij*dc[j].
-		par.For(n, workers, opt.Policy, chunk, func(_, lo, hi int) {
+		p.For(n, opt.Workers, opt.Policy, chunk, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				rsum := 0.0
 				s, e := a.Ptr[i], a.Ptr[i+1]
 				if a.Val == nil {
-					for p := s; p < e; p++ {
-						rsum += res.DC[a.Idx[p]]
+					for q := s; q < e; q++ {
+						rsum += res.DC[a.Idx[q]]
 					}
 				} else {
-					for p := s; p < e; p++ {
-						rsum += res.DC[a.Idx[p]] * a.Val[p]
+					for q := s; q < e; q++ {
+						rsum += res.DC[a.Idx[q]] * a.Val[q]
 					}
 				}
 				if rsum > 0 {
@@ -115,10 +244,9 @@ func SinkhornKnopp(a, at *sparse.CSR, opt Options) (*Result, error) {
 			}
 		})
 		res.Iters++
-		res.Err = colError(at, res.DR, res.DC, workers, opt.Policy, chunk)
+		res.Err = colSumsAndError(at, res.DR, res.DC, nil, p, opt.Workers, opt.Policy, chunk)
 		res.History = append(res.History, res.Err)
 	}
-	return res, nil
 }
 
 // Ruiz runs the Ruiz equilibration iteration: every step scales rows and
@@ -130,56 +258,53 @@ func Ruiz(a, at *sparse.CSR, opt Options) (*Result, error) {
 	if a.RowsN != at.ColsN || a.ColsN != at.RowsN {
 		return nil, ErrShape
 	}
-	workers := par.Workers(opt.Workers)
-	chunk := opt.Chunk
-	if chunk <= 0 {
-		chunk = par.DefaultChunk
-	}
+	p := opt.pool()
+	chunk := opt.chunkOrDefault()
 	n, m := a.RowsN, a.ColsN
 	res := &Result{DR: ones(n), DC: ones(m)}
 	rsum := make([]float64, n)
 	csum := make([]float64, m)
 
-	res.Err = colError(at, res.DR, res.DC, workers, opt.Policy, chunk)
+	res.Err = colSumsAndError(at, res.DR, res.DC, nil, p, opt.Workers, opt.Policy, chunk)
 	res.History = append(res.History, res.Err)
 	for it := 0; it < opt.MaxIters; it++ {
 		if opt.Tol > 0 && res.Err <= opt.Tol {
 			break
 		}
-		par.For(n, workers, opt.Policy, chunk, func(_, lo, hi int) {
+		p.For(n, opt.Workers, opt.Policy, chunk, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				s := 0.0
-				for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+				for q := a.Ptr[i]; q < a.Ptr[i+1]; q++ {
 					v := 1.0
 					if a.Val != nil {
-						v = a.Val[p]
+						v = a.Val[q]
 					}
-					s += res.DR[i] * v * res.DC[a.Idx[p]]
+					s += res.DR[i] * v * res.DC[a.Idx[q]]
 				}
 				rsum[i] = s
 			}
 		})
-		par.For(m, workers, opt.Policy, chunk, func(_, lo, hi int) {
+		p.For(m, opt.Workers, opt.Policy, chunk, func(_, lo, hi int) {
 			for j := lo; j < hi; j++ {
 				s := 0.0
-				for p := at.Ptr[j]; p < at.Ptr[j+1]; p++ {
+				for q := at.Ptr[j]; q < at.Ptr[j+1]; q++ {
 					v := 1.0
 					if at.Val != nil {
-						v = at.Val[p]
+						v = at.Val[q]
 					}
-					s += res.DR[at.Idx[p]] * v * res.DC[j]
+					s += res.DR[at.Idx[q]] * v * res.DC[j]
 				}
 				csum[j] = s
 			}
 		})
-		par.For(n, workers, opt.Policy, chunk, func(_, lo, hi int) {
+		p.For(n, opt.Workers, opt.Policy, chunk, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if rsum[i] > 0 {
 					res.DR[i] /= math.Sqrt(rsum[i])
 				}
 			}
 		})
-		par.For(m, workers, opt.Policy, chunk, func(_, lo, hi int) {
+		p.For(m, opt.Workers, opt.Policy, chunk, func(_, lo, hi int) {
 			for j := lo; j < hi; j++ {
 				if csum[j] > 0 {
 					res.DC[j] /= math.Sqrt(csum[j])
@@ -187,7 +312,7 @@ func Ruiz(a, at *sparse.CSR, opt Options) (*Result, error) {
 			}
 		})
 		res.Iters++
-		res.Err = colError(at, res.DR, res.DC, workers, opt.Policy, chunk)
+		res.Err = colSumsAndError(at, res.DR, res.DC, nil, p, opt.Workers, opt.Policy, chunk)
 		res.History = append(res.History, res.Err)
 	}
 	return res, nil
@@ -197,30 +322,80 @@ func Ruiz(a, at *sparse.CSR, opt Options) (*Result, error) {
 // transpose at: max over columns of |sum_i dr[i]*a_ij*dc[j] - 1|. This is
 // the quantity reported in Tables 1 and 3.
 func ColError(at *sparse.CSR, dr, dc []float64, workers int) float64 {
-	return colError(at, dr, dc, par.Workers(workers), par.Dynamic, par.DefaultChunk)
+	return colSumsAndError(at, dr, dc, nil, par.Default(), workers, par.Dynamic, par.DefaultChunk)
 }
 
 // RowError is the row-side counterpart of ColError (max |rowsum-1|),
 // computed on the matrix itself.
 func RowError(a *sparse.CSR, dr, dc []float64, workers int) float64 {
-	return colError(a, dc, dr, par.Workers(workers), par.Dynamic, par.DefaultChunk)
+	return colSumsAndError(a, dc, dr, nil, par.Default(), workers, par.Dynamic, par.DefaultChunk)
 }
 
-func colError(at *sparse.CSR, dr, dc []float64, workers int, policy par.Policy, chunk int) float64 {
+// colSumsAndError walks the columns once, optionally exporting the raw
+// weighted column sums Σ_i dr[i]·a_ij into sums, and returns
+// max_j |sum_j·dc[j] - 1| — the scaling error. One sweep serves both the
+// error measurement and (via sums) the next column pass or the sampling
+// totals.
+func colSumsAndError(at *sparse.CSR, dr, dc []float64, sums []float64,
+	p *par.Pool, workers int, policy par.Policy, chunk int) float64 {
 	m := at.RowsN
-	return par.ReduceFloat64(m, workers, policy, chunk, 0,
+	return p.ReduceFloat64(m, workers, policy, chunk, 0,
 		func(_, lo, hi int, acc float64) float64 {
 			for j := lo; j < hi; j++ {
 				csum := 0.0
-				for p := at.Ptr[j]; p < at.Ptr[j+1]; p++ {
-					v := 1.0
-					if at.Val != nil {
-						v = at.Val[p]
+				s, e := at.Ptr[j], at.Ptr[j+1]
+				if at.Val == nil {
+					for q := s; q < e; q++ {
+						csum += dr[at.Idx[q]]
 					}
-					csum += dr[at.Idx[p]] * v
+				} else {
+					for q := s; q < e; q++ {
+						csum += dr[at.Idx[q]] * at.Val[q]
+					}
+				}
+				if sums != nil {
+					sums[j] = csum
 				}
 				if d := math.Abs(csum*dc[j] - 1.0); d > acc {
 					acc = d
+				}
+			}
+			return acc
+		}, math.Max)
+}
+
+// colPassFused is one fused column pass of the fixed-iteration loop: for
+// every column it computes the fresh weighted sum Σ_i dr[i]·a_ij, measures
+// the error term |sum·dc[j] - 1| against the current dc (that is exactly
+// the scaling error of the previous iteration's result), then updates
+// dc[j] to the inverted sum. It returns the maximum error term.
+//
+// The sum/error body deliberately mirrors colSumsAndError entry for
+// entry — the documented bit-identity between the fused and classic
+// paths depends on both kernels accumulating in the same order, and
+// TestFusedMatchesClassicReference fails if they ever drift apart.
+func colPassFused(at *sparse.CSR, dr, dc []float64,
+	p *par.Pool, workers int, policy par.Policy, chunk int) float64 {
+	m := at.RowsN
+	return p.ReduceFloat64(m, workers, policy, chunk, 0,
+		func(_, lo, hi int, acc float64) float64 {
+			for j := lo; j < hi; j++ {
+				csum := 0.0
+				s, e := at.Ptr[j], at.Ptr[j+1]
+				if at.Val == nil {
+					for q := s; q < e; q++ {
+						csum += dr[at.Idx[q]]
+					}
+				} else {
+					for q := s; q < e; q++ {
+						csum += dr[at.Idx[q]] * at.Val[q]
+					}
+				}
+				if d := math.Abs(csum*dc[j] - 1.0); d > acc {
+					acc = d
+				}
+				if csum > 0 {
+					dc[j] = 1.0 / csum
 				}
 			}
 			return acc

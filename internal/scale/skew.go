@@ -26,11 +26,9 @@ func SinkhornKnoppSkewAware(a, at *sparse.CSR, opt Options) (*Result, error) {
 	if a.RowsN != at.ColsN || a.ColsN != at.RowsN {
 		return nil, ErrShape
 	}
-	workers := par.Workers(opt.Workers)
-	chunk := opt.Chunk
-	if chunk <= 0 {
-		chunk = par.DefaultChunk
-	}
+	pl := opt.pool()
+	workers := opt.Workers
+	chunk := opt.chunkOrDefault()
 	n, m := a.RowsN, a.ColsN
 	res := &Result{DR: ones(n), DC: ones(m)}
 
@@ -39,14 +37,14 @@ func SinkhornKnoppSkewAware(a, at *sparse.CSR, opt Options) (*Result, error) {
 	heavyRows := heavyIndices(a)
 	lightRows := lightIndices(a, heavyRows)
 
-	res.Err = colError(at, res.DR, res.DC, workers, opt.Policy, chunk)
+	res.Err = colSumsAndError(at, res.DR, res.DC, nil, pl, workers, opt.Policy, chunk)
 	res.History = append(res.History, res.Err)
 	for it := 0; it < opt.MaxIters; it++ {
 		if opt.Tol > 0 && res.Err <= opt.Tol {
 			break
 		}
 		// Light columns: one worker per chunk of columns.
-		par.For(len(lightCols), workers, opt.Policy, chunk, func(_, lo, hi int) {
+		pl.For(len(lightCols), workers, opt.Policy, chunk, func(_, lo, hi int) {
 			for k := lo; k < hi; k++ {
 				j := lightCols[k]
 				csum := rowSumWeighted(at, int(j), res.DR)
@@ -57,12 +55,12 @@ func SinkhornKnoppSkewAware(a, at *sparse.CSR, opt Options) (*Result, error) {
 		})
 		// Heavy columns: all workers per column.
 		for _, j := range heavyCols {
-			csum := parallelRowSum(at, int(j), res.DR, workers)
+			csum := parallelRowSum(at, int(j), res.DR, pl, workers)
 			if csum > 0 {
 				res.DC[j] = 1.0 / csum
 			}
 		}
-		par.For(len(lightRows), workers, opt.Policy, chunk, func(_, lo, hi int) {
+		pl.For(len(lightRows), workers, opt.Policy, chunk, func(_, lo, hi int) {
 			for k := lo; k < hi; k++ {
 				i := lightRows[k]
 				rsum := rowSumWeighted(a, int(i), res.DC)
@@ -72,13 +70,13 @@ func SinkhornKnoppSkewAware(a, at *sparse.CSR, opt Options) (*Result, error) {
 			}
 		})
 		for _, i := range heavyRows {
-			rsum := parallelRowSum(a, int(i), res.DC, workers)
+			rsum := parallelRowSum(a, int(i), res.DC, pl, workers)
 			if rsum > 0 {
 				res.DR[i] = 1.0 / rsum
 			}
 		}
 		res.Iters++
-		res.Err = colError(at, res.DR, res.DC, workers, opt.Policy, chunk)
+		res.Err = colSumsAndError(at, res.DR, res.DC, nil, pl, workers, opt.Policy, chunk)
 		res.History = append(res.History, res.Err)
 	}
 	return res, nil
@@ -129,14 +127,15 @@ func rowSumWeighted(a *sparse.CSR, i int, d []float64) float64 {
 // boundaries, so the floating-point result is independent of scheduling
 // (though it may differ from the purely sequential sum by round-off;
 // callers who need bit-equality with SinkhornKnopp use one worker).
-func parallelRowSum(a *sparse.CSR, i int, d []float64, workers int) float64 {
+func parallelRowSum(a *sparse.CSR, i int, d []float64, pl *par.Pool, workers int) float64 {
 	s, e := a.Ptr[i], a.Ptr[i+1]
 	span := e - s
+	workers = pl.Workers(workers)
 	if span < HeavyThreshold || workers == 1 {
 		return rowSumWeighted(a, i, d)
 	}
 	parts := make([]float64, workers)
-	par.Do(workers, func(w int) {
+	pl.Do(workers, func(w int) {
 		lo := s + w*span/workers
 		hi := s + (w+1)*span/workers
 		sum := 0.0

@@ -65,7 +65,17 @@ func Base(seed uint64) uint64 {
 // scheduling, so parallel randomized loops give identical results for
 // every worker count and loop schedule. base should come from Base.
 func Indexed(base uint64, i int) SplitMix64 {
-	return SplitMix64{state: base ^ (uint64(i)+1)*0x9E3779B97F4A7C15}
+	var r SplitMix64
+	r.SetIndexed(base, i)
+	return r
+}
+
+// SetIndexed resets r in place to the stream Indexed(base, i) would
+// return. Hot loops hoist one SplitMix64 variable out of the loop and
+// reseed it per element, so no fresh generator value has to be
+// constructed (or escape to the heap) on every iteration.
+func (r *SplitMix64) SetIndexed(base uint64, i int) {
+	r.state = base ^ (uint64(i)+1)*0x9E3779B97F4A7C15
 }
 
 // Xoshiro256 implements xoshiro256++, a fast all-purpose generator with a

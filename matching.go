@@ -31,6 +31,41 @@ type Options struct {
 	// workers during scaling (the §2.2 load-balance remark); results are
 	// numerically equal up to round-off reassociation.
 	SkewAware bool
+	// Pool, when non-nil, is the worker pool every parallel stage of the
+	// call dispatches to — scaling sweeps, sampling and both Karp–Sipser
+	// phases reuse its resident workers. Nil uses the process-wide
+	// default pool. Servers that pin matching work to a subset of cores
+	// create one Pool at startup and pass it on every call.
+	Pool *Pool
+}
+
+// Pool is a handle to a persistent set of parallel workers that matching
+// calls can share; see Options.Pool. It wraps the internal loop runtime's
+// pool so one warm worker set serves any number of Scale / OneSidedMatch /
+// TwoSidedMatch / KarpSipserParallel calls, concurrently if desired.
+type Pool struct {
+	p *par.Pool
+}
+
+// NewPool creates a pool of the given parallel width (resident workers
+// plus the calling goroutine); width <= 0 means GOMAXPROCS. Close it when
+// done.
+func NewPool(width int) *Pool {
+	return &Pool{p: par.NewPool(width)}
+}
+
+// Width reports the pool's parallel width.
+func (p *Pool) Width() int { return p.p.Width() }
+
+// Close releases the pool's resident workers. It must not be called while
+// calls using the pool are in flight; it is idempotent.
+func (p *Pool) Close() { p.p.Close() }
+
+func (p *Pool) inner() *par.Pool {
+	if p == nil {
+		return nil
+	}
+	return p.p
 }
 
 func (o *Options) normalized() Options {
@@ -50,14 +85,20 @@ func (o *Options) normalized() Options {
 	return v
 }
 
-func (v Options) coreOptions() core.Options {
-	return core.Options{
+func (v Options) coreOptions(sc *Scaling) core.Options {
+	o := core.Options{
 		Workers:  v.Workers,
 		Policy:   par.Dynamic,
 		Chunk:    par.DefaultChunk,
 		KSPolicy: par.Guided,
 		Seed:     v.Seed,
+		Pool:     v.Pool.inner(),
 	}
+	if sc != nil {
+		o.RowTotals = sc.RowSums
+		o.ColTotals = sc.ColSums
+	}
+	return o
 }
 
 // Scaling is the result of a matrix scaling run: s_ij = DR[i]·DC[j] for
@@ -71,6 +112,12 @@ type Scaling struct {
 	// History holds the error before each iteration (History[0] is the
 	// unscaled error).
 	History []float64
+	// RowSums and ColSums are the raw scaled row/column sums of the final
+	// vectors (the sampling denominators of Algorithms 2 and 3), exported
+	// by the fused Sinkhorn–Knopp sweeps. They may be nil (Ruiz,
+	// skew-aware and tolerance-checked runs); the sampling stage then
+	// computes totals on the fly.
+	RowSums, ColSums []float64
 }
 
 // Scale runs the configured scaling method and returns the scaling
@@ -83,6 +130,7 @@ func (g *Graph) Scale(opt *Options) (*Scaling, error) {
 		MaxIters: v.ScalingIterations,
 		Workers:  v.Workers,
 		Policy:   par.Dynamic,
+		Pool:     v.Pool.inner(),
 	}
 	var res *scale.Result
 	var err error
@@ -97,7 +145,8 @@ func (g *Graph) Scale(opt *Options) (*Scaling, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scaling{DR: res.DR, DC: res.DC, Iterations: res.Iters, Error: res.Err, History: res.History}, nil
+	return &Scaling{DR: res.DR, DC: res.DC, Iterations: res.Iters, Error: res.Err,
+		History: res.History, RowSums: res.RSum, ColSums: res.CSum}, nil
 }
 
 // MatchResult is the outcome of a heuristic matching run.
@@ -118,7 +167,7 @@ func (g *Graph) OneSidedMatch(opt *Options) (*MatchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	cmatch, _ := core.OneSided(g.a, sc.DR, sc.DC, v.coreOptions())
+	cmatch, _ := core.OneSided(g.a, sc.DR, sc.DC, v.coreOptions(sc))
 	mt := core.CMatchToMatching(g.Rows(), cmatch)
 	return &MatchResult{Matching: mt, Scaling: sc}, nil
 }
@@ -134,7 +183,7 @@ func (g *Graph) TwoSidedMatch(opt *Options) (*MatchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := core.TwoSided(g.a, g.transpose(), sc.DR, sc.DC, v.coreOptions())
+	res := core.TwoSided(g.a, g.transpose(), sc.DR, sc.DC, v.coreOptions(sc))
 	return &MatchResult{Matching: res.Matching, Scaling: sc}, nil
 }
 
@@ -153,10 +202,16 @@ func (g *Graph) KarpSipser(seed uint64) (*Matching, KarpSipserStats) {
 // not tracked. Provided as the parallel baseline that TwoSidedMatch's
 // exact-on-1-out kernel is designed to improve upon.
 func (g *Graph) KarpSipserParallel(seed uint64, workers int) *Matching {
+	return g.KarpSipserParallelPool(seed, workers, nil)
+}
+
+// KarpSipserParallelPool is KarpSipserParallel running on a caller-owned
+// worker pool (nil means the default pool).
+func (g *Graph) KarpSipserParallelPool(seed uint64, workers int, pool *Pool) *Matching {
 	if seed == 0 {
 		seed = 1
 	}
-	return ks.RunApprox(g.a, g.transpose(), seed, workers)
+	return ks.RunApproxPool(g.a, g.transpose(), seed, workers, pool.inner())
 }
 
 // CheapRandomEdge runs the §2.1 random-edge-visit 1/2-approximation.
