@@ -1,0 +1,197 @@
+package bipartite
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/par"
+)
+
+// Op selects the heuristic a batched matching request runs.
+type Op int
+
+const (
+	// OpTwoSided runs the TwoSidedMatch heuristic (the default).
+	OpTwoSided Op = iota
+	// OpOneSided runs the OneSidedMatch heuristic.
+	OpOneSided
+	// OpKarpSipser runs the classic sequential Karp–Sipser baseline.
+	OpKarpSipser
+)
+
+// String returns the wire name of the operation, as accepted by
+// cmd/matchserve.
+func (op Op) String() string {
+	switch op {
+	case OpTwoSided:
+		return "twosided"
+	case OpOneSided:
+		return "onesided"
+	case OpKarpSipser:
+		return "karpsipser"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseOp converts a wire name back into an Op.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "twosided", "":
+		return OpTwoSided, nil
+	case "onesided":
+		return OpOneSided, nil
+	case "karpsipser":
+		return OpKarpSipser, nil
+	default:
+		return 0, errors.New("bipartite: unknown op " + s)
+	}
+}
+
+// Request is one matching request of a batch: which graph to match, with
+// which heuristic, under which seed (0 means the batch Options' seed).
+type Request struct {
+	Graph *Graph
+	Op    Op
+	Seed  uint64
+}
+
+// Response is the outcome of one batched request. The Matching is owned
+// by the caller (copied out of the serving workspaces), so it stays valid
+// after the next batch.
+type Response struct {
+	Matching *Matching
+	Err      error
+}
+
+// ErrNilGraph reports a batched request without a graph.
+var ErrNilGraph = errors.New("bipartite: request has nil Graph")
+
+// MatchBatch executes many matching requests as one pool-wide parallel
+// region: a single dispatch hands the request queue to the pool's worker
+// slots, and each slot serves requests sequentially on its own resident
+// Matcher arena. The per-request parallel width is one, so every response
+// is deterministic — a function of (Graph, Op, Seed, opt) only, identical
+// to the one-shot call with Workers: 1 regardless of batch composition,
+// pool width or scheduling. Requests that share a *Graph also share its
+// cached scaling within a slot, which is where batching wins big on
+// many-seeds-per-graph workloads.
+//
+// opt configures scaling and the pool exactly as for one-shot calls;
+// opt.Workers caps the number of slots (<= 0 means the pool width).
+// The returned slice maps one-to-one onto reqs.
+//
+// For a long-lived serving loop that keeps its arenas warm across batches,
+// use Server instead.
+func MatchBatch(reqs []Request, opt *Options) []Response {
+	out := make([]Response, len(reqs))
+	newBatchEngine(opt).run(reqs, out)
+	return out
+}
+
+// batchEngine is the shared executor of MatchBatch and Server: a fixed
+// set of per-slot Matcher arenas plus the one prebuilt pool-wide body that
+// drains a request queue. An engine's run calls must not overlap; Server
+// guarantees that with its single collector goroutine.
+type batchEngine struct {
+	opt    Options // normalized; per-slot matchers run width-1
+	pool   *par.Pool
+	width  int
+	arenas []*Matcher
+
+	next atomic.Int64
+	reqs []Request
+	out  []Response
+	body func(w int)
+}
+
+func newBatchEngine(opt *Options) *batchEngine {
+	v := opt.normalized()
+	e := &batchEngine{opt: v}
+	e.pool = v.Pool.inner()
+	if e.pool == nil {
+		e.pool = par.Default()
+	}
+	e.width = e.pool.Workers(v.Workers)
+	if e.width > e.pool.Width() {
+		e.width = e.pool.Width()
+	}
+	e.arenas = make([]*Matcher, e.width)
+	e.body = func(w int) {
+		for {
+			i := int(e.next.Add(1)) - 1
+			if i >= len(e.reqs) {
+				return
+			}
+			e.serve(w, i)
+		}
+	}
+	return e
+}
+
+// run executes reqs into out (same length) as one pool-wide region.
+func (e *batchEngine) run(reqs []Request, out []Response) {
+	if len(reqs) == 0 {
+		return
+	}
+	e.reqs, e.out = reqs, out
+	e.next.Store(0)
+	width := e.width
+	if width > len(reqs) {
+		width = len(reqs)
+	}
+	e.pool.Do(width, e.body)
+	e.reqs, e.out = nil, nil
+}
+
+// serve runs request i on slot w's arena.
+func (e *batchEngine) serve(w, i int) {
+	req := e.reqs[i]
+	if req.Graph == nil {
+		e.out[i] = Response{Err: ErrNilGraph}
+		return
+	}
+	a := e.arenas[w]
+	if a == nil {
+		slotOpt := e.opt
+		slotOpt.Workers = 1
+		slotOpt.Pool = nil // width-1 sessions run inline; no pool needed
+		a = req.Graph.NewMatcher(&slotOpt)
+		e.arenas[w] = a
+	} else if a.Graph() != req.Graph {
+		a.Reset(req.Graph)
+	}
+	var mt *Matching
+	var err error
+	switch req.Op {
+	case OpOneSided:
+		var res *MatchResult
+		res, err = a.OneSided(req.Seed)
+		if err == nil {
+			mt = res.Matching
+		}
+	case OpKarpSipser:
+		mt, _ = a.KarpSipser(req.Seed)
+	default: // OpTwoSided
+		var res *MatchResult
+		res, err = a.TwoSided(req.Seed)
+		if err == nil {
+			mt = res.Matching
+		}
+	}
+	if err != nil {
+		e.out[i] = Response{Err: err}
+		return
+	}
+	// Copy out of the arena: the response must survive the slot's next
+	// request.
+	e.out[i] = Response{Matching: cloneMatching(mt)}
+}
+
+func cloneMatching(mt *Matching) *Matching {
+	return &Matching{
+		RowMate: append([]int32(nil), mt.RowMate...),
+		ColMate: append([]int32(nil), mt.ColMate...),
+		Size:    mt.Size,
+	}
+}

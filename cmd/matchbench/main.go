@@ -9,12 +9,14 @@
 //	matchbench -exp table3 -scale paper         # paper-sized instances
 //
 // Experiments: qualityfi, table1, table2, table3, fig3, fig4, fig5,
-// conjecture, ablation, extension, perf.
+// conjecture, ablation, extension, perf, serve.
 //
-// The perf experiment additionally writes its records to a
+// The perf and serve experiments additionally write their records to a
 // machine-readable JSON file (-json, default BENCH_matchbench.json) so
 // the performance trajectory can be tracked across commits, and any run
-// can capture a CPU profile with -cpuprofile.
+// can capture a CPU profile with -cpuprofile. serve measures per-request
+// throughput of one-shot calls vs a reused Matcher session vs MatchBatch
+// on small instances (the dispatch-bound serving regime).
 package main
 
 import (
@@ -36,7 +38,7 @@ func main() { os.Exit(run()) }
 // stop and file close instead of truncating the profile via os.Exit.
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension,perf")
+		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension,perf,serve")
 		scale   = flag.String("scale", "small", "instance scale: tiny | small | paper")
 		runs    = flag.Int("runs", 10, "randomized repetitions for min-quality tables")
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
@@ -112,11 +114,11 @@ func run() int {
 		bench.Walkup(cfg, nil)
 		bench.Undirected(cfg, 0)
 	})
-	runExp("perf", func() {
-		records := bench.Perf(cfg)
-		if *jsonOut == "" {
-			return
-		}
+	var records []bench.PerfRecord
+	runExp("perf", func() { records = append(records, bench.Perf(cfg)...) })
+	runExp("serve", func() { records = append(records, serve(cfg)...) })
+
+	if len(records) > 0 && *jsonOut != "" {
 		blob, err := json.MarshalIndent(struct {
 			Schema  string             `json:"schema"`
 			Scale   string             `json:"scale"`
@@ -126,16 +128,16 @@ func run() int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "matchbench: -json: %v\n", err)
 			failed = 1
-			return
+		} else {
+			blob = append(blob, '\n')
+			if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "matchbench: -json: %v\n", err)
+				failed = 1
+			} else {
+				fmt.Printf("%d bench records written to %s\n", len(records), *jsonOut)
+			}
 		}
-		blob = append(blob, '\n')
-		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "matchbench: -json: %v\n", err)
-			failed = 1
-			return
-		}
-		fmt.Printf("perf records written to %s\n", *jsonOut)
-	})
+	}
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "matchbench: no experiment matched %q\n", *exp)

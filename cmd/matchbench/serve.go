@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	bipartite "repro"
+	"repro/internal/bench"
+)
+
+// serveInstances are the request-serving workloads: small instances, where
+// per-request setup (scaling, allocation, dispatch) rivals the kernels —
+// exactly the regime the Matcher/batch layers target.
+func serveInstances(scale string) []struct {
+	name string
+	g    *bipartite.Graph
+} {
+	n := 10000
+	switch scale {
+	case "tiny":
+		n = 2000
+	case "paper":
+		n = 50000
+	}
+	return []struct {
+		name string
+		g    *bipartite.Graph
+	}{
+		{"er-small", bipartite.RandomER(n, n, 4, 7)},
+		{"pl-small", bipartite.PowerLaw(n, 2, 1.8, n/20, 9)},
+	}
+}
+
+// serve measures per-request throughput of the TwoSided heuristic served
+// three ways — one-shot calls, a reused Matcher session, and MatchBatch —
+// and returns perf-style records (ns_op is ns per request, speedup is
+// versus the one-shot tier).
+func serve(cfg bench.Config) []bench.PerfRecord {
+	cfg = cfg.Defaults()
+	requests := 60 * cfg.Runs // 600 at the default 10 runs
+	opt := &bipartite.Options{ScalingIterations: 5, Seed: cfg.Seed}
+
+	var records []bench.PerfRecord
+	tbl := &bench.Table{
+		Title:   "serve: per-request throughput, one-shot vs matcher vs batched",
+		Headers: []string{"instance", "edges", "mode", "workers", "us/req", "req/s", "speedup"},
+	}
+	for _, inst := range serveInstances(cfg.Scale) {
+		g := inst.g
+		g.Sprank() // warm the cache so Quality inside the timed runs is free
+		var quality float64
+
+		oneshot := func() {
+			for k := 0; k < requests; k++ {
+				o := *opt
+				o.Seed = cfg.Seed + uint64(k)
+				res, err := g.TwoSidedMatch(&o)
+				if err != nil {
+					panic(err)
+				}
+				quality = g.Quality(res.Matching)
+			}
+		}
+		matcher := func() {
+			m := g.NewMatcher(opt)
+			for k := 0; k < requests; k++ {
+				res, err := m.TwoSided(cfg.Seed + uint64(k))
+				if err != nil {
+					panic(err)
+				}
+				quality = g.Quality(res.Matching)
+			}
+		}
+		reqs := make([]bipartite.Request, requests)
+		for k := range reqs {
+			reqs[k] = bipartite.Request{Graph: g, Op: bipartite.OpTwoSided, Seed: cfg.Seed + uint64(k)}
+		}
+		batched := func() {
+			out := bipartite.MatchBatch(reqs, opt)
+			quality = g.Quality(out[len(out)-1].Matching)
+		}
+
+		poolWidth := runtime.GOMAXPROCS(0)
+
+		var anchor time.Duration
+		for _, mode := range []struct {
+			name    string
+			workers int
+			run     func()
+		}{
+			{"serve/oneshot", poolWidth, oneshot},
+			{"serve/matcher", poolWidth, matcher},
+			{"serve/batch", poolWidth, batched},
+		} {
+			best := bench.TimeBest(3, mode.run)
+			if mode.name == "serve/oneshot" {
+				anchor = best
+			}
+			perReq := best / time.Duration(requests)
+			speedup := float64(anchor) / float64(best)
+			records = append(records, bench.PerfRecord{
+				Instance:  inst.name,
+				Edges:     g.Edges(),
+				Heuristic: mode.name,
+				Workers:   mode.workers,
+				NsOp:      perReq.Nanoseconds(),
+				Quality:   quality,
+				Speedup:   speedup,
+			})
+			tbl.AddRow(inst.name, fmt.Sprintf("%d", g.Edges()), mode.name,
+				fmt.Sprintf("%d", mode.workers),
+				fmt.Sprintf("%.1f", float64(perReq.Microseconds())),
+				fmt.Sprintf("%.0f", float64(requests)/best.Seconds()),
+				fmt.Sprintf("%.2f", speedup))
+		}
+	}
+	tbl.Write(cfg.Out)
+	return records
+}

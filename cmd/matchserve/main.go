@@ -1,0 +1,271 @@
+// Command matchserve is an HTTP/JSON matching service on top of the
+// library's batching Server: a receiver→worker→writer loop where the
+// receiver is the HTTP layer, the worker is the pool-wide batch engine
+// with its per-slot Matcher arenas, and the writer streams the decoded
+// matchings back as JSON. Concurrent requests are drained into shared
+// batches, so the service amortizes dispatch and workspace setup exactly
+// like the in-process API.
+//
+// Endpoints:
+//
+//	POST /graph        register a graph: {"rows":R,"cols":C,"edges":[[i,j],...]}
+//	                   → {"id":"g1","rows":R,"cols":C,"edges":E}
+//	DELETE /graph/{id} evict a registered graph (the registry is capped by
+//	                   -maxgraphs; registration past the cap is rejected)
+//	POST /match        match once: {"graph":"g1","op":"twosided","seed":7}
+//	                   or with an inline graph: {"rows":..,"cols":..,"edges":..,"op":..}
+//	                   → {"size":S,"rows":R,"cols":C,"row_mate":[...],"ms":1.2}
+//	POST /match/batch  {"requests":[<match request>, ...]}
+//	                   → {"responses":[<match response | error>, ...],"ms":batchMs}
+//	GET  /healthz      → {"status":"ok"}
+//	GET  /stats        → {"requests":N,"batches":B,"graphs":G}
+//
+// Registering a graph once and matching it by id is the warm path: every
+// arena that has served the graph keeps its scaling cached, so a
+// seed-sweep workload pays the scaling sweeps once per slot and the
+// sampling kernels per request.
+//
+// Usage:
+//
+//	matchserve -addr :8480 -batch 256 -workers 0 -iters 5 -maxgraphs 1024
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bipartite "repro"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8480", "listen address")
+		batch     = flag.Int("batch", 256, "max requests drained into one batch")
+		workers   = flag.Int("workers", 0, "parallel width (0 = all CPUs)")
+		iters     = flag.Int("iters", 5, "Sinkhorn-Knopp scaling iterations")
+		maxGraphs = flag.Int("maxgraphs", 1024, "max registered graphs (0 = unlimited)")
+	)
+	flag.Parse()
+
+	opt := &bipartite.Options{ScalingIterations: *iters, Workers: *workers}
+	h := newHandler(bipartite.NewServer(opt, *batch), *maxGraphs)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /graph", h.handleGraph)
+	mux.HandleFunc("DELETE /graph/{id}", h.handleGraphDelete)
+	mux.HandleFunc("POST /match", h.handleMatch)
+	mux.HandleFunc("POST /match/batch", h.handleBatch)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /stats", h.handleStats)
+
+	log.Printf("matchserve listening on %s (batch=%d workers=%d iters=%d)",
+		*addr, *batch, *workers, *iters)
+	// log.Fatal would os.Exit past any deferred Close; shut the batching
+	// server down explicitly once the listener fails.
+	err := http.ListenAndServe(*addr, mux)
+	h.srv.Close()
+	log.Fatal(err)
+}
+
+// handler owns the matching server and the graph registry.
+type handler struct {
+	srv *bipartite.Server
+
+	mu        sync.RWMutex
+	graphs    map[string]*bipartite.Graph
+	maxGraphs int
+	nextID    atomic.Int64
+}
+
+func newHandler(srv *bipartite.Server, maxGraphs int) *handler {
+	return &handler{srv: srv, graphs: make(map[string]*bipartite.Graph), maxGraphs: maxGraphs}
+}
+
+// graphSpec is an inline graph definition.
+type graphSpec struct {
+	Rows  int      `json:"rows"`
+	Cols  int      `json:"cols"`
+	Edges [][2]int `json:"edges"`
+}
+
+func (s *graphSpec) build() (*bipartite.Graph, error) {
+	if s.Rows <= 0 || s.Cols <= 0 {
+		return nil, fmt.Errorf("rows and cols must be positive, got %dx%d", s.Rows, s.Cols)
+	}
+	return bipartite.FromEdges(s.Rows, s.Cols, s.Edges)
+}
+
+// matchRequest is one /match body: a registered graph id or an inline
+// graph, plus heuristic and seed.
+type matchRequest struct {
+	graphSpec
+	GraphID string `json:"graph"`
+	Op      string `json:"op"`
+	Seed    uint64 `json:"seed"`
+}
+
+// matchResponse is the writer-side shape of one served matching.
+type matchResponse struct {
+	Size    int     `json:"size"`
+	Rows    int     `json:"rows"`
+	Cols    int     `json:"cols"`
+	RowMate []int32 `json:"row_mate"`
+	// Ms is the wall-clock of a single /match; batch responses omit it
+	// and report one batch-wide "ms" in the envelope instead (the
+	// requests ran concurrently, so no per-request wall-clock exists).
+	Ms    float64 `json:"ms,omitempty"`
+	Error string  `json:"error,omitempty"`
+}
+
+// resolve turns a wire request into a library request.
+func (h *handler) resolve(mr *matchRequest) (bipartite.Request, error) {
+	op, err := bipartite.ParseOp(mr.Op)
+	if err != nil {
+		return bipartite.Request{}, err
+	}
+	var g *bipartite.Graph
+	if mr.GraphID != "" {
+		h.mu.RLock()
+		g = h.graphs[mr.GraphID]
+		h.mu.RUnlock()
+		if g == nil {
+			return bipartite.Request{}, fmt.Errorf("unknown graph %q", mr.GraphID)
+		}
+	} else {
+		if g, err = mr.build(); err != nil {
+			return bipartite.Request{}, err
+		}
+	}
+	return bipartite.Request{Graph: g, Op: op, Seed: mr.Seed}, nil
+}
+
+func (h *handler) handleGraph(w http.ResponseWriter, r *http.Request) {
+	var spec graphSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	g, err := spec.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id := "g" + strconv.FormatInt(h.nextID.Add(1), 10)
+	h.mu.Lock()
+	if h.maxGraphs > 0 && len(h.graphs) >= h.maxGraphs {
+		h.mu.Unlock()
+		writeError(w, http.StatusInsufficientStorage,
+			fmt.Errorf("graph registry full (%d); DELETE /graph/{id} to free slots", h.maxGraphs))
+		return
+	}
+	h.graphs[id] = g
+	h.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": id, "rows": g.Rows(), "cols": g.Cols(), "edges": g.Edges(),
+	})
+}
+
+func (h *handler) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	h.mu.Lock()
+	_, ok := h.graphs[id]
+	delete(h.graphs, id)
+	h.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (h *handler) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var mr matchRequest
+	if err := json.NewDecoder(r.Body).Decode(&mr); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := h.resolve(&mr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	resp := h.srv.Match(req)
+	writeJSON(w, http.StatusOK, toWire(resp, time.Since(start)))
+}
+
+func (h *handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Requests []matchRequest `json:"requests"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	reqs := make([]bipartite.Request, len(body.Requests))
+	// Per-request resolution errors are reported in-band so one bad entry
+	// does not fail the batch; its slot is served as a nil graph and the
+	// response swapped for the resolution error afterwards.
+	resolveErrs := make([]error, len(body.Requests))
+	for i := range body.Requests {
+		reqs[i], resolveErrs[i] = h.resolve(&body.Requests[i])
+	}
+	start := time.Now()
+	resps := h.srv.MatchBatch(reqs)
+	elapsed := time.Since(start)
+	out := make([]matchResponse, len(resps))
+	for i, resp := range resps {
+		if resolveErrs[i] != nil {
+			resp = bipartite.Response{Err: resolveErrs[i]}
+		}
+		out[i] = toWire(resp, 0)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"responses": out,
+		"ms":        float64(elapsed.Microseconds()) / 1000,
+	})
+}
+
+func (h *handler) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := h.srv.Stats()
+	h.mu.RLock()
+	graphs := len(h.graphs)
+	h.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests": st.Requests, "batches": st.Batches, "graphs": graphs,
+	})
+}
+
+func toWire(resp bipartite.Response, d time.Duration) matchResponse {
+	if resp.Err != nil {
+		return matchResponse{Error: resp.Err.Error()}
+	}
+	return matchResponse{
+		Size:    resp.Matching.Size,
+		Rows:    len(resp.Matching.RowMate),
+		Cols:    len(resp.Matching.ColMate),
+		RowMate: resp.Matching.RowMate,
+		Ms:      float64(d.Microseconds()) / 1000,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("matchserve: write: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -49,9 +49,47 @@
 // is exact: reported errors, scaling vectors and sampled choices are
 // bit-identical to the textbook formulation.
 //
-// All heuristics are deterministic for a fixed Options.Seed regardless of
-// worker count, scheduling policy or pool width (OneSidedMatch's
-// last-write-wins conflict order is the one documented, scheduling-
-// dependent exception), and are free of data races at any level of
-// parallelism.
+// Determinism contract, for a fixed Options.Seed: the sampled choices
+// (hence TwoSidedMatch's 1-out graph), the scaling vectors and the
+// matching size are identical for every worker count, scheduling policy
+// and pool width. With Workers: 1 the entire matching is deterministic,
+// bit for bit. At parallel widths the specific pairing may vary between
+// runs — OneSidedMatch's last-write-wins winner and the Karp–Sipser
+// kernel's CAS claim order are scheduling-dependent — while the size
+// stays fixed (the kernel always returns a maximum matching of the
+// deterministic 1-out graph). All heuristics are free of data races at
+// any level of parallelism; callers that need reproducible matchings, not
+// just reproducible sizes, run with Workers: 1 (as the batch layer below
+// does per request).
+//
+// # Sessions and serving
+//
+// The one-shot calls above are thin wrappers over a Matcher, a reusable
+// session bound to one graph. A Matcher caches the transpose and the
+// (seed-independent) scaling and owns preallocated workspaces for every
+// pipeline stage, so repeated calls on the same graph — seed sweeps,
+// jump-start ensembles, servers — skip the scaling stage entirely and run
+// the kernels with near-zero allocations, bit-identical to the one-shot
+// results:
+//
+//	m := g.NewMatcher(&bipartite.Options{ScalingIterations: 5})
+//	for seed := uint64(1); seed <= 100; seed++ {
+//		res, _ := m.TwoSided(seed)   // no rescaling, no reallocation
+//		consume(res.Matching)        // valid until the next call on m
+//	}
+//	m.Reset(next)                        // rebind, reusing the buffers
+//
+// Prefer a Matcher over one-shot calls whenever the same graph (or a
+// stream of same-shaped graphs) is matched more than once; results alias
+// the session and must be copied if retained across calls.
+//
+// For many small independent requests, MatchBatch executes a whole queue
+// as one pool-wide parallel region — one dispatch for N requests, one warm
+// Matcher arena per worker slot, each request served sequentially so its
+// response is a deterministic function of (Graph, Op, Seed) alone. Server
+// wraps the same engine in a long-lived collector loop that drains
+// concurrent submitters into batches (the arenas stay warm across
+// batches), and cmd/matchserve exposes it over HTTP/JSON; responses are
+// caller-owned copies. See examples/server for the three tiers side by
+// side.
 package bipartite

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dm"
 	"repro/internal/exact"
@@ -32,15 +34,17 @@ const Unmatched = exact.NIL
 // Graph is a bipartite graph stored as the sparse pattern of its
 // biadjacency matrix. The zero value is not usable; construct with one of
 // the constructors or generators. A Graph is immutable after construction;
-// all methods are safe for concurrent use.
+// all methods are safe for concurrent use (the lazy transpose and sprank
+// caches are synchronized — batch serving builds them from pool workers).
 type Graph struct {
-	a  *sparse.CSR
-	at *sparse.CSR // transpose, built lazily
+	a      *sparse.CSR
+	atOnce sync.Once
+	at     *sparse.CSR // transpose, built lazily under atOnce
 
-	sprank int // cached maximum matching size; -1 until computed
+	sprank atomic.Int64 // cached maximum matching size + 1; 0 until computed
 }
 
-func newGraph(a *sparse.CSR) *Graph { return &Graph{a: a, sprank: -1} }
+func newGraph(a *sparse.CSR) *Graph { return &Graph{a: a} }
 
 // NewGraph builds a graph from raw CSR components: ptr has length rows+1,
 // idx holds the column index of each edge. The input is validated and the
@@ -173,9 +177,7 @@ func (g *Graph) CSR() (rows, cols int, ptr []int, idx []int32) {
 }
 
 func (g *Graph) transpose() *sparse.CSR {
-	if g.at == nil {
-		g.at = g.a.Transpose()
-	}
+	g.atOnce.Do(func() { g.at = g.a.Transpose() })
 	return g.at
 }
 
@@ -201,12 +203,15 @@ func (g *Graph) MaximumMatchingFrom(init *Matching) (*Matching, int) {
 }
 
 // Sprank returns the maximum matching cardinality (structural rank),
-// caching the result.
+// caching the result. Concurrent first calls may each compute it; they
+// agree, and later calls hit the cache.
 func (g *Graph) Sprank() int {
-	if g.sprank < 0 {
-		g.sprank = exact.Sprank(g.a)
+	if v := g.sprank.Load(); v > 0 {
+		return int(v - 1)
 	}
-	return g.sprank
+	s := exact.Sprank(g.a)
+	g.sprank.Store(int64(s) + 1)
+	return s
 }
 
 // MinimumVertexCover extracts a minimum vertex cover from a maximum

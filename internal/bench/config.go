@@ -48,9 +48,11 @@ func (c Config) Defaults() Config {
 	return c
 }
 
-// timeBest runs f reps times and returns the fastest wall-clock duration —
+// TimeBest runs f reps times and returns the fastest wall-clock duration —
 // the standard way to suppress scheduling noise in speedup measurements.
-func timeBest(reps int, f func()) time.Duration {
+// Exported so cmd/matchbench's serve experiment shares the exact timing
+// policy of the in-package experiments.
+func TimeBest(reps int, f func()) time.Duration {
 	best := time.Duration(1<<63 - 1)
 	for r := 0; r < reps; r++ {
 		start := time.Now()

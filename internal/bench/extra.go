@@ -215,14 +215,14 @@ func AblationKSVariants(cfg Config, n int) []KSVariantRow {
 		row := KSVariantRow{Name: inst.name}
 
 		var size int
-		d := timeBest(3, func() {
+		d := TimeBest(3, func() {
 			mt, _ := ks.Run(a, at, cfg.Seed)
 			size = mt.Size
 		})
 		row.ExactKSQ = float64(size) / float64(sp)
 		row.ExactKSMs = float64(d.Microseconds()) / 1000
 
-		d = timeBest(3, func() {
+		d = TimeBest(3, func() {
 			size = ks.RunApprox(a, at, cfg.Seed, 0).Size
 		})
 		row.ApproxKSQ = float64(size) / float64(sp)
@@ -232,7 +232,7 @@ func AblationKSVariants(cfg Config, n int) []KSVariantRow {
 		if err != nil {
 			panic(err)
 		}
-		d = timeBest(3, func() {
+		d = TimeBest(3, func() {
 			o := core.Options{Policy: par.Dynamic, KSPolicy: par.Guided, Seed: cfg.Seed}
 			size = core.TwoSided(a, at, res.DR, res.DC, o).Matching.Size
 		})
@@ -273,7 +273,7 @@ func AblationSchedule(cfg Config, n int) map[string]float64 {
 		Headers: []string{"policy", "time(ms)"},
 	}
 	for _, pol := range []par.Policy{par.Static, par.Dynamic, par.Guided} {
-		d := timeBest(3, func() {
+		d := TimeBest(3, func() {
 			core.OneSided(a, res.DR, res.DC, core.Options{
 				Workers: w, Policy: pol, KSPolicy: pol, Seed: cfg.Seed})
 		})

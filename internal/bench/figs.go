@@ -39,12 +39,12 @@ func fig3One(cfg Config, inst Instance) (sRow, oRow SpeedupRow) {
 	oRow = sRow
 
 	times := func(w int) (time.Duration, time.Duration) {
-		ts := timeBest(3, func() {
+		ts := TimeBest(3, func() {
 			if _, err := scale.SinkhornKnopp(a, at, scale.Options{MaxIters: 1, Workers: w}); err != nil {
 				panic(err)
 			}
 		})
-		to := timeBest(3, func() {
+		to := TimeBest(3, func() {
 			r, err := scale.SinkhornKnopp(a, at, scale.Options{MaxIters: 1, Workers: w})
 			if err != nil {
 				panic(err)
@@ -92,8 +92,8 @@ func fig4One(cfg Config, inst Instance) (kRow, tRow SpeedupRow) {
 	tRow = kRow
 	times := func(w int) (time.Duration, time.Duration) {
 		o := core.Options{Workers: w, Policy: par.Dynamic, KSPolicy: par.Guided, Seed: cfg.Seed}
-		tk := timeBest(3, func() { core.KarpSipserMT(g, o) })
-		tt := timeBest(3, func() {
+		tk := TimeBest(3, func() { core.KarpSipserMT(g, o) })
+		tt := TimeBest(3, func() {
 			r, err := scale.SinkhornKnopp(a, at, scale.Options{MaxIters: 1, Workers: w})
 			if err != nil {
 				panic(err)

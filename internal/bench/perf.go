@@ -78,7 +78,7 @@ func Perf(cfg Config) []PerfRecord {
 			// The speedup denominator is always a measured 1-worker run,
 			// even when the sweep starts higher — the JSON field promises
 			// "vs 1", and mixed thread lists must stay comparable.
-			anchor := timeBest(reps, func() { runHeuristic(h, a, at, cfg.Seed, 1, pool, sprank) })
+			anchor := TimeBest(reps, func() { runHeuristic(h, a, at, cfg.Seed, 1, pool, sprank) })
 			for _, th := range cfg.Threads {
 				var quality float64
 				run := func() {
@@ -86,7 +86,7 @@ func Perf(cfg Config) []PerfRecord {
 				}
 				best := anchor
 				if th != 1 {
-					best = timeBest(reps, run)
+					best = TimeBest(reps, run)
 				} else {
 					run() // one extra pass to fill in the quality
 				}

@@ -58,13 +58,13 @@ func table3One(cfg Config, inst Instance) Table3Row {
 	}
 
 	// ScaleSK, one iteration, sequential.
-	row.TScale = timeBest(reps, func() {
+	row.TScale = TimeBest(reps, func() {
 		if _, err := scale.SinkhornKnopp(a, at, scale.Options{MaxIters: 1, Workers: 1}); err != nil {
 			panic(err)
 		}
 	})
 	// OneSidedMatch = ScaleSK(1) + sampling + write.
-	row.TOneSided = timeBest(reps, func() {
+	row.TOneSided = TimeBest(reps, func() {
 		r, err := scale.SinkhornKnopp(a, at, scale.Options{MaxIters: 1, Workers: 1})
 		if err != nil {
 			panic(err)
@@ -73,9 +73,9 @@ func table3One(cfg Config, inst Instance) Table3Row {
 	})
 	// KarpSipserMT alone on a pre-sampled choice graph.
 	g := sampleChoiceGraph(a, at, res.DR, res.DC, seq)
-	row.TKarpSipserMT = timeBest(reps, func() { core.KarpSipserMT(g, seq) })
+	row.TKarpSipserMT = TimeBest(reps, func() { core.KarpSipserMT(g, seq) })
 	// TwoSidedMatch = ScaleSK(1) + sampling both sides + KarpSipserMT.
-	row.TTwoSided = timeBest(reps, func() {
+	row.TTwoSided = TimeBest(reps, func() {
 		r, err := scale.SinkhornKnopp(a, at, scale.Options{MaxIters: 1, Workers: 1})
 		if err != nil {
 			panic(err)

@@ -1,0 +1,13 @@
+// Package buf holds the one grow-on-demand slice helper the session
+// workspaces share, so the growth policy lives in a single place.
+package buf
+
+// Grow returns s resized to length n, reusing its backing array when the
+// capacity suffices and allocating a fresh one otherwise. Contents are
+// unspecified; callers that need initialized memory overwrite it.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

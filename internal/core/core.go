@@ -14,7 +14,6 @@
 package core
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/exact"
@@ -62,12 +61,26 @@ func (o Options) pool() *par.Pool {
 	return par.Default()
 }
 
-func (o Options) workers() int { return o.pool().Workers(o.Workers) }
 func (o Options) chunk() int {
 	if o.Chunk <= 0 {
 		return par.DefaultChunk
 	}
 	return o.Chunk
+}
+
+// colSeedSalt decorrelates the column-side RNG streams from the row side.
+const colSeedSalt = 0x5DEECE66D
+
+// sampleRange draws the choices of rows [lo, hi): per-row RNG streams
+// keyed by the row index mean no shared state, and the sampled choices are
+// identical for any worker count and scheduling policy under a fixed seed.
+// It is the shared loop body of the one-shot samplers and the Session.
+func sampleRange(a *sparse.CSR, d, tot []float64, base uint64, choice []int32, lo, hi int) {
+	var rng xrand.SplitMix64
+	for i := lo; i < hi; i++ {
+		rng.SetIndexed(base, i)
+		choice[i] = sampleRow(a, d, i, tot, &rng)
+	}
 }
 
 // SampleRowChoices draws, for every row i of a, a column j ∈ A_i* with
@@ -77,17 +90,10 @@ func (o Options) chunk() int {
 // "0 scaling iterations" configuration).
 func SampleRowChoices(a *sparse.CSR, dr, dc []float64, opt Options) []int32 {
 	choice := make([]int32, a.RowsN)
-	// Per-row RNG streams keyed by the row index: no shared state, and the
-	// sampled choices are identical for any worker count and scheduling
-	// policy under a fixed seed.
 	base := xrand.Base(opt.Seed)
 	tot := opt.RowTotals
 	opt.pool().For(a.RowsN, opt.Workers, opt.Policy, opt.chunk(), func(_, lo, hi int) {
-		var rng xrand.SplitMix64
-		for i := lo; i < hi; i++ {
-			rng.SetIndexed(base, i)
-			choice[i] = sampleRow(a, dc, i, tot, &rng)
-		}
+		sampleRange(a, dc, tot, base, choice, lo, hi)
 	})
 	return choice
 }
@@ -97,14 +103,10 @@ func SampleRowChoices(a *sparse.CSR, dr, dc []float64, opt Options) []int32 {
 // s_ij / Σ_k s_kj.
 func SampleColChoices(at *sparse.CSR, dr, dc []float64, opt Options) []int32 {
 	choice := make([]int32, at.RowsN)
-	base := xrand.Base(opt.Seed ^ 0x5DEECE66D)
+	base := xrand.Base(opt.Seed ^ colSeedSalt)
 	tot := opt.ColTotals
 	opt.pool().For(at.RowsN, opt.Workers, opt.Policy, opt.chunk(), func(_, lo, hi int) {
-		var rng xrand.SplitMix64
-		for j := lo; j < hi; j++ {
-			rng.SetIndexed(base, j)
-			choice[j] = sampleRow(at, dr, j, tot, &rng)
-		}
+		sampleRange(at, dr, tot, base, choice, lo, hi)
 	})
 	return choice
 }
@@ -154,6 +156,19 @@ func weight(a *sparse.CSR, dc []float64, p int) float64 {
 	return w
 }
 
+// oneSidedRange is the shared loop body of OneSided: rows [lo, hi) sample
+// one column each and claim it with a last-write-wins atomic store.
+func oneSidedRange(a *sparse.CSR, d, tot []float64, base uint64, cmatch []int32, lo, hi int) {
+	var rng xrand.SplitMix64
+	for i := lo; i < hi; i++ {
+		rng.SetIndexed(base, i)
+		j := sampleRow(a, d, i, tot, &rng)
+		if j != NIL {
+			atomic.StoreInt32(&cmatch[j], int32(i))
+		}
+	}
+}
+
 // OneSided runs OneSidedMatch (Algorithm 2) given the matrix and its
 // scaling vectors. It returns the cmatch array (cmatch[j] = row matched to
 // column j, or NIL) and the matching cardinality. The concurrent
@@ -169,14 +184,7 @@ func OneSided(a *sparse.CSR, dr, dc []float64, opt Options) ([]int32, int) {
 	base := xrand.Base(opt.Seed)
 	tot := opt.RowTotals
 	opt.pool().For(n, opt.Workers, opt.Policy, opt.chunk(), func(_, lo, hi int) {
-		var rng xrand.SplitMix64
-		for i := lo; i < hi; i++ {
-			rng.SetIndexed(base, i)
-			j := sampleRow(a, dc, i, tot, &rng)
-			if j != NIL {
-				atomic.StoreInt32(&cmatch[j], int32(i))
-			}
-		}
+		oneSidedRange(a, dc, tot, base, cmatch, lo, hi)
 	})
 	size := 0
 	for _, i := range cmatch {
@@ -202,6 +210,14 @@ type ChoiceGraph struct {
 // KarpSipserMT treats as isolated.
 func NewChoiceGraph(n, m int, rchoice, cchoice []int32) *ChoiceGraph {
 	g := &ChoiceGraph{N: n, M: m, Choice: make([]int32, n+m)}
+	buildChoiceInto(g, rchoice, cchoice)
+	return g
+}
+
+// buildChoiceInto fills g.Choice (already sized N+M) from the per-side
+// choice arrays; the reusable half of NewChoiceGraph.
+func buildChoiceInto(g *ChoiceGraph, rchoice, cchoice []int32) {
+	n, m := g.N, g.M
 	for i := 0; i < n; i++ {
 		if rchoice[i] == NIL {
 			g.Choice[i] = int32(i) // self loop = isolated
@@ -216,7 +232,6 @@ func NewChoiceGraph(n, m int, rchoice, cchoice []int32) *ChoiceGraph {
 			g.Choice[n+j] = cchoice[j]
 		}
 	}
-	return g
 }
 
 // ToCSR materializes the choice graph as a bipartite CSR (rows × cols)
@@ -261,81 +276,98 @@ func KarpSipserMT(g *ChoiceGraph, opt Options) []int32 {
 	chunk := opt.chunk()
 
 	pool.For(nm, workers, pol, chunk, func(_, lo, hi int) {
-		for u := lo; u < hi; u++ {
-			mark[u] = 1
-			deg[u] = 1
-			match[u] = NIL
-		}
+		ksInitRange(match, mark, deg, lo, hi)
 	})
-	// Vertices that were chosen by someone are not out-one candidates;
-	// each in-edge beyond the vertex's own out-edge bumps its degree.
 	pool.For(nm, workers, pol, chunk, func(_, lo, hi int) {
-		for u := lo; u < hi; u++ {
-			v := g.Choice[u]
-			if int(v) == u {
-				continue // isolated vertex: no edge at all
-			}
-			atomic.StoreInt32(&mark[v], 0)
-			if int(g.Choice[v]) != u {
-				atomic.AddInt32(&deg[v], 1)
-			}
-		}
+		ksLinkRange(g.Choice, mark, deg, lo, hi)
 	})
-
-	// Phase 1: consume out-one vertices, following each chain of newly
-	// created out-one vertices without any list (Lemma 4: consuming an
-	// out-one vertex creates at most one new one).
 	pool.For(nm, workers, pol, chunk, func(_, lo, hi int) {
-		for u := lo; u < hi; u++ {
-			if atomic.LoadInt32(&mark[u]) != 1 || int(g.Choice[u]) == u {
-				continue
-			}
-			curr := int32(u)
-			for curr != NIL {
-				nbr := g.Choice[curr]
-				if nbr == curr {
-					break // chain ran into an isolated (self-loop) vertex
-				}
-				if atomic.CompareAndSwapInt32(&match[nbr], NIL, curr) {
-					atomic.StoreInt32(&match[curr], nbr)
-					next := g.Choice[nbr]
-					if int(next) != int(nbr) && atomic.LoadInt32(&match[next]) == NIL &&
-						atomic.AddInt32(&deg[next], -1) == 1 {
-						// We performed the last consumption before next
-						// became out-one: continue the chain with it.
-						curr = next
-						continue
-					}
-				}
-				// Either the neighbor was claimed by another thread (the
-				// competing matching decision wins, ours is dropped), or
-				// the chain ended.
-				curr = NIL
-			}
-		}
+		ksPhase1Range(g.Choice, match, mark, deg, lo, hi)
 	})
-
-	// Phase 2: the residual graph is a disjoint union of simple cycles,
-	// 2-cliques and isolated vertices (Lemma 3); the column-side choice
-	// edges of each cycle form a maximum matching of it, so a single
-	// parallel sweep over column vertices finishes the job. The CAS never
-	// fails on valid choice graphs; it is kept so that adversarial inputs
-	// still yield a valid (if not maximum) matching.
 	pool.For(g.M, workers, pol, chunk, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			u := int32(g.N + j)
-			v := g.Choice[u]
-			if v == u {
-				continue
-			}
-			if atomic.LoadInt32(&match[u]) == NIL && atomic.LoadInt32(&match[v]) == NIL {
-				if atomic.CompareAndSwapInt32(&match[v], NIL, u) {
-					atomic.StoreInt32(&match[u], v)
-				}
-			}
-		}
+		ksPhase2Range(g.Choice, match, g.N, lo, hi)
 	})
 	return match
+}
+
+// ksInitRange seeds the per-vertex state of Algorithm 4.
+func ksInitRange(match, mark, deg []int32, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		mark[u] = 1
+		deg[u] = 1
+		match[u] = NIL
+	}
+}
+
+// ksLinkRange accounts the in-edges: vertices that were chosen by someone
+// are not out-one candidates, and each in-edge beyond the vertex's own
+// out-edge bumps its degree.
+func ksLinkRange(choice, mark, deg []int32, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		v := choice[u]
+		if int(v) == u {
+			continue // isolated vertex: no edge at all
+		}
+		atomic.StoreInt32(&mark[v], 0)
+		if int(choice[v]) != u {
+			atomic.AddInt32(&deg[v], 1)
+		}
+	}
+}
+
+// ksPhase1Range is Phase 1 of Algorithm 4: consume out-one vertices,
+// following each chain of newly created out-one vertices without any list
+// (Lemma 4: consuming an out-one vertex creates at most one new one).
+func ksPhase1Range(choice, match, mark, deg []int32, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		if atomic.LoadInt32(&mark[u]) != 1 || int(choice[u]) == u {
+			continue
+		}
+		curr := int32(u)
+		for curr != NIL {
+			nbr := choice[curr]
+			if nbr == curr {
+				break // chain ran into an isolated (self-loop) vertex
+			}
+			if atomic.CompareAndSwapInt32(&match[nbr], NIL, curr) {
+				atomic.StoreInt32(&match[curr], nbr)
+				next := choice[nbr]
+				if int(next) != int(nbr) && atomic.LoadInt32(&match[next]) == NIL &&
+					atomic.AddInt32(&deg[next], -1) == 1 {
+					// We performed the last consumption before next
+					// became out-one: continue the chain with it.
+					curr = next
+					continue
+				}
+			}
+			// Either the neighbor was claimed by another thread (the
+			// competing matching decision wins, ours is dropped), or
+			// the chain ended.
+			curr = NIL
+		}
+	}
+}
+
+// ksPhase2Range is Phase 2 of Algorithm 4 over columns [lo, hi): the
+// residual graph is a disjoint union of simple cycles, 2-cliques and
+// isolated vertices (Lemma 3); the column-side choice edges of each cycle
+// form a maximum matching of it, so a single parallel sweep over column
+// vertices finishes the job. The CAS never fails on valid choice graphs;
+// it is kept so that adversarial inputs still yield a valid (if not
+// maximum) matching.
+func ksPhase2Range(choice, match []int32, n, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		u := int32(n + j)
+		v := choice[u]
+		if v == u {
+			continue
+		}
+		if atomic.LoadInt32(&match[u]) == NIL && atomic.LoadInt32(&match[v]) == NIL {
+			if atomic.CompareAndSwapInt32(&match[v], NIL, u) {
+				atomic.StoreInt32(&match[u], v)
+			}
+		}
+	}
 }
 
 // Result is the outcome of TwoSided.
@@ -352,57 +384,64 @@ type Result struct {
 // TwoSided runs TwoSidedMatch (Algorithm 3): sample row and column
 // choices from the scaled matrix, then match the resulting 1-out graph
 // exactly with KarpSipserMT. The two sampling loops are independent
-// (disjoint outputs, RNG streams keyed by element index), so at parallel
-// widths above one they run concurrently on the shared pool — the columns
-// of a row-imbalanced instance fill the bubbles of the row loop and vice
-// versa. Results are identical to running them back to back.
+// (disjoint outputs, RNG streams keyed by element index), so they fuse
+// into a single parallel region — the columns of a row-imbalanced
+// instance fill the bubbles of the row loop and vice versa. Results are
+// identical to running them back to back.
 func TwoSided(a, at *sparse.CSR, dr, dc []float64, opt Options) *Result {
-	var rchoice, cchoice []int32
-	if opt.workers() > 1 {
-		var wg sync.WaitGroup
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cchoice = SampleColChoices(at, dr, dc, opt)
-		}()
-		rchoice = SampleRowChoices(a, dr, dc, opt)
-		wg.Wait()
-	} else {
-		rchoice = SampleRowChoices(a, dr, dc, opt)
-		cchoice = SampleColChoices(at, dr, dc, opt)
-	}
-	g := NewChoiceGraph(a.RowsN, a.ColsN, rchoice, cchoice)
-	match := KarpSipserMT(g, opt)
-	return &Result{Match: match, Matching: DecodeMatch(g, match), Graph: g}
+	s := NewSession(a, at, opt)
+	s.SetScaling(dr, dc, opt.RowTotals, opt.ColTotals)
+	return s.TwoSided(opt.Seed)
 }
 
 // DecodeMatch converts a vertex-indexed match array into row/column form,
 // validating mutual consistency (u matched to v implies v matched to u).
 func DecodeMatch(g *ChoiceGraph, match []int32) *exact.Matching {
 	mt := exact.NewMatching(g.N, g.M)
+	decodeMatchInto(g, match, mt)
+	return mt
+}
+
+// decodeMatchInto is DecodeMatch writing into a caller-owned matching of
+// the right shape (it is fully reset first).
+func decodeMatchInto(g *ChoiceGraph, match []int32, mt *exact.Matching) {
+	mt.Size = 0
+	for j := range mt.ColMate {
+		mt.ColMate[j] = NIL
+	}
 	for u := 0; u < g.N; u++ {
 		v := match[u]
-		if v == NIL {
+		if v == NIL || match[v] != int32(u) {
+			mt.RowMate[u] = NIL
 			continue
 		}
-		if match[v] == int32(u) {
-			mt.RowMate[u] = v - int32(g.N)
-			mt.ColMate[v-int32(g.N)] = int32(u)
-			mt.Size++
-		}
+		mt.RowMate[u] = v - int32(g.N)
+		mt.ColMate[v-int32(g.N)] = int32(u)
+		mt.Size++
 	}
-	return mt
 }
 
 // CMatchToMatching converts a OneSided cmatch array into row/column form.
 func CMatchToMatching(n int, cmatch []int32) *exact.Matching {
 	mt := exact.NewMatching(n, len(cmatch))
+	cmatchInto(cmatch, mt)
+	return mt
+}
+
+// cmatchInto is CMatchToMatching writing into a caller-owned matching of
+// the right shape (it is fully reset first).
+func cmatchInto(cmatch []int32, mt *exact.Matching) {
+	mt.Size = 0
+	for i := range mt.RowMate {
+		mt.RowMate[i] = NIL
+	}
 	for j, i := range cmatch {
 		if i != NIL {
 			mt.ColMate[j] = i
 			mt.RowMate[i] = int32(j)
 			mt.Size++
+		} else {
+			mt.ColMate[j] = NIL
 		}
 	}
-	return mt
 }

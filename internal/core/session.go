@@ -1,0 +1,195 @@
+package core
+
+import (
+	"repro/internal/buf"
+	"repro/internal/exact"
+	"repro/internal/par"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// Session is the reusable-workspace form of the matching pipeline: it is
+// bound to one matrix (and its transpose) and owns every buffer the
+// OneSided and TwoSided kernels touch — choice arrays, the ChoiceGraph,
+// the match/mark/deg arrays of Algorithm 4, the cmatch array and the
+// decoded matching — plus the parallel loop bodies themselves, built once
+// at construction. Repeated calls therefore perform no steady-state
+// allocations: a call sets the per-call RNG bases, dispatches the prebuilt
+// bodies on the (recycled) loop runtime, and decodes into the resident
+// matching. Results are bit-identical to the one-shot functions — which
+// are themselves thin wrappers over a throwaway Session — wherever those
+// are deterministic: everywhere at one worker; choices, sizes and
+// scaling-derived state at any width (the parallel kernels' per-edge
+// pairing depends on CAS claim order, session or not).
+//
+// The returned Result/Matching/choice slices alias the session and are
+// only valid until the next call on the same Session (or Rebind); callers
+// that need to retain a result copy it out. A Session is not safe for
+// concurrent use — concurrency comes from running many sessions side by
+// side on a shared pool (see the batch layer in the public package).
+type Session struct {
+	a, at *sparse.CSR
+	opt   Options
+	pool  *par.Pool
+	chunk int
+
+	// Scaling state for the current matrix; see SetScaling.
+	dr, dc     []float64
+	rtot, ctot []float64
+
+	// Per-call RNG bases, written before the bodies are dispatched.
+	rbase, cbase, obase uint64
+
+	rchoice, cchoice []int32
+	cg               ChoiceGraph
+	match, mark, deg []int32
+	twoSidedSized    bool // the six buffers above are sized for (a, at)
+	cmatch           []int32
+	matching         exact.Matching
+	result           Result
+
+	sampleBoth func(w, lo, hi int)
+	oneSided   func(w, lo, hi int)
+	ksInit     func(w, lo, hi int)
+	ksLink     func(w, lo, hi int)
+	ksPhase1   func(w, lo, hi int)
+	ksPhase2   func(w, lo, hi int)
+}
+
+// NewSession binds a session to the matrix a and its transpose at. The
+// pool, worker count and scheduling policies are pinned from opt at
+// construction (opt.Seed and the totals are ignored here; seeds are per
+// call and scaling state is set with SetScaling).
+func NewSession(a, at *sparse.CSR, opt Options) *Session {
+	s := &Session{opt: opt, pool: opt.pool(), chunk: opt.chunk()}
+	// The bodies read the session fields at execution time, so one set of
+	// closures survives Rebind, SetScaling and per-call reseeding.
+	//
+	// Row and column sampling fuse into one region over [0, n+m): the two
+	// loops are independent (disjoint outputs, RNG streams keyed by the
+	// element index), so a single dispatch interleaves them freely — the
+	// columns of a row-imbalanced instance fill the bubbles of the row
+	// loop and vice versa — and the sampled choices are identical to
+	// running them back to back.
+	s.sampleBoth = func(_, lo, hi int) {
+		n := s.a.RowsN
+		if lo < n {
+			rhi := hi
+			if rhi > n {
+				rhi = n
+			}
+			sampleRange(s.a, s.dc, s.rtot, s.rbase, s.rchoice, lo, rhi)
+		}
+		if hi > n {
+			clo := lo - n
+			if clo < 0 {
+				clo = 0
+			}
+			sampleRange(s.at, s.dr, s.ctot, s.cbase, s.cchoice, clo, hi-n)
+		}
+	}
+	s.oneSided = func(_, lo, hi int) {
+		oneSidedRange(s.a, s.dc, s.rtot, s.obase, s.cmatch, lo, hi)
+	}
+	s.ksInit = func(_, lo, hi int) { ksInitRange(s.match, s.mark, s.deg, lo, hi) }
+	s.ksLink = func(_, lo, hi int) { ksLinkRange(s.cg.Choice, s.mark, s.deg, lo, hi) }
+	s.ksPhase1 = func(_, lo, hi int) { ksPhase1Range(s.cg.Choice, s.match, s.mark, s.deg, lo, hi) }
+	s.ksPhase2 = func(_, lo, hi int) { ksPhase2Range(s.cg.Choice, s.match, s.cg.N, lo, hi) }
+	s.Rebind(a, at)
+	return s
+}
+
+// Rebind points the session at a different matrix, growing the workspaces
+// as needed (shrinking never reallocates, so cycling through same-shaped
+// graphs is allocation-free after the first). The TwoSided-only buffers
+// (choice arrays, choice graph, match/mark/deg) are sized lazily on the
+// first TwoSided call, so a session used only for OneSided — including the
+// one inside the one-shot wrapper — never pays the ~4·(n+m) words they
+// cost. Scaling state is cleared; call SetScaling before the next matching
+// call that needs it.
+func (s *Session) Rebind(a, at *sparse.CSR) {
+	s.a, s.at = a, at
+	n, m := a.RowsN, a.ColsN
+	s.cg.N, s.cg.M = n, m
+	s.twoSidedSized = false
+	s.cmatch = buf.Grow(s.cmatch, m)
+	s.matching.RowMate = buf.Grow(s.matching.RowMate, n)
+	s.matching.ColMate = buf.Grow(s.matching.ColMate, m)
+	s.matching.Size = 0
+	s.SetScaling(nil, nil, nil, nil)
+}
+
+// ensureTwoSided sizes the TwoSided-only workspaces for the bound matrix.
+func (s *Session) ensureTwoSided() {
+	if s.twoSidedSized {
+		return
+	}
+	n, m := s.a.RowsN, s.a.ColsN
+	s.rchoice = buf.Grow(s.rchoice, n)
+	s.cchoice = buf.Grow(s.cchoice, m)
+	s.cg.Choice = buf.Grow(s.cg.Choice, n+m)
+	s.match = buf.Grow(s.match, n+m)
+	s.mark = buf.Grow(s.mark, n+m)
+	s.deg = buf.Grow(s.deg, n+m)
+	s.twoSidedSized = true
+}
+
+// SetScaling installs the scaling vectors (nil for uniform sampling) and,
+// optionally, the precomputed row/column sampling totals for the bound
+// matrix. The slices are retained, not copied, so a scaling workspace that
+// rewrites them in place keeps feeding the session without further calls.
+func (s *Session) SetScaling(dr, dc, rowTotals, colTotals []float64) {
+	s.dr, s.dc = dr, dc
+	s.rtot, s.ctot = rowTotals, colTotals
+}
+
+// Matrix returns the matrix the session is currently bound to.
+func (s *Session) Matrix() *sparse.CSR { return s.a }
+
+// TwoSided runs TwoSidedMatch (Algorithm 3) with the given seed on the
+// bound matrix, reusing every workspace. See TwoSided for the algorithm
+// and Session for the aliasing contract of the returned Result.
+func (s *Session) TwoSided(seed uint64) *Result {
+	s.ensureTwoSided()
+	s.rbase = xrand.Base(seed)
+	s.cbase = xrand.Base(seed ^ colSeedSalt)
+	s.pool.For(s.a.RowsN+s.at.RowsN, s.opt.Workers, s.opt.Policy, s.chunk, s.sampleBoth)
+	buildChoiceInto(&s.cg, s.rchoice, s.cchoice)
+
+	nm := s.cg.N + s.cg.M
+	w, pol := s.opt.Workers, s.opt.KSPolicy
+	s.pool.For(nm, w, pol, s.chunk, s.ksInit)
+	s.pool.For(nm, w, pol, s.chunk, s.ksLink)
+	s.pool.For(nm, w, pol, s.chunk, s.ksPhase1)
+	s.pool.For(s.cg.M, w, pol, s.chunk, s.ksPhase2)
+
+	decodeMatchInto(&s.cg, s.match, &s.matching)
+	s.result = Result{Match: s.match, Matching: &s.matching, Graph: &s.cg}
+	return &s.result
+}
+
+// OneSided runs OneSidedMatch (Algorithm 2) with the given seed on the
+// bound matrix. It returns the session-owned cmatch array and the matching
+// cardinality; see OneSided for the concurrency semantics.
+func (s *Session) OneSided(seed uint64) ([]int32, int) {
+	s.obase = xrand.Base(seed)
+	for j := range s.cmatch {
+		s.cmatch[j] = NIL
+	}
+	s.pool.For(s.a.RowsN, s.opt.Workers, s.opt.Policy, s.chunk, s.oneSided)
+	size := 0
+	for _, i := range s.cmatch {
+		if i != NIL {
+			size++
+		}
+	}
+	return s.cmatch, size
+}
+
+// OneSidedMatching is OneSided decoded into the session-owned row/column
+// matching.
+func (s *Session) OneSidedMatching(seed uint64) (*exact.Matching, int) {
+	cmatch, size := s.OneSided(seed)
+	cmatchInto(cmatch, &s.matching)
+	return &s.matching, size
+}

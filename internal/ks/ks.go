@@ -17,6 +17,7 @@
 package ks
 
 import (
+	"repro/internal/buf"
 	"repro/internal/exact"
 	"repro/internal/sparse"
 	"repro/internal/xrand"
@@ -29,37 +30,73 @@ type Stats struct {
 	DegreeOne     int // total matches made by the degree-one rule
 }
 
+// edge is one live entry of the uniform random-pick array (row, col).
+type edge struct{ i, j int32 }
+
+// Workspace owns the sequential heuristic's scratch state — the degree and
+// liveness arrays, the degree-one queue, the live-edge array and the
+// matching — so repeated runs (a matcher session serving many seeds)
+// reuse the buffers instead of reallocating ~2·nnz + 4·(n+m) machine words
+// per call. The zero value is ready to use; buffers grow on demand. The
+// matching returned by RunWs aliases the workspace and is valid until its
+// next run. Not safe for concurrent use.
+type Workspace struct {
+	deg   []int32
+	alive []bool
+	queue []int32
+	edges []edge
+	mt    exact.Matching
+}
+
 // Run executes Karp–Sipser on the bipartite graph with CSR a and its
 // transpose at, using the RNG seed. It returns the matching and statistics.
 func Run(a, at *sparse.CSR, seed uint64) (*exact.Matching, Stats) {
+	return RunWs(a, at, seed, nil)
+}
+
+// RunWs is Run drawing every buffer from ws (nil means a throwaway
+// workspace, which makes it exactly Run).
+func RunWs(a, at *sparse.CSR, seed uint64, ws *Workspace) (*exact.Matching, Stats) {
+	if ws == nil {
+		ws = &Workspace{}
+	}
 	n, m := a.RowsN, a.ColsN
 	rng := xrand.New(seed)
-	mt := exact.NewMatching(n, m)
+	ws.mt.RowMate = buf.Grow(ws.mt.RowMate, n)
+	ws.mt.ColMate = buf.Grow(ws.mt.ColMate, m)
+	for i := range ws.mt.RowMate {
+		ws.mt.RowMate[i] = exact.NIL
+	}
+	for j := range ws.mt.ColMate {
+		ws.mt.ColMate[j] = exact.NIL
+	}
+	ws.mt.Size = 0
+	mt := &ws.mt
 	var st Stats
 
 	// Vertices 0..n-1 are rows; n..n+m-1 are columns.
-	deg := make([]int32, n+m)
+	deg := buf.Grow(ws.deg, n+m)
 	for i := 0; i < n; i++ {
 		deg[i] = int32(a.Degree(i))
 	}
 	for j := 0; j < m; j++ {
 		deg[n+j] = int32(at.Degree(j))
 	}
-	alive := make([]bool, n+m)
+	ws.alive = buf.Grow(ws.alive, n+m)
+	alive := ws.alive
 	for v := range alive {
 		alive[v] = deg[v] > 0
 	}
 
-	queue := make([]int32, 0, n+m)
+	queue := ws.queue[:0]
 	for v := 0; v < n+m; v++ {
 		if alive[v] && deg[v] == 1 {
 			queue = append(queue, int32(v))
 		}
 	}
 
-	// Live edge array for uniform random picks (row, col packed).
-	type edge struct{ i, j int32 }
-	edges := make([]edge, 0, a.NNZ())
+	// Live edge array for uniform random picks.
+	edges := ws.edges[:0]
 	for i := 0; i < n; i++ {
 		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
 			edges = append(edges, edge{int32(i), a.Idx[p]})
@@ -169,5 +206,8 @@ func Run(a, at *sparse.CSR, seed uint64) (*exact.Matching, Stats) {
 		edges = edges[:len(edges)-1]
 		drainQueue()
 	}
+	// Hand the (possibly regrown) buffers back so the next run on this
+	// workspace starts from their full capacity.
+	ws.deg, ws.queue, ws.edges = deg, queue[:0], edges[:0]
 	return mt, st
 }

@@ -3,6 +3,7 @@ package ks
 import (
 	"sync/atomic"
 
+	"repro/internal/buf"
 	"repro/internal/exact"
 	"repro/internal/par"
 	"repro/internal/sparse"
@@ -28,75 +29,138 @@ func RunApproxPool(a, at *sparse.CSR, seed uint64, workers int, pool *par.Pool) 
 	if pool == nil {
 		pool = par.Default()
 	}
-	n, m := a.RowsN, a.ColsN
-	mt := exact.NewMatching(n, m)
-	rowMate := mt.RowMate
-	colMate := mt.ColMate
+	s := NewApproxSession(a, at, workers, pool)
+	return s.Run(seed)
+}
 
-	// Claim protocol: CAS the column first, then publish the row side.
-	tryMatch := func(i, j int32) bool {
-		if atomic.LoadInt32(&rowMate[i]) != exact.NIL {
-			return false
-		}
-		if !atomic.CompareAndSwapInt32(&colMate[j], exact.NIL, i) {
-			return false
-		}
-		if !atomic.CompareAndSwapInt32(&rowMate[i], exact.NIL, j) {
-			// The row was taken concurrently; release the column.
-			atomic.StoreInt32(&colMate[j], exact.NIL)
-			return false
-		}
-		return true
+// tryMatchApprox is the claim protocol of the approximate parallel
+// Karp–Sipser: CAS the column first, then publish the row side.
+func tryMatchApprox(rowMate, colMate []int32, i, j int32) bool {
+	if atomic.LoadInt32(&rowMate[i]) != exact.NIL {
+		return false
 	}
+	if !atomic.CompareAndSwapInt32(&colMate[j], exact.NIL, i) {
+		return false
+	}
+	if !atomic.CompareAndSwapInt32(&rowMate[i], exact.NIL, j) {
+		// The row was taken concurrently; release the column.
+		atomic.StoreInt32(&colMate[j], exact.NIL)
+		return false
+	}
+	return true
+}
 
-	// Pass 1: degree-one rule, both sides, without degree tracking — only
-	// vertices that are degree-one in the *input* are handled (newly
-	// arising degree-one vertices are missed; that is the approximation).
-	pool.For(n, workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if a.Degree(i) == 1 {
-				tryMatch(int32(i), a.Idx[a.Ptr[i]])
-			}
+// approxDeg1RowsRange applies the degree-one rule to rows [lo, hi) — only
+// vertices that are degree-one in the *input* are handled (newly arising
+// degree-one vertices are missed; that is the approximation).
+func approxDeg1RowsRange(a *sparse.CSR, rowMate, colMate []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if a.Degree(i) == 1 {
+			tryMatchApprox(rowMate, colMate, int32(i), a.Idx[a.Ptr[i]])
 		}
-	})
-	pool.For(m, workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			if at.Degree(j) == 1 {
-				tryMatch(at.Idx[at.Ptr[j]], int32(j))
-			}
-		}
-	})
+	}
+}
 
-	// Pass 2: random-order greedy over rows; each row claims a random
-	// free neighbor (retrying over its adjacency once).
-	base := xrand.Base(seed)
-	pool.For(n, workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
-		var rng xrand.SplitMix64
-		for i := lo; i < hi; i++ {
-			if atomic.LoadInt32(&rowMate[i]) != exact.NIL {
-				continue
-			}
-			deg := a.Degree(i)
-			if deg == 0 {
-				continue
-			}
-			rng.SetIndexed(base, i)
-			off := rng.Intn(deg)
-			for k := 0; k < deg; k++ {
-				j := a.Idx[a.Ptr[i]+(off+k)%deg]
-				if atomic.LoadInt32(&colMate[j]) == exact.NIL && tryMatch(int32(i), j) {
-					break
-				}
+// approxDeg1ColsRange is the column-side degree-one pass.
+func approxDeg1ColsRange(at *sparse.CSR, rowMate, colMate []int32, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		if at.Degree(j) == 1 {
+			tryMatchApprox(rowMate, colMate, at.Idx[at.Ptr[j]], int32(j))
+		}
+	}
+}
+
+// approxRandRange is the random-order greedy pass over rows [lo, hi):
+// each free row claims a random free neighbor (retrying over its
+// adjacency once).
+func approxRandRange(a *sparse.CSR, rowMate, colMate []int32, base uint64, lo, hi int) {
+	var rng xrand.SplitMix64
+	for i := lo; i < hi; i++ {
+		if atomic.LoadInt32(&rowMate[i]) != exact.NIL {
+			continue
+		}
+		deg := a.Degree(i)
+		if deg == 0 {
+			continue
+		}
+		rng.SetIndexed(base, i)
+		off := rng.Intn(deg)
+		for k := 0; k < deg; k++ {
+			j := a.Idx[a.Ptr[i]+(off+k)%deg]
+			if atomic.LoadInt32(&colMate[j]) == exact.NIL && tryMatchApprox(rowMate, colMate, int32(i), j) {
+				break
 			}
 		}
-	})
+	}
+}
+
+// ApproxSession is the reusable-workspace form of RunApprox: it is bound
+// to one graph, owns the matching buffers and the prebuilt pass bodies,
+// and serves repeated Run calls without steady-state allocations. The
+// returned matching aliases the session and is valid until the next Run
+// (or Rebind). Not safe for concurrent use.
+type ApproxSession struct {
+	a, at   *sparse.CSR
+	pool    *par.Pool
+	workers int
+	mt      exact.Matching
+	base    uint64
+
+	deg1Rows func(w, lo, hi int)
+	deg1Cols func(w, lo, hi int)
+	randPass func(w, lo, hi int)
+}
+
+// NewApproxSession binds a session to the graph (a, at) running on the
+// given pool (nil means par.Default) with the given worker count.
+func NewApproxSession(a, at *sparse.CSR, workers int, pool *par.Pool) *ApproxSession {
+	if pool == nil {
+		pool = par.Default()
+	}
+	s := &ApproxSession{pool: pool, workers: workers}
+	s.deg1Rows = func(_, lo, hi int) {
+		approxDeg1RowsRange(s.a, s.mt.RowMate, s.mt.ColMate, lo, hi)
+	}
+	s.deg1Cols = func(_, lo, hi int) {
+		approxDeg1ColsRange(s.at, s.mt.RowMate, s.mt.ColMate, lo, hi)
+	}
+	s.randPass = func(_, lo, hi int) {
+		approxRandRange(s.a, s.mt.RowMate, s.mt.ColMate, s.base, lo, hi)
+	}
+	s.Rebind(a, at)
+	return s
+}
+
+// Rebind points the session at a different graph, growing the matching
+// buffers as needed.
+func (s *ApproxSession) Rebind(a, at *sparse.CSR) {
+	s.a, s.at = a, at
+	s.mt.RowMate = buf.Grow(s.mt.RowMate, a.RowsN)
+	s.mt.ColMate = buf.Grow(s.mt.ColMate, a.ColsN)
+	s.mt.Size = 0
+}
+
+// Run executes the two passes with the given seed and returns the
+// session-owned matching.
+func (s *ApproxSession) Run(seed uint64) *exact.Matching {
+	for i := range s.mt.RowMate {
+		s.mt.RowMate[i] = exact.NIL
+	}
+	for j := range s.mt.ColMate {
+		s.mt.ColMate[j] = exact.NIL
+	}
+	s.base = xrand.Base(seed)
+	n, m := s.a.RowsN, s.a.ColsN
+	s.pool.For(n, s.workers, par.Dynamic, par.DefaultChunk, s.deg1Rows)
+	s.pool.For(m, s.workers, par.Dynamic, par.DefaultChunk, s.deg1Cols)
+	s.pool.For(n, s.workers, par.Dynamic, par.DefaultChunk, s.randPass)
 
 	size := 0
 	for i := 0; i < n; i++ {
-		if rowMate[i] != exact.NIL {
+		if s.mt.RowMate[i] != exact.NIL {
 			size++
 		}
 	}
-	mt.Size = size
-	return mt
+	s.mt.Size = size
+	return &s.mt
 }

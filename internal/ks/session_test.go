@@ -1,0 +1,89 @@
+package ks
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/sparse"
+)
+
+func cmpMatchings(t *testing.T, what string, got, want *exact.Matching) {
+	t.Helper()
+	if got.Size != want.Size {
+		t.Fatalf("%s: size %d want %d", what, got.Size, want.Size)
+	}
+	for i := range want.RowMate {
+		if got.RowMate[i] != want.RowMate[i] {
+			t.Fatalf("%s: RowMate[%d] = %d want %d", what, i, got.RowMate[i], want.RowMate[i])
+		}
+	}
+	for j := range want.ColMate {
+		if got.ColMate[j] != want.ColMate[j] {
+			t.Fatalf("%s: ColMate[%d] = %d want %d", what, j, got.ColMate[j], want.ColMate[j])
+		}
+	}
+}
+
+// TestRunWsReuseMatchesRun pins the sequential workspace: repeated RunWs
+// calls through one Workspace — across seeds and differently sized graphs,
+// forcing regrows — reproduce the allocating Run exactly, matching and
+// statistics alike.
+func TestRunWsReuseMatchesRun(t *testing.T) {
+	ws := &Workspace{}
+	mats := []*sparse.CSR{
+		gen.ERAvgDeg(800, 800, 4, 3),
+		gen.ERAvgDeg(1500, 1200, 3, 5), // bigger: forces regrow
+		gen.BadKS(200, 8),
+	}
+	for k, a := range mats {
+		at := a.Transpose()
+		for _, seed := range []uint64{1, 9, 9, 42} {
+			want, wantSt := Run(a, at, seed)
+			got, gotSt := RunWs(a, at, seed, ws)
+			cmpMatchings(t, "RunWs", got, want)
+			if gotSt != wantSt {
+				t.Fatalf("mat %d seed %d: stats %+v want %+v", k, seed, gotSt, wantSt)
+			}
+		}
+	}
+}
+
+// TestApproxSessionMatchesRunApprox pins the parallel-baseline session: at
+// one worker the result is fully deterministic and must equal RunApprox
+// call for call; at higher widths the size and validity are compared (the
+// CAS claim order is scheduling-dependent, as for the one-shot).
+func TestApproxSessionMatchesRunApprox(t *testing.T) {
+	a := gen.ERAvgDeg(2000, 2000, 4, 7)
+	at := a.Transpose()
+	pool := par.NewPool(4)
+	defer pool.Close()
+
+	s1 := NewApproxSession(a, at, 1, pool)
+	for _, seed := range []uint64{1, 5, 5, 13} {
+		want := RunApproxPool(a, at, seed, 1, pool)
+		got := s1.Run(seed)
+		cmpMatchings(t, "approx session", got, want)
+	}
+
+	s4 := NewApproxSession(a, at, 4, pool)
+	for _, seed := range []uint64{1, 5} {
+		got := s4.Run(seed)
+		for i, j := range got.RowMate {
+			if j != exact.NIL && got.ColMate[j] != int32(i) {
+				t.Fatalf("seed %d: inconsistent mates row %d col %d", seed, i, j)
+			}
+		}
+		if got.Size == 0 {
+			t.Fatalf("seed %d: empty matching", seed)
+		}
+	}
+
+	// Rebind reuses the buffers on a smaller graph.
+	b := gen.ERAvgDeg(500, 700, 3, 11)
+	bt := b.Transpose()
+	s1.Rebind(b, bt)
+	want := RunApproxPool(b, bt, 3, 1, pool)
+	cmpMatchings(t, "rebound approx", s1.Run(3), want)
+}

@@ -1,0 +1,98 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDefaultTracksGOMAXPROCS pins the ROADMAP item: the default pool's
+// width follows runtime.GOMAXPROCS instead of freezing at first use.
+func TestDefaultTracksGOMAXPROCS(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	if w := Default().Width(); w != orig {
+		t.Fatalf("default width %d, GOMAXPROCS %d", w, orig)
+	}
+
+	next := orig + 2
+	runtime.GOMAXPROCS(next)
+	p := Default()
+	if p.Width() != next {
+		t.Fatalf("after resize: default width %d, want %d", p.Width(), next)
+	}
+	// The resized pool must actually run regions at the new width.
+	var count atomic.Int64
+	p.For(10_000, 0, Dynamic, 64, func(_, lo, hi int) {
+		count.Add(int64(hi - lo))
+	})
+	if count.Load() != 10_000 {
+		t.Fatalf("resized pool covered %d of 10000 iterations", count.Load())
+	}
+
+	// Shrinking is tracked too, and repeated calls at a stable width reuse
+	// the same pool.
+	runtime.GOMAXPROCS(orig)
+	p1, p2 := Default(), Default()
+	if p1 != p2 {
+		t.Fatal("stable GOMAXPROCS rebuilt the default pool")
+	}
+	if p1.Width() != orig {
+		t.Fatalf("after shrink: width %d want %d", p1.Width(), orig)
+	}
+}
+
+// TestForSteadyStateAllocFree pins the loop-state arena: dispatching a
+// parallel region whose body closure is long-lived performs zero
+// allocations at steady state, which is what the matcher sessions build
+// their per-call allocation budget on.
+func TestForSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed under -race")
+	}
+	p := NewPool(4)
+	defer p.Close()
+	sink := make([]int32, 4096)
+	body := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sink[i]++
+		}
+	}
+	for _, policy := range []Policy{Static, Dynamic, Guided} {
+		policy := policy
+		allocs := testing.AllocsPerRun(50, func() {
+			p.For(len(sink), 4, policy, 256, body)
+		})
+		if allocs > 0 {
+			t.Errorf("policy %v: %.1f allocs per region, want 0", policy, allocs)
+		}
+	}
+}
+
+// TestReduceSteadyStateAllocs pins the scratch arena for reductions: the
+// only steady-state allocation left is the wrapper closure adapting the
+// reduce body to the plain loop body.
+func TestReduceSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed under -race")
+	}
+	p := NewPool(4)
+	defer p.Close()
+	data := make([]float64, 8192)
+	for i := range data {
+		data[i] = float64(i % 7)
+	}
+	body := func(_, lo, hi int, acc float64) float64 {
+		for i := lo; i < hi; i++ {
+			acc += data[i]
+		}
+		return acc
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		p.ReduceFloat64(len(data), 4, Dynamic, 256, 0, body, func(a, b float64) float64 { return a + b })
+	})
+	if allocs > 1 {
+		t.Errorf("ReduceFloat64: %.1f allocs per call, want <= 1", allocs)
+	}
+}

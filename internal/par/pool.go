@@ -59,6 +59,79 @@ type group struct {
 
 var groupPool = sync.Pool{New: func() any { return &group{done: make(chan struct{}, 1)} }}
 
+// loopState is the recycled per-region scheduling state of a parallel for.
+// The three policy runners are closures built once per loopState that read
+// the state's fields, so a steady stream of parallel regions whose bodies
+// are themselves long-lived (the session workspaces of the matching
+// pipeline) dispatches with zero allocations: For fills in the fields,
+// hands a prebuilt runner to dispatch, and returns the state to the arena.
+// A loopState is exclusively owned between Get and Put — dispatch only
+// returns after every slot has finished — so the runners never observe a
+// torn state.
+type loopState struct {
+	next    atomic.Int64
+	n       int
+	chunk   int
+	workers int
+	body    func(worker, lo, hi int)
+
+	runDynamic func(slot int)
+	runGuided  func(slot int)
+	runStatic  func(slot int)
+}
+
+var loopPool = sync.Pool{New: func() any {
+	l := &loopState{}
+	l.runDynamic = func(slot int) {
+		for {
+			lo := int(l.next.Add(int64(l.chunk))) - l.chunk
+			if lo >= l.n {
+				return
+			}
+			hi := lo + l.chunk
+			if hi > l.n {
+				hi = l.n
+			}
+			l.body(slot, lo, hi)
+		}
+	}
+	l.runGuided = func(slot int) {
+		for {
+			cur := l.next.Load()
+			remaining := int64(l.n) - cur
+			if remaining <= 0 {
+				return
+			}
+			size := remaining / int64(2*l.workers)
+			if size < int64(l.chunk) {
+				size = int64(l.chunk)
+			}
+			if size > remaining {
+				size = remaining
+			}
+			if l.next.CompareAndSwap(cur, cur+size) {
+				l.body(slot, int(cur), int(cur+size))
+			}
+		}
+	}
+	l.runStatic = func(slot int) {
+		lo := slot * l.n / l.workers
+		hi := (slot + 1) * l.n / l.workers
+		if lo < hi {
+			l.body(slot, lo, hi)
+		}
+	}
+	return l
+}}
+
+// scratchF64 and scratchI64 recycle the per-slot partial-result slices of
+// the reductions, for the same reason loopPool exists: reductions run on
+// the hot path of every scaling sweep.
+var (
+	scratchF64 = sync.Pool{New: func() any { return new([]float64) }}
+	scratchI64 = sync.Pool{New: func() any { return new([]int64) }}
+)
+
 func (g *group) finish() {
 	if g.pending.Add(-1) == 0 {
 		g.done <- struct{}{}
@@ -238,52 +311,19 @@ func (p *Pool) For(n, workers int, policy Policy, chunk int, body func(worker, l
 		body(0, 0, n)
 		return
 	}
+	l := loopPool.Get().(*loopState)
+	l.next.Store(0)
+	l.n, l.chunk, l.workers, l.body = n, chunk, workers, body
 	switch policy {
 	case Dynamic:
-		var next atomic.Int64
-		p.dispatch(workers, func(slot int) {
-			for {
-				lo := int(next.Add(int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				body(slot, lo, hi)
-			}
-		})
+		p.dispatch(workers, l.runDynamic)
 	case Guided:
-		var next atomic.Int64
-		p.dispatch(workers, func(slot int) {
-			for {
-				cur := next.Load()
-				remaining := int64(n) - cur
-				if remaining <= 0 {
-					return
-				}
-				size := remaining / int64(2*workers)
-				if size < int64(chunk) {
-					size = int64(chunk)
-				}
-				if size > remaining {
-					size = remaining
-				}
-				if next.CompareAndSwap(cur, cur+size) {
-					body(slot, int(cur), int(cur+size))
-				}
-			}
-		})
+		p.dispatch(workers, l.runGuided)
 	default: // Static
-		p.dispatch(workers, func(slot int) {
-			lo := slot * n / workers
-			hi := (slot + 1) * n / workers
-			if lo < hi {
-				body(slot, lo, hi)
-			}
-		})
+		p.dispatch(workers, l.runStatic)
 	}
+	l.body = nil // don't pin the caller's body in the arena
+	loopPool.Put(l)
 }
 
 // Do runs fn once per worker id in [0, workers) on the pool and waits for
@@ -309,7 +349,11 @@ func (p *Pool) ReduceFloat64(n, workers int, policy Policy, chunk int, identity 
 	if workers < 1 {
 		workers = 1
 	}
-	parts := make([]float64, workers)
+	sp := scratchF64.Get().(*[]float64)
+	if cap(*sp) < workers {
+		*sp = make([]float64, workers)
+	}
+	parts := (*sp)[:workers]
 	for i := range parts {
 		parts[i] = identity
 	}
@@ -320,6 +364,7 @@ func (p *Pool) ReduceFloat64(n, workers int, policy Policy, chunk int, identity 
 	for _, part := range parts {
 		out = combine(out, part)
 	}
+	scratchF64.Put(sp)
 	return out
 }
 
@@ -334,7 +379,11 @@ func (p *Pool) ReduceInt64(n, workers int, policy Policy, chunk int, identity in
 	if workers < 1 {
 		workers = 1
 	}
-	parts := make([]int64, workers)
+	sp := scratchI64.Get().(*[]int64)
+	if cap(*sp) < workers {
+		*sp = make([]int64, workers)
+	}
+	parts := (*sp)[:workers]
 	for i := range parts {
 		parts[i] = identity
 	}
@@ -345,24 +394,38 @@ func (p *Pool) ReduceInt64(n, workers int, policy Policy, chunk int, identity in
 	for _, part := range parts {
 		out = combine(out, part)
 	}
+	scratchI64.Put(sp)
 	return out
 }
 
 var (
-	defaultOnce sync.Once
-	defaultPool *Pool
+	defaultMu   sync.Mutex
+	defaultPool atomic.Pointer[Pool]
 )
 
-// Default returns the process-wide pool, created on first use with width
-// GOMAXPROCS. The package-level For, Do and reductions dispatch to it.
-// It must never be closed.
+// Default returns the process-wide pool, sized to runtime.GOMAXPROCS. The
+// package-level For, Do and reductions dispatch to it. It must never be
+// closed.
 //
-// The width is frozen at first use: a later runtime.GOMAXPROCS change is
-// not tracked (unlike the old spawn-per-call runtime, which re-read it
-// on every region). Processes that resize GOMAXPROCS after startup — or
-// that want to sweep widths — should pass an explicit worker count or a
-// caller-owned NewPool instead of relying on the default width.
+// The width tracks runtime.GOMAXPROCS: when a call observes a changed
+// value, a fresh pool of the new width is built and published, and later
+// calls use it. The previous default is retired, not closed — regions
+// already in flight on it complete normally, and its workers stay parked
+// for the life of the process (a handful of idle goroutines per resize;
+// GOMAXPROCS changes are rare). Callers that hold a pool across a resize
+// simply keep the old width, so sessions pin their parallel width at
+// construction.
 func Default() *Pool {
-	defaultOnce.Do(func() { defaultPool = NewPool(runtime.GOMAXPROCS(0)) })
-	return defaultPool
+	want := Workers(0)
+	if p := defaultPool.Load(); p != nil && p.width == want {
+		return p
+	}
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if p := defaultPool.Load(); p != nil && p.width == want {
+		return p
+	}
+	p := NewPool(want)
+	defaultPool.Store(p)
+	return p
 }

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/buf"
 	"repro/internal/par"
 	"repro/internal/sparse"
 )
@@ -52,6 +53,43 @@ type Options struct {
 	// sampling and matching back to back pass one pool through all of
 	// them.
 	Pool *par.Pool
+	// Ws, when non-nil, supplies reusable buffers for the fused
+	// fixed-iteration path (Tol <= 0): the Result returned aliases the
+	// workspace and is valid only until the workspace's next run. The
+	// convergence-checked, Ruiz and skew-aware paths ignore it.
+	Ws *Workspace
+}
+
+// Workspace owns the vectors of the fused fixed-iteration Sinkhorn–Knopp
+// loop (scaling vectors, row/column sums, error history) so matcher
+// sessions can rescale same-shaped matrices without reallocating. Buffers
+// grow on demand and are reused as-is when large enough; the zero value is
+// ready to use.
+type Workspace struct {
+	dr, dc, rsum, csum []float64
+	history            []float64
+	res                Result
+}
+
+// buffers sizes the workspace for an n×m run of at most iters iterations
+// and returns the result header (scaling vectors reset to 1) plus the
+// column- and row-sum buffers.
+func (ws *Workspace) buffers(n, m, iters int) (*Result, []float64, []float64) {
+	ws.dr = buf.Grow(ws.dr, n)
+	ws.dc = buf.Grow(ws.dc, m)
+	ws.csum = buf.Grow(ws.csum, m)
+	ws.rsum = buf.Grow(ws.rsum, n)
+	if cap(ws.history) < iters+2 {
+		ws.history = make([]float64, 0, iters+2)
+	}
+	for i := range ws.dr {
+		ws.dr[i] = 1
+	}
+	for j := range ws.dc {
+		ws.dc[j] = 1
+	}
+	ws.res = Result{DR: ws.dr, DC: ws.dc, History: ws.history[:0]}
+	return &ws.res, ws.csum, ws.rsum
 }
 
 func (o Options) pool() *par.Pool {
@@ -106,30 +144,39 @@ func SinkhornKnopp(a, at *sparse.CSR, opt Options) (*Result, error) {
 		return nil, ErrShape
 	}
 	n, m := a.RowsN, a.ColsN
-	res := &Result{DR: ones(n), DC: ones(m)}
 	if opt.Tol > 0 {
 		// The convergence check needs the error of an iteration before
 		// deciding whether to run the next one, which forces the classic
 		// dedicated error sweep per iteration.
+		res := &Result{DR: ones(n), DC: ones(m)}
 		sinkhornKnoppTol(a, at, opt, res)
 		return res, nil
 	}
 
 	p := opt.pool()
 	chunk := opt.chunkOrDefault()
-	csum := make([]float64, m)
+	var res *Result
+	var csum, rsum []float64
+	if opt.Ws != nil {
+		res, csum, rsum = opt.Ws.buffers(n, m, opt.MaxIters)
+	} else {
+		res = &Result{DR: ones(n), DC: ones(m)}
+		csum = make([]float64, m)
+		if opt.MaxIters > 0 {
+			rsum = make([]float64, n)
+		}
+	}
 
 	// The initial error sweep already computes Σ_i dr[i]·a_ij for every
 	// column — the exact sums the first column pass needs — so the first
 	// column pass degenerates to inverting them.
-	res.Err = colSumsAndError(at, res.DR, res.DC, csum, p, opt.Workers, opt.Policy, chunk)
+	res.Err = colSumsAndError(at, res.DR, res.DC, csum, false, p, opt.Workers, opt.Policy, chunk)
 	res.History = append(res.History, res.Err)
 	if opt.MaxIters <= 0 {
 		res.CSum = csum
 		return res, nil
 	}
 
-	rsum := make([]float64, n)
 	// Row pass: dr[i] <- 1 / Σ_{j in Ai*} a_ij*dc[j]. The last iteration
 	// keeps the raw sums: they are the row sampling totals.
 	rowPass := func(rsumOut []float64) {
@@ -177,14 +224,14 @@ func SinkhornKnopp(a, at *sparse.CSR, opt Options) (*Result, error) {
 		// error of the state entering this iteration (the previous
 		// iteration's result, measured against the not-yet-updated dc)
 		// and the new dc.
-		err := colPassFused(at, res.DR, res.DC, p, opt.Workers, opt.Policy, chunk)
+		err := colSumsAndError(at, res.DR, res.DC, nil, true, p, opt.Workers, opt.Policy, chunk)
 		res.History = append(res.History, err)
 		rowPass(rsumIfLast(it))
 		res.Iters++
 	}
 	// Deferred final sweep: the error of the last iteration, and the
 	// column sampling totals of the final vectors.
-	res.Err = colSumsAndError(at, res.DR, res.DC, csum, p, opt.Workers, opt.Policy, chunk)
+	res.Err = colSumsAndError(at, res.DR, res.DC, csum, false, p, opt.Workers, opt.Policy, chunk)
 	res.History = append(res.History, res.Err)
 	res.RSum = rsum
 	res.CSum = csum
@@ -199,7 +246,7 @@ func sinkhornKnoppTol(a, at *sparse.CSR, opt Options, res *Result) {
 	chunk := opt.chunkOrDefault()
 	n, m := a.RowsN, a.ColsN
 
-	res.Err = colSumsAndError(at, res.DR, res.DC, nil, p, opt.Workers, opt.Policy, chunk)
+	res.Err = colSumsAndError(at, res.DR, res.DC, nil, false, p, opt.Workers, opt.Policy, chunk)
 	res.History = append(res.History, res.Err)
 	for it := 0; it < opt.MaxIters; it++ {
 		if res.Err <= opt.Tol {
@@ -244,7 +291,7 @@ func sinkhornKnoppTol(a, at *sparse.CSR, opt Options, res *Result) {
 			}
 		})
 		res.Iters++
-		res.Err = colSumsAndError(at, res.DR, res.DC, nil, p, opt.Workers, opt.Policy, chunk)
+		res.Err = colSumsAndError(at, res.DR, res.DC, nil, false, p, opt.Workers, opt.Policy, chunk)
 		res.History = append(res.History, res.Err)
 	}
 }
@@ -265,7 +312,7 @@ func Ruiz(a, at *sparse.CSR, opt Options) (*Result, error) {
 	rsum := make([]float64, n)
 	csum := make([]float64, m)
 
-	res.Err = colSumsAndError(at, res.DR, res.DC, nil, p, opt.Workers, opt.Policy, chunk)
+	res.Err = colSumsAndError(at, res.DR, res.DC, nil, false, p, opt.Workers, opt.Policy, chunk)
 	res.History = append(res.History, res.Err)
 	for it := 0; it < opt.MaxIters; it++ {
 		if opt.Tol > 0 && res.Err <= opt.Tol {
@@ -312,7 +359,7 @@ func Ruiz(a, at *sparse.CSR, opt Options) (*Result, error) {
 			}
 		})
 		res.Iters++
-		res.Err = colSumsAndError(at, res.DR, res.DC, nil, p, opt.Workers, opt.Policy, chunk)
+		res.Err = colSumsAndError(at, res.DR, res.DC, nil, false, p, opt.Workers, opt.Policy, chunk)
 		res.History = append(res.History, res.Err)
 	}
 	return res, nil
@@ -322,21 +369,29 @@ func Ruiz(a, at *sparse.CSR, opt Options) (*Result, error) {
 // transpose at: max over columns of |sum_i dr[i]*a_ij*dc[j] - 1|. This is
 // the quantity reported in Tables 1 and 3.
 func ColError(at *sparse.CSR, dr, dc []float64, workers int) float64 {
-	return colSumsAndError(at, dr, dc, nil, par.Default(), workers, par.Dynamic, par.DefaultChunk)
+	return colSumsAndError(at, dr, dc, nil, false, par.Default(), workers, par.Dynamic, par.DefaultChunk)
 }
 
 // RowError is the row-side counterpart of ColError (max |rowsum-1|),
 // computed on the matrix itself.
 func RowError(a *sparse.CSR, dr, dc []float64, workers int) float64 {
-	return colSumsAndError(a, dc, dr, nil, par.Default(), workers, par.Dynamic, par.DefaultChunk)
+	return colSumsAndError(a, dc, dr, nil, false, par.Default(), workers, par.Dynamic, par.DefaultChunk)
 }
 
-// colSumsAndError walks the columns once, optionally exporting the raw
-// weighted column sums Σ_i dr[i]·a_ij into sums, and returns
-// max_j |sum_j·dc[j] - 1| — the scaling error. One sweep serves both the
-// error measurement and (via sums) the next column pass or the sampling
-// totals.
-func colSumsAndError(at *sparse.CSR, dr, dc []float64, sums []float64,
+// colSumsAndError walks the columns once and returns
+// max_j |sum_j·dc[j] - 1| — the scaling error, measured against the dc the
+// columns enter the sweep with. Two optional outputs ride along on the
+// same pass: sums, when non-nil, receives the raw weighted column sums
+// Σ_i dr[i]·a_ij (the sampling totals / next-pass inputs), and invert
+// additionally updates dc[j] to the inverted fresh sum — which turns the
+// sweep into one fused column pass of the fixed-iteration loop (the error
+// it reports is exactly the scaling error of the previous iteration's
+// result, because it is measured before dc is touched). One kernel thus
+// serves the error measurement, the totals export and the fused column
+// pass; the bit-identity between the fused and classic paths holds because
+// every caller accumulates through this single body, and
+// TestFusedMatchesClassicReference fails if the order ever drifts.
+func colSumsAndError(at *sparse.CSR, dr, dc []float64, sums []float64, invert bool,
 	p *par.Pool, workers int, policy par.Policy, chunk int) float64 {
 	m := at.RowsN
 	return p.ReduceFloat64(m, workers, policy, chunk, 0,
@@ -359,42 +414,7 @@ func colSumsAndError(at *sparse.CSR, dr, dc []float64, sums []float64,
 				if d := math.Abs(csum*dc[j] - 1.0); d > acc {
 					acc = d
 				}
-			}
-			return acc
-		}, math.Max)
-}
-
-// colPassFused is one fused column pass of the fixed-iteration loop: for
-// every column it computes the fresh weighted sum Σ_i dr[i]·a_ij, measures
-// the error term |sum·dc[j] - 1| against the current dc (that is exactly
-// the scaling error of the previous iteration's result), then updates
-// dc[j] to the inverted sum. It returns the maximum error term.
-//
-// The sum/error body deliberately mirrors colSumsAndError entry for
-// entry — the documented bit-identity between the fused and classic
-// paths depends on both kernels accumulating in the same order, and
-// TestFusedMatchesClassicReference fails if they ever drift apart.
-func colPassFused(at *sparse.CSR, dr, dc []float64,
-	p *par.Pool, workers int, policy par.Policy, chunk int) float64 {
-	m := at.RowsN
-	return p.ReduceFloat64(m, workers, policy, chunk, 0,
-		func(_, lo, hi int, acc float64) float64 {
-			for j := lo; j < hi; j++ {
-				csum := 0.0
-				s, e := at.Ptr[j], at.Ptr[j+1]
-				if at.Val == nil {
-					for q := s; q < e; q++ {
-						csum += dr[at.Idx[q]]
-					}
-				} else {
-					for q := s; q < e; q++ {
-						csum += dr[at.Idx[q]] * at.Val[q]
-					}
-				}
-				if d := math.Abs(csum*dc[j] - 1.0); d > acc {
-					acc = d
-				}
-				if csum > 0 {
+				if invert && csum > 0 {
 					dc[j] = 1.0 / csum
 				}
 			}

@@ -1,0 +1,148 @@
+package bipartite
+
+import (
+	"repro/internal/core"
+	"repro/internal/ks"
+	"repro/internal/scale"
+)
+
+// Matcher is a reusable matching session bound to one graph. It caches the
+// transpose and the scaling of the bound graph and owns preallocated
+// workspaces for every pipeline stage — scaling vectors and sums, row and
+// column choice buffers, the 1-out choice graph, the Karp–Sipser match and
+// degree arrays — so repeated OneSided / TwoSided / Scale / KarpSipser
+// calls perform near-zero allocations (a reused TwoSided call stays within
+// two allocations at one worker) and reproduce the one-shot API exactly:
+// the one-shot functions are in fact thin wrappers over a throwaway
+// Matcher, so the session introduces no drift anywhere the pipeline is
+// deterministic (see the package-level determinism contract — everything
+// at Workers: 1; choices, scalings and sizes at any width).
+//
+// The scaling of a graph is seed-independent, so it is computed once per
+// binding and shared by every subsequent call — the second and later calls
+// on the same graph skip the scaling stage entirely, which is where most
+// of the session's speedup on small instances comes from.
+//
+// Aliasing contract: results returned by a Matcher point into its
+// workspaces and are valid only until the next call on the same Matcher
+// (or Reset). Callers that retain results across calls copy them first.
+// A Matcher is not safe for concurrent use; for concurrent serving run one
+// Matcher per worker slot (see MatchBatch and Server, which do exactly
+// that) or one-shot calls, which are safe because each builds its own.
+type Matcher struct {
+	g   *Graph
+	opt Options // normalized
+
+	sess     *core.Session
+	scaleWs  *scale.Workspace
+	ksWs     *ks.Workspace     // lazily created by KarpSipser
+	ksApprox *ks.ApproxSession // lazily created by KarpSipserParallel
+
+	sc      *Scaling // cached scaling of the bound graph; nil until computed
+	scErr   error
+	scaling Scaling     // backing storage for sc on the workspace path
+	result  MatchResult // reused result header
+}
+
+// NewMatcher creates a matching session on g. opt follows the same
+// defaulting rules as the one-shot calls; opt.Seed is the default seed for
+// calls that pass seed 0. The session pins its pool and parallel width at
+// construction.
+func (g *Graph) NewMatcher(opt *Options) *Matcher {
+	v := opt.normalized()
+	m := &Matcher{g: g, opt: v, scaleWs: &scale.Workspace{}}
+	m.sess = core.NewSession(g.a, g.transpose(), v.coreOptions(nil))
+	return m
+}
+
+// Reset rebinds the session to a different graph, reusing every workspace
+// that is large enough (binding a stream of same-shaped graphs is
+// allocation-free apart from the new graph's own scaling sweeps). The
+// cached scaling is discarded and recomputed on the next call that needs
+// it. Results from before the Reset are invalidated.
+func (m *Matcher) Reset(g *Graph) {
+	m.g = g
+	m.sess.Rebind(g.a, g.transpose())
+	if m.ksApprox != nil {
+		m.ksApprox.Rebind(g.a, g.transpose())
+	}
+	m.sc, m.scErr = nil, nil
+}
+
+// Graph returns the graph the session is currently bound to.
+func (m *Matcher) Graph() *Graph { return m.g }
+
+// seed resolves a per-call seed: 0 means the session's Options.Seed.
+func (m *Matcher) seed(s uint64) uint64 {
+	if s == 0 {
+		return m.opt.Seed
+	}
+	return s
+}
+
+// Scale returns the scaling of the bound graph, computing it on first use
+// and serving it from the session cache afterwards. The result aliases the
+// session workspace (see the Matcher aliasing contract).
+func (m *Matcher) Scale() (*Scaling, error) {
+	if m.sc != nil || m.scErr != nil {
+		return m.sc, m.scErr
+	}
+	res, err := m.g.scaleRaw(m.opt, m.scaleWs)
+	if err != nil {
+		m.scErr = err
+		return nil, err
+	}
+	m.scaling = Scaling{DR: res.DR, DC: res.DC, Iterations: res.Iters, Error: res.Err,
+		History: res.History, RowSums: res.RSum, ColSums: res.CSum}
+	m.sc = &m.scaling
+	m.sess.SetScaling(res.DR, res.DC, res.RSum, res.CSum)
+	return m.sc, nil
+}
+
+// OneSided runs the OneSidedMatch heuristic with the given seed (0 means
+// Options.Seed) on the bound graph, reusing the cached scaling and the
+// session workspaces. Bit-identical to the one-shot OneSidedMatch under
+// the same options and seed.
+func (m *Matcher) OneSided(seed uint64) (*MatchResult, error) {
+	sc, err := m.Scale()
+	if err != nil {
+		return nil, err
+	}
+	mt, _ := m.sess.OneSidedMatching(m.seed(seed))
+	m.result = MatchResult{Matching: mt, Scaling: sc}
+	return &m.result, nil
+}
+
+// TwoSided runs the TwoSidedMatch heuristic with the given seed (0 means
+// Options.Seed) on the bound graph, reusing the cached scaling and the
+// session workspaces. Bit-identical to the one-shot TwoSidedMatch under
+// the same options and seed.
+func (m *Matcher) TwoSided(seed uint64) (*MatchResult, error) {
+	sc, err := m.Scale()
+	if err != nil {
+		return nil, err
+	}
+	res := m.sess.TwoSided(m.seed(seed))
+	m.result = MatchResult{Matching: res.Matching, Scaling: sc}
+	return &m.result, nil
+}
+
+// KarpSipser runs the classic sequential Karp–Sipser heuristic with the
+// given seed (0 means Options.Seed), reusing the session's queue and
+// live-edge buffers across calls.
+func (m *Matcher) KarpSipser(seed uint64) (*Matching, KarpSipserStats) {
+	if m.ksWs == nil {
+		m.ksWs = &ks.Workspace{}
+	}
+	return ks.RunWs(m.g.a, m.g.transpose(), m.seed(seed), m.ksWs)
+}
+
+// KarpSipserParallel runs the multithreaded Karp–Sipser baseline with the
+// given seed (0 means Options.Seed) on the session's pool and width,
+// reusing the session's matching buffers across calls.
+func (m *Matcher) KarpSipserParallel(seed uint64) *Matching {
+	if m.ksApprox == nil {
+		m.ksApprox = ks.NewApproxSession(m.g.a, m.g.transpose(), m.opt.Workers, m.opt.Pool.inner())
+	}
+	return m.ksApprox.Run(m.seed(seed))
+}

@@ -120,28 +120,33 @@ type Scaling struct {
 	RowSums, ColSums []float64
 }
 
-// Scale runs the configured scaling method and returns the scaling
-// vectors. Most callers use OneSidedMatch / TwoSidedMatch directly, which
-// scale internally; Scale is exposed for scaling-only workflows and the
-// experiments.
-func (g *Graph) Scale(opt *Options) (*Scaling, error) {
-	v := opt.normalized()
+// scaleRaw runs the configured scaling method on g, drawing buffers from
+// ws when non-nil and the method supports it (the fused Sinkhorn–Knopp
+// path; Ruiz and skew-aware runs always allocate).
+func (g *Graph) scaleRaw(v Options, ws *scale.Workspace) (*scale.Result, error) {
 	sopt := scale.Options{
 		MaxIters: v.ScalingIterations,
 		Workers:  v.Workers,
 		Policy:   par.Dynamic,
 		Pool:     v.Pool.inner(),
+		Ws:       ws,
 	}
-	var res *scale.Result
-	var err error
 	switch {
 	case v.UseRuiz:
-		res, err = scale.Ruiz(g.a, g.transpose(), sopt)
+		return scale.Ruiz(g.a, g.transpose(), sopt)
 	case v.SkewAware:
-		res, err = scale.SinkhornKnoppSkewAware(g.a, g.transpose(), sopt)
+		return scale.SinkhornKnoppSkewAware(g.a, g.transpose(), sopt)
 	default:
-		res, err = scale.SinkhornKnopp(g.a, g.transpose(), sopt)
+		return scale.SinkhornKnopp(g.a, g.transpose(), sopt)
 	}
+}
+
+// Scale runs the configured scaling method and returns the scaling
+// vectors. Most callers use OneSidedMatch / TwoSidedMatch directly, which
+// scale internally; Scale is exposed for scaling-only workflows and the
+// experiments.
+func (g *Graph) Scale(opt *Options) (*Scaling, error) {
+	res, err := g.scaleRaw(opt.normalized(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -161,15 +166,12 @@ type MatchResult struct {
 // Sinkhorn–Knopp scaling followed by one random column choice per row,
 // with last-write-wins conflict semantics. Guaranteed expected quality
 // ≥ 1 − 1/e ≈ 0.632 on matrices with total support.
+//
+// It is a thin wrapper over a throwaway Matcher; callers that match the
+// same graph repeatedly (ensembles, servers) create one with NewMatcher
+// and reuse it.
 func (g *Graph) OneSidedMatch(opt *Options) (*MatchResult, error) {
-	v := opt.normalized()
-	sc, err := g.Scale(opt)
-	if err != nil {
-		return nil, err
-	}
-	cmatch, _ := core.OneSided(g.a, sc.DR, sc.DC, v.coreOptions(sc))
-	mt := core.CMatchToMatching(g.Rows(), cmatch)
-	return &MatchResult{Matching: mt, Scaling: sc}, nil
+	return g.NewMatcher(opt).OneSided(0)
 }
 
 // TwoSidedMatch runs the TwoSidedMatch heuristic (Algorithm 3): both
@@ -177,14 +179,12 @@ func (g *Graph) OneSidedMatch(opt *Options) (*MatchResult, error) {
 // Karp–Sipser kernel (Algorithm 4) matches the sampled 1-out graph
 // exactly. Conjectured quality ≥ 2(1 − ρ) ≈ 0.866 on matrices with total
 // support.
+//
+// It is a thin wrapper over a throwaway Matcher; callers that match the
+// same graph repeatedly (ensembles, servers) create one with NewMatcher
+// and reuse it.
 func (g *Graph) TwoSidedMatch(opt *Options) (*MatchResult, error) {
-	v := opt.normalized()
-	sc, err := g.Scale(opt)
-	if err != nil {
-		return nil, err
-	}
-	res := core.TwoSided(g.a, g.transpose(), sc.DR, sc.DC, v.coreOptions(sc))
-	return &MatchResult{Matching: res.Matching, Scaling: sc}, nil
+	return g.NewMatcher(opt).TwoSided(0)
 }
 
 // KarpSipser runs the classic sequential Karp–Sipser heuristic (the

@@ -1,0 +1,149 @@
+package bipartite
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Server is a long-lived batching front end for matching requests, the
+// serving-loop shape of MatchBatch: callers submit requests from any
+// number of goroutines, a collector drains the queue into batches, and
+// each batch executes as one pool-wide parallel region on per-slot Matcher
+// arenas that stay warm across batches. Under load, many requests ride one
+// dispatch and reuse hot workspaces (and cached scalings for repeated
+// graphs), so the per-request overhead approaches the cost of the kernels
+// themselves; an idle server serves a lone request with one dispatch of
+// latency and no batching delay — the collector never waits for a batch to
+// fill.
+//
+// Responses are as deterministic as MatchBatch's: a function of
+// (Graph, Op, Seed, Options) only, however requests are interleaved or
+// batched.
+type Server struct {
+	engine   *batchEngine
+	maxBatch int
+	jobs     chan serverJob
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	requests atomic.Int64
+	batches  atomic.Int64
+}
+
+type serverJob struct {
+	req Request
+	out chan Response
+}
+
+// NewServer starts a serving loop with the given options (nil follows the
+// one-shot defaults). maxBatch bounds how many queued requests one batch
+// may drain; <= 0 means 256.
+func NewServer(opt *Options, maxBatch int) *Server {
+	if maxBatch <= 0 {
+		maxBatch = 256
+	}
+	s := &Server{
+		engine:   newBatchEngine(opt),
+		maxBatch: maxBatch,
+		jobs:     make(chan serverJob, maxBatch),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+// Match submits one request and blocks until its response is ready. Safe
+// for concurrent use. Match must not be called after (or concurrently
+// with) Close.
+func (s *Server) Match(req Request) Response {
+	out := make(chan Response, 1)
+	s.jobs <- serverJob{req: req, out: out}
+	return <-out
+}
+
+// MatchBatch submits many requests at once and blocks until all responses
+// are ready, returned in request order. The requests enter the shared
+// queue together, so under low contention they execute as one batch on
+// the warm arenas. Safe for concurrent use; the same Close caveat as
+// Match applies.
+func (s *Server) MatchBatch(reqs []Request) []Response {
+	jobs := make([]serverJob, len(reqs))
+	for i, req := range reqs {
+		jobs[i] = serverJob{req: req, out: make(chan Response, 1)}
+		s.jobs <- jobs[i]
+	}
+	out := make([]Response, len(reqs))
+	for i := range jobs {
+		out[i] = <-jobs[i].out
+	}
+	return out
+}
+
+// Close drains the queue, stops the collector and waits for it to finish.
+// Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.jobs)
+		s.wg.Wait()
+	})
+}
+
+// ServerStats is a snapshot of the server's batching behaviour.
+type ServerStats struct {
+	// Requests is the number of requests served.
+	Requests int64
+	// Batches is the number of pool-wide regions they were served in;
+	// Requests/Batches is the mean batch size, the dispatch amortization
+	// factor.
+	Batches int64
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{Requests: s.requests.Load(), Batches: s.batches.Load()}
+}
+
+// loop is the collector: receive one job, opportunistically drain more up
+// to maxBatch without waiting, execute the batch, write the responses back
+// to the per-job channels. The modelled receiver→worker→writer pipeline
+// collapses into one goroutine because the worker stage is itself a
+// parallel region — the pool provides the fan-out.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	jobs := make([]serverJob, 0, s.maxBatch)
+	reqs := make([]Request, 0, s.maxBatch)
+	out := make([]Response, s.maxBatch)
+	for {
+		j, ok := <-s.jobs
+		if !ok {
+			return
+		}
+		jobs = append(jobs[:0], j)
+	drain:
+		for len(jobs) < s.maxBatch {
+			select {
+			case j2, ok2 := <-s.jobs:
+				if !ok2 {
+					break drain
+				}
+				jobs = append(jobs, j2)
+			default:
+				break drain
+			}
+		}
+		reqs = reqs[:0]
+		for _, bj := range jobs {
+			reqs = append(reqs, bj.req)
+		}
+		batch := out[:len(jobs)]
+		s.engine.run(reqs, batch)
+		// Count before replying: a caller that has its response in hand
+		// must see itself in Stats().
+		s.requests.Add(int64(len(jobs)))
+		s.batches.Add(1)
+		for k, bj := range jobs {
+			bj.out <- batch[k]
+		}
+	}
+}
