@@ -1,7 +1,10 @@
 package bipartite
 
 import (
+	"context"
 	"errors"
+	"math"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/par"
@@ -54,6 +57,16 @@ type Request struct {
 	Graph *Graph
 	Op    Op
 	Seed  uint64
+	// Ctx, when non-nil, carries the request's deadline and cancellation:
+	// an already-expired context is answered with its error before any
+	// kernel runs, and a context that expires mid-run aborts the sampling
+	// and Karp–Sipser kernels at their next cooperative checkpoint (chunk
+	// granularity) — the response then carries ctx.Err(). The shared
+	// per-graph scaling is the one uncancellable stage (see the package
+	// serving contract): a deadline expiring during a cold graph's
+	// scaling is honored right after it. A nil Ctx never cancels, exactly
+	// the pre-deadline behaviour.
+	Ctx context.Context
 }
 
 // Response is the outcome of one batched request. The Matching is owned
@@ -73,9 +86,11 @@ var ErrNilGraph = errors.New("bipartite: request has nil Graph")
 // Matcher arena. The per-request parallel width is one, so every response
 // is deterministic — a function of (Graph, Op, Seed, opt) only, identical
 // to the one-shot call with Workers: 1 regardless of batch composition,
-// pool width or scheduling. Requests that share a *Graph also share its
-// cached scaling within a slot, which is where batching wins big on
-// many-seeds-per-graph workloads.
+// pool width or scheduling. Requests that share a *Graph share one
+// scaling across all slots (a per-graph once-cell; the scaling is
+// bit-identical at any width, so sharing does not perturb responses),
+// which is where batching wins big on many-seeds-per-graph workloads.
+// Per-request deadlines ride on Request.Ctx.
 //
 // opt configures scaling and the pool exactly as for one-shot calls;
 // opt.Workers caps the number of slots (<= 0 means the pool width).
@@ -89,15 +104,59 @@ func MatchBatch(reqs []Request, opt *Options) []Response {
 	return out
 }
 
-// batchEngine is the shared executor of MatchBatch and Server: a fixed
-// set of per-slot Matcher arenas plus the one prebuilt pool-wide body that
-// drains a request queue. An engine's run calls must not overlap; Server
-// guarantees that with its single collector goroutine.
+// engineScaleCap bounds the engine's per-graph scaling cache: beyond it
+// the least recently used entry is evicted (and recomputed if that graph
+// ever returns). It exists so a long-lived Server fed a stream of
+// never-repeating inline graphs cannot grow the cache without bound.
+const engineScaleCap = 256
+
+// slotArenaCap bounds how many shape-keyed Matcher arenas one slot
+// retains; the least recently used arena is recycled when heterogeneous
+// traffic brings more shapes than that.
+const slotArenaCap = 4
+
+// scaleCell is the per-graph scaling once-cell: the first slot that needs
+// graph g's scaling computes it (one pool-wide Sinkhorn–Knopp run), every
+// other slot blocks on the cell and shares the result — W batch slots pay
+// one scaling per graph instead of W.
+type scaleCell struct {
+	once sync.Once
+	sc   *Scaling
+	err  error
+	last uint64 // LRU tick; guarded by the engine mutex
+}
+
+// slotArena is one shape-keyed entry of a slot's arena cache.
+type slotArena struct {
+	rows, cols int
+	last       uint64 // slot-local LRU tick
+	m          *Matcher
+}
+
+// slotArenas is the per-slot arena cache. It is touched only by the slot
+// that owns it, so it needs no locking.
+type slotArenas struct {
+	tick   uint64
+	arenas []*slotArena
+}
+
+// batchEngine is the shared executor of MatchBatch and Server: per-slot
+// shape-keyed Matcher arenas, a per-graph shared scaling cache, plus the
+// one prebuilt pool-wide body that drains a request queue. An engine's run
+// calls must not overlap; Server guarantees that with its single collector
+// goroutine.
 type batchEngine struct {
-	opt    Options // normalized; per-slot matchers run width-1
-	pool   *par.Pool
-	width  int
-	arenas []*Matcher
+	opt   Options // normalized; per-slot matchers run width-1
+	pool  *par.Pool
+	width int
+	slots []slotArenas
+
+	// scales is the shared per-graph scaling cache (LRU-bounded); tick is
+	// its recency clock. Guarded by mu — slots from every pool worker take
+	// it for map lookups only, never across a scaling run.
+	mu     sync.Mutex
+	tick   uint64
+	scales map[*Graph]*scaleCell
 
 	next atomic.Int64
 	reqs []Request
@@ -107,7 +166,7 @@ type batchEngine struct {
 
 func newBatchEngine(opt *Options) *batchEngine {
 	v := opt.normalized()
-	e := &batchEngine{opt: v}
+	e := &batchEngine{opt: v, scales: make(map[*Graph]*scaleCell)}
 	e.pool = v.Pool.inner()
 	if e.pool == nil {
 		e.pool = par.Default()
@@ -116,7 +175,7 @@ func newBatchEngine(opt *Options) *batchEngine {
 	if e.width > e.pool.Width() {
 		e.width = e.pool.Width()
 	}
-	e.arenas = make([]*Matcher, e.width)
+	e.slots = make([]slotArenas, e.width)
 	e.body = func(w int) {
 		for {
 			i := int(e.next.Add(1)) - 1
@@ -127,6 +186,85 @@ func newBatchEngine(opt *Options) *batchEngine {
 		}
 	}
 	return e
+}
+
+// sharedScaling returns graph g's scaling under the engine options,
+// computing it exactly once per graph (however many slots ask, from
+// however many batches) and serving every later request from the cell.
+// The scaling is seed-independent and — per the package determinism
+// contract — bit-identical at every parallel width, so sharing one run
+// preserves each response bit for bit.
+func (e *batchEngine) sharedScaling(g *Graph) (*Scaling, error) {
+	e.mu.Lock()
+	c := e.scales[g]
+	if c == nil {
+		if len(e.scales) >= engineScaleCap {
+			var victim *Graph
+			oldest := uint64(math.MaxUint64)
+			for vg, vc := range e.scales {
+				if vc.last < oldest {
+					oldest, victim = vc.last, vg
+				}
+			}
+			delete(e.scales, victim)
+		}
+		c = &scaleCell{}
+		e.scales[g] = c
+	}
+	e.tick++
+	c.last = e.tick
+	e.mu.Unlock()
+	// The compute runs outside the lock: concurrent slots wanting the same
+	// graph park on the once, slots wanting other graphs proceed. It is
+	// deliberately uncancellable — the result is shared infrastructure for
+	// every later request of the graph, not work owned by the triggering
+	// request — and it runs inline at width 1, never dispatching to the
+	// pool: a nested region here could steal back a queued batch-slot task
+	// that blocks on this very once (the pool's steal-back waits make
+	// blocking under a once reentrancy-unsafe), and width 1 is also
+	// exactly the width the per-slot arenas used to scale at, so responses
+	// stay bit-for-bit.
+	c.once.Do(func() {
+		sopt := e.opt
+		sopt.Workers = 1
+		sopt.Pool = nil
+		c.sc, c.err = g.Scale(&sopt)
+	})
+	return c.sc, c.err
+}
+
+// arena returns slot w's Matcher for graph g, recycling shape-keyed
+// arenas: a stream of same-shaped graphs rebinds one arena
+// allocation-free, while heterogeneous traffic keeps up to slotArenaCap
+// differently-sized arenas warm per slot instead of thrashing one arena's
+// buffers between shapes.
+func (e *batchEngine) arena(w int, g *Graph) *Matcher {
+	s := &e.slots[w]
+	s.tick++
+	var lru *slotArena
+	for _, a := range s.arenas {
+		if a.rows == g.Rows() && a.cols == g.Cols() {
+			a.last = s.tick
+			if a.m.Graph() != g {
+				a.m.Reset(g)
+			}
+			return a.m
+		}
+		if lru == nil || a.last < lru.last {
+			lru = a
+		}
+	}
+	slotOpt := e.opt
+	slotOpt.Workers = 1
+	slotOpt.Pool = nil // width-1 sessions run inline; no pool needed
+	m := g.NewMatcher(&slotOpt)
+	entry := &slotArena{rows: g.Rows(), cols: g.Cols(), last: s.tick, m: m}
+	if len(s.arenas) < slotArenaCap {
+		s.arenas = append(s.arenas, entry)
+	} else {
+		*lru = *entry
+	}
+	return m
 }
 
 // run executes reqs into out (same length) as one pool-wide region.
@@ -144,25 +282,37 @@ func (e *batchEngine) run(reqs []Request, out []Response) {
 	e.reqs, e.out = nil, nil
 }
 
-// serve runs request i on slot w's arena.
+// serve runs request i on slot w's arena: an expired context is answered
+// before any kernel runs, a live one is armed as the arena's cancellation
+// hook, and the scaling comes from the shared per-graph cell.
 func (e *batchEngine) serve(w, i int) {
 	req := e.reqs[i]
 	if req.Graph == nil {
 		e.out[i] = Response{Err: ErrNilGraph}
 		return
 	}
-	a := e.arenas[w]
-	if a == nil {
-		slotOpt := e.opt
-		slotOpt.Workers = 1
-		slotOpt.Pool = nil // width-1 sessions run inline; no pool needed
-		a = req.Graph.NewMatcher(&slotOpt)
-		e.arenas[w] = a
-	} else if a.Graph() != req.Graph {
-		a.Reset(req.Graph)
+	ctx := req.Ctx
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			e.out[i] = Response{Err: err}
+			return
+		}
+	}
+	a := e.arena(w, req.Graph)
+	if ctx != nil {
+		a.setCancel(func() bool { return ctx.Err() != nil })
+		defer a.setCancel(nil)
 	}
 	var mt *Matching
 	var err error
+	if req.Op != OpKarpSipser { // the sampling heuristics scale first
+		var sc *Scaling
+		if sc, err = e.sharedScaling(req.Graph); err != nil {
+			e.out[i] = Response{Err: err}
+			return
+		}
+		a.installScaling(sc)
+	}
 	switch req.Op {
 	case OpOneSided:
 		var res *MatchResult
@@ -171,12 +321,22 @@ func (e *batchEngine) serve(w, i int) {
 			mt = res.Matching
 		}
 	case OpKarpSipser:
-		mt, _ = a.KarpSipser(req.Seed)
+		if mt, _ = a.KarpSipser(req.Seed); mt == nil {
+			err = ErrCanceled
+		}
 	default: // OpTwoSided
 		var res *MatchResult
 		res, err = a.TwoSided(req.Seed)
 		if err == nil {
 			mt = res.Matching
+		}
+	}
+	if ctx != nil {
+		// A context that expired mid-run trumps whatever the kernels
+		// managed to produce: the caller's deadline has passed and the
+		// sentinel errors above all trace back to it.
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
 		}
 	}
 	if err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	bipartite "repro"
@@ -33,9 +34,10 @@ func serveInstances(scale string) []struct {
 }
 
 // serve measures per-request throughput of the TwoSided heuristic served
-// three ways — one-shot calls, a reused Matcher session, and MatchBatch —
-// and returns perf-style records (ns_op is ns per request, speedup is
-// versus the one-shot tier).
+// four ways — one-shot calls, a reused Matcher session, MatchBatch, and
+// the long-lived Server under concurrent submitters (admission control and
+// shared per-graph scaling included) — and returns perf-style records
+// (ns_op is ns per request, speedup is versus the one-shot tier).
 func serve(cfg bench.Config) []bench.PerfRecord {
 	cfg = cfg.Defaults()
 	requests := 60 * cfg.Runs // 600 at the default 10 runs
@@ -80,6 +82,34 @@ func serve(cfg bench.Config) []bench.PerfRecord {
 			out := bipartite.MatchBatch(reqs, opt)
 			quality = g.Quality(out[len(out)-1].Matching)
 		}
+		// The Server tier measures the full serving loop: bounded
+		// admission, collector batching, warm arenas and the shared
+		// per-graph scaling, hammered by concurrent submitters the way an
+		// HTTP front end would.
+		server := func() {
+			srv := bipartite.NewServerConfig(opt,
+				bipartite.ServerConfig{MaxBatch: 256, Queue: requests})
+			const submitters = 8
+			var wg sync.WaitGroup
+			for s := 0; s < submitters; s++ {
+				s := s
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for k := s; k < requests; k += submitters {
+						resp := srv.Match(reqs[k])
+						if resp.Err != nil {
+							panic(resp.Err)
+						}
+						if k == requests-1 {
+							quality = g.Quality(resp.Matching)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			srv.Close()
+		}
 
 		poolWidth := runtime.GOMAXPROCS(0)
 
@@ -92,6 +122,7 @@ func serve(cfg bench.Config) []bench.PerfRecord {
 			{"serve/oneshot", poolWidth, oneshot},
 			{"serve/matcher", poolWidth, matcher},
 			{"serve/batch", poolWidth, batched},
+			{"serve/server", poolWidth, server},
 		} {
 			best := bench.TimeBest(3, mode.run)
 			if mode.name == "serve/oneshot" {

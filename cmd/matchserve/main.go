@@ -6,32 +6,47 @@
 // batches, so the service amortizes dispatch and workspace setup exactly
 // like the in-process API.
 //
+// The service is production-shaped: request bodies are size-capped
+// (-maxbody, HTTP 413 beyond it), every matching request carries the HTTP
+// request's context plus an optional deadline (-timeout or a per-request
+// "timeout_ms", HTTP 504 when it expires), a full admission queue answers
+// 503 instead of queueing without bound, the graph registry evicts its
+// least recently used entry once -maxgraphs is reached, and per-op latency
+// histograms are exported on /metrics.
+//
 // Endpoints:
 //
 //	POST /graph        register a graph: {"rows":R,"cols":C,"edges":[[i,j],...]}
 //	                   → {"id":"g1","rows":R,"cols":C,"edges":E}
-//	DELETE /graph/{id} evict a registered graph (the registry is capped by
-//	                   -maxgraphs; registration past the cap is rejected)
-//	POST /match        match once: {"graph":"g1","op":"twosided","seed":7}
+//	                   (registering past -maxgraphs evicts the least
+//	                   recently used graph)
+//	DELETE /graph/{id} evict a registered graph explicitly
+//	POST /match        match once: {"graph":"g1","op":"twosided","seed":7,"timeout_ms":50}
 //	                   or with an inline graph: {"rows":..,"cols":..,"edges":..,"op":..}
 //	                   → {"size":S,"rows":R,"cols":C,"row_mate":[...],"ms":1.2}
 //	POST /match/batch  {"requests":[<match request>, ...]}
 //	                   → {"responses":[<match response | error>, ...],"ms":batchMs}
 //	GET  /healthz      → {"status":"ok"}
-//	GET  /stats        → {"requests":N,"batches":B,"graphs":G}
+//	GET  /stats        → {"requests":N,"batches":B,"rejected":J,"graphs":G,"evictions":E}
+//	GET  /metrics      → {"ops":{"twosided":{"count":N,"p50_ms":..,"p99_ms":..},..},
+//	                      "requests":N,"batches":B,"rejected":J,...}
 //
-// Registering a graph once and matching it by id is the warm path: every
-// arena that has served the graph keeps its scaling cached, so a
-// seed-sweep workload pays the scaling sweeps once per slot and the
-// sampling kernels per request.
+// Registering a graph once and matching it by id is the warm path: the
+// server computes one scaling per graph (shared by every batch slot), so a
+// seed-sweep workload pays the scaling sweeps once and the sampling
+// kernels per request.
 //
 // Usage:
 //
-//	matchserve -addr :8480 -batch 256 -workers 0 -iters 5 -maxgraphs 1024
+//	matchserve -addr :8480 -batch 256 -queue 1024 -workers 0 -iters 5 \
+//	           -maxgraphs 1024 -maxbody 8388608 -timeout 0
 package main
 
 import (
+	"container/list"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -42,21 +57,81 @@ import (
 	"time"
 
 	bipartite "repro"
+	"repro/internal/metrics"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8480", "listen address")
 		batch     = flag.Int("batch", 256, "max requests drained into one batch")
+		queue     = flag.Int("queue", 0, "admission queue depth (0 = 4x batch)")
 		workers   = flag.Int("workers", 0, "parallel width (0 = all CPUs)")
 		iters     = flag.Int("iters", 5, "Sinkhorn-Knopp scaling iterations")
-		maxGraphs = flag.Int("maxgraphs", 1024, "max registered graphs (0 = unlimited)")
+		maxGraphs = flag.Int("maxgraphs", 1024, "max registered graphs before LRU eviction (0 = unlimited)")
+		maxBody   = flag.Int64("maxbody", 8<<20, "max request body bytes (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
 	)
 	flag.Parse()
 
 	opt := &bipartite.Options{ScalingIterations: *iters, Workers: *workers}
-	h := newHandler(bipartite.NewServer(opt, *batch), *maxGraphs)
+	srv := bipartite.NewServerConfig(opt, bipartite.ServerConfig{MaxBatch: *batch, Queue: *queue})
+	h := newHandler(srv, serveConfig{
+		maxGraphs: *maxGraphs,
+		maxBody:   *maxBody,
+		timeout:   *timeout,
+	})
 
+	log.Printf("matchserve listening on %s (batch=%d queue=%d workers=%d iters=%d maxgraphs=%d maxbody=%d timeout=%v)",
+		*addr, *batch, *queue, *workers, *iters, *maxGraphs, *maxBody, *timeout)
+	// log.Fatal would os.Exit past any deferred Close; shut the batching
+	// server down explicitly once the listener fails.
+	err := http.ListenAndServe(*addr, newMux(h))
+	h.srv.Close()
+	log.Fatal(err)
+}
+
+// serveConfig is the HTTP layer's tuning, split from the flags so tests
+// construct handlers directly.
+type serveConfig struct {
+	maxGraphs int           // registry size before LRU eviction; 0 = unbounded
+	maxBody   int64         // request body cap in bytes; 0 = unbounded
+	timeout   time.Duration // default per-request deadline; 0 = none
+}
+
+// graphEntry is one registered graph plus its position in the LRU list.
+type graphEntry struct {
+	id   string
+	g    *bipartite.Graph
+	elem *list.Element // into handler.lru; front = most recently used
+}
+
+// handler owns the matching server, the LRU graph registry and the
+// latency metrics.
+type handler struct {
+	srv *bipartite.Server
+	cfg serveConfig
+	met *metrics.Registry
+
+	mu        sync.Mutex
+	graphs    map[string]*graphEntry
+	lru       *list.List // of *graphEntry
+	evictions atomic.Int64
+	nextID    atomic.Int64
+}
+
+func newHandler(srv *bipartite.Server, cfg serveConfig) *handler {
+	return &handler{
+		srv:    srv,
+		cfg:    cfg,
+		met:    metrics.NewRegistry(),
+		graphs: make(map[string]*graphEntry),
+		lru:    list.New(),
+	}
+}
+
+// newMux wires the handler's routes; extracted from main so httptest can
+// serve the exact production routing.
+func newMux(h *handler) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /graph", h.handleGraph)
 	mux.HandleFunc("DELETE /graph/{id}", h.handleGraphDelete)
@@ -66,28 +141,28 @@ func main() {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /stats", h.handleStats)
-
-	log.Printf("matchserve listening on %s (batch=%d workers=%d iters=%d)",
-		*addr, *batch, *workers, *iters)
-	// log.Fatal would os.Exit past any deferred Close; shut the batching
-	// server down explicitly once the listener fails.
-	err := http.ListenAndServe(*addr, mux)
-	h.srv.Close()
-	log.Fatal(err)
+	mux.HandleFunc("GET /metrics", h.handleMetrics)
+	return mux
 }
 
-// handler owns the matching server and the graph registry.
-type handler struct {
-	srv *bipartite.Server
-
-	mu        sync.RWMutex
-	graphs    map[string]*bipartite.Graph
-	maxGraphs int
-	nextID    atomic.Int64
-}
-
-func newHandler(srv *bipartite.Server, maxGraphs int) *handler {
-	return &handler{srv: srv, graphs: make(map[string]*bipartite.Graph), maxGraphs: maxGraphs}
+// decodeBody JSON-decodes a size-capped request body into v, translating
+// the body-cap overflow into its dedicated status.
+func (h *handler) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if h.cfg.maxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, h.cfg.maxBody)
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
 }
 
 // graphSpec is an inline graph definition.
@@ -105,12 +180,13 @@ func (s *graphSpec) build() (*bipartite.Graph, error) {
 }
 
 // matchRequest is one /match body: a registered graph id or an inline
-// graph, plus heuristic and seed.
+// graph, plus heuristic, seed and optional per-request deadline.
 type matchRequest struct {
 	graphSpec
-	GraphID string `json:"graph"`
-	Op      string `json:"op"`
-	Seed    uint64 `json:"seed"`
+	GraphID   string `json:"graph"`
+	Op        string `json:"op"`
+	Seed      uint64 `json:"seed"`
+	TimeoutMs int64  `json:"timeout_ms"`
 }
 
 // matchResponse is the writer-side shape of one served matching.
@@ -126,32 +202,51 @@ type matchResponse struct {
 	Error string  `json:"error,omitempty"`
 }
 
-// resolve turns a wire request into a library request.
-func (h *handler) resolve(mr *matchRequest) (bipartite.Request, error) {
+// lookup returns the registered graph and marks it most recently used.
+func (h *handler) lookup(id string) *bipartite.Graph {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e := h.graphs[id]
+	if e == nil {
+		return nil
+	}
+	h.lru.MoveToFront(e.elem)
+	return e.g
+}
+
+// resolve turns a wire request into a library request carrying ctx (plus
+// the request's own deadline, if any). It returns the context's cancel
+// (never nil) which the caller must invoke once the response is written.
+func (h *handler) resolve(ctx context.Context, mr *matchRequest) (bipartite.Request, context.CancelFunc, error) {
+	nop := context.CancelFunc(func() {})
 	op, err := bipartite.ParseOp(mr.Op)
 	if err != nil {
-		return bipartite.Request{}, err
+		return bipartite.Request{}, nop, err
 	}
 	var g *bipartite.Graph
 	if mr.GraphID != "" {
-		h.mu.RLock()
-		g = h.graphs[mr.GraphID]
-		h.mu.RUnlock()
-		if g == nil {
-			return bipartite.Request{}, fmt.Errorf("unknown graph %q", mr.GraphID)
+		if g = h.lookup(mr.GraphID); g == nil {
+			return bipartite.Request{}, nop, fmt.Errorf("unknown graph %q", mr.GraphID)
 		}
 	} else {
 		if g, err = mr.build(); err != nil {
-			return bipartite.Request{}, err
+			return bipartite.Request{}, nop, err
 		}
 	}
-	return bipartite.Request{Graph: g, Op: op, Seed: mr.Seed}, nil
+	cancel := nop
+	timeout := h.cfg.timeout
+	if mr.TimeoutMs > 0 {
+		timeout = time.Duration(mr.TimeoutMs) * time.Millisecond
+	}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	return bipartite.Request{Graph: g, Op: op, Seed: mr.Seed, Ctx: ctx}, cancel, nil
 }
 
 func (h *handler) handleGraph(w http.ResponseWriter, r *http.Request) {
 	var spec graphSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !h.decodeBody(w, r, &spec) {
 		return
 	}
 	g, err := spec.build()
@@ -161,13 +256,17 @@ func (h *handler) handleGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	id := "g" + strconv.FormatInt(h.nextID.Add(1), 10)
 	h.mu.Lock()
-	if h.maxGraphs > 0 && len(h.graphs) >= h.maxGraphs {
-		h.mu.Unlock()
-		writeError(w, http.StatusInsufficientStorage,
-			fmt.Errorf("graph registry full (%d); DELETE /graph/{id} to free slots", h.maxGraphs))
-		return
+	// LRU eviction instead of rejection: a full registry stays writable,
+	// and cold graphs pay the cost (their next use re-registers).
+	for h.cfg.maxGraphs > 0 && len(h.graphs) >= h.cfg.maxGraphs {
+		victim := h.lru.Back().Value.(*graphEntry)
+		h.lru.Remove(victim.elem)
+		delete(h.graphs, victim.id)
+		h.evictions.Add(1)
 	}
-	h.graphs[id] = g
+	e := &graphEntry{id: id, g: g}
+	e.elem = h.lru.PushFront(e)
+	h.graphs[id] = e
 	h.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"id": id, "rows": g.Rows(), "cols": g.Cols(), "edges": g.Edges(),
@@ -177,8 +276,11 @@ func (h *handler) handleGraph(w http.ResponseWriter, r *http.Request) {
 func (h *handler) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	h.mu.Lock()
-	_, ok := h.graphs[id]
-	delete(h.graphs, id)
+	e, ok := h.graphs[id]
+	if ok {
+		h.lru.Remove(e.elem)
+		delete(h.graphs, id)
+	}
 	h.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
@@ -189,45 +291,61 @@ func (h *handler) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 
 func (h *handler) handleMatch(w http.ResponseWriter, r *http.Request) {
 	var mr matchRequest
-	if err := json.NewDecoder(r.Body).Decode(&mr); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !h.decodeBody(w, r, &mr) {
 		return
 	}
-	req, err := h.resolve(&mr)
+	req, cancel, err := h.resolve(r.Context(), &mr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	defer cancel()
 	start := time.Now()
 	resp := h.srv.Match(req)
-	writeJSON(w, http.StatusOK, toWire(resp, time.Since(start)))
+	elapsed := time.Since(start)
+	if resp.Err != nil {
+		// Failures don't feed the per-op histograms: microsecond 503
+		// rejections under overload would drag p50/p99 toward zero
+		// exactly when an operator reads /metrics to diagnose the
+		// incident. They get their own error series instead.
+		h.met.Histogram("errors").Observe(elapsed)
+		writeError(w, statusOf(resp.Err), resp.Err)
+		return
+	}
+	h.met.Histogram(req.Op.String()).Observe(elapsed)
+	writeJSON(w, http.StatusOK, toWire(resp, elapsed))
 }
 
 func (h *handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Requests []matchRequest `json:"requests"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !h.decodeBody(w, r, &body) {
 		return
 	}
-	reqs := make([]bipartite.Request, len(body.Requests))
 	// Per-request resolution errors are reported in-band so one bad entry
-	// does not fail the batch; its slot is served as a nil graph and the
-	// response swapped for the resolution error afterwards.
-	resolveErrs := make([]error, len(body.Requests))
+	// does not fail the batch — and only the entries that resolved are
+	// submitted, so malformed ones never occupy bounded admission-queue
+	// slots or engine dispatch.
+	out := make([]matchResponse, len(body.Requests))
+	reqs := make([]bipartite.Request, 0, len(body.Requests))
+	slots := make([]int, 0, len(body.Requests))
 	for i := range body.Requests {
-		reqs[i], resolveErrs[i] = h.resolve(&body.Requests[i])
+		req, cancel, err := h.resolve(r.Context(), &body.Requests[i])
+		defer cancel()
+		if err != nil {
+			out[i] = toWire(bipartite.Response{Err: err}, 0)
+			continue
+		}
+		reqs = append(reqs, req)
+		slots = append(slots, i)
 	}
 	start := time.Now()
 	resps := h.srv.MatchBatch(reqs)
 	elapsed := time.Since(start)
-	out := make([]matchResponse, len(resps))
-	for i, resp := range resps {
-		if resolveErrs[i] != nil {
-			resp = bipartite.Response{Err: resolveErrs[i]}
-		}
-		out[i] = toWire(resp, 0)
+	h.met.Histogram("batch").Observe(elapsed)
+	for k, resp := range resps {
+		out[slots[k]] = toWire(resp, 0)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"responses": out,
@@ -235,14 +353,65 @@ func (h *handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (h *handler) handleStats(w http.ResponseWriter, _ *http.Request) {
+// statsMap assembles the counter set shared by /stats and /metrics.
+func (h *handler) statsMap() map[string]any {
 	st := h.srv.Stats()
-	h.mu.RLock()
+	h.mu.Lock()
 	graphs := len(h.graphs)
-	h.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"requests": st.Requests, "batches": st.Batches, "graphs": graphs,
-	})
+	h.mu.Unlock()
+	return map[string]any{
+		"requests": st.Requests, "batches": st.Batches, "rejected": st.Rejected,
+		"graphs": graphs, "evictions": h.evictions.Load(),
+	}
+}
+
+func (h *handler) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.statsMap())
+}
+
+// opMetrics is the wire shape of one op's latency summary.
+type opMetrics struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func (h *handler) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	ops := make(map[string]opMetrics)
+	for name, s := range h.met.Snapshots() {
+		ops[name] = opMetrics{
+			Count:  s.Count,
+			MeanMs: ms(s.Mean),
+			P50Ms:  ms(s.P50),
+			P90Ms:  ms(s.P90),
+			P99Ms:  ms(s.P99),
+			MaxMs:  ms(s.Max),
+		}
+	}
+	body := h.statsMap()
+	body["ops"] = ops
+	writeJSON(w, http.StatusOK, body)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// statusOf maps a serving error to its HTTP status: back-pressure is 503
+// (retry later), an expired deadline 504, a client-abandoned request 499
+// (the nginx convention), anything else 500.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, bipartite.ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func toWire(resp bipartite.Response, d time.Duration) matchResponse {

@@ -92,4 +92,38 @@
 // batches), and cmd/matchserve exposes it over HTTP/JSON; responses are
 // caller-owned copies. See examples/server for the three tiers side by
 // side.
+//
+// # Serving contract
+//
+// The batch layer is production-shaped, and its guarantees are explicit:
+//
+//   - Back-pressure: a Server's admission queue is bounded
+//     (ServerConfig.Queue). A submission that finds it full fails fast
+//     with ErrOverloaded — no unbounded backlog, no blocking submitters,
+//     no goroutine per request. Rejections are counted in
+//     ServerStats.Rejected.
+//   - Deadlines: Request.Ctx carries per-request cancellation. An
+//     already-expired context is answered with its error before any
+//     kernel runs; one that expires mid-run aborts the sampling and
+//     Karp–Sipser stages at their next cooperative checkpoint (chunk
+//     granularity) and the response carries ctx.Err(). One exception is
+//     deliberate: the shared per-graph scaling below is not cancellable —
+//     it is bounded work (a fixed handful of sweeps) owned by every
+//     future request of the graph, so a request whose deadline expires
+//     during a cold graph's scaling waits that scaling out before being
+//     answered with its context error. A nil Ctx never cancels.
+//   - Shared scaling: the engine computes one scaling per *Graph in a
+//     per-graph once-cell shared by all W batch slots — not one per slot —
+//     and recycles per-slot arenas by graph shape under heterogeneous
+//     traffic. Scalings are seed-independent and width-independent, so
+//     sharing is invisible in the responses.
+//   - Determinism unchanged: every response remains a function of
+//     (Graph, Op, Seed, Options) only — bit-identical to the one-shot
+//     call at Workers: 1 — however requests are batched, canceled
+//     neighbors included.
+//
+// The quality guarantees themselves are enforced by the statistical test
+// suite (quality_test.go): OneSided ≥ (1−1/e)·sprank and TwoSided ≥
+// 0.86·sprank in the mean over seed sweeps, and exactness of Karp–Sipser
+// on degree-≤2 families.
 package bipartite

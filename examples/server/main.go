@@ -58,8 +58,12 @@ func main() {
 
 	// Tier 3: the batching Server under concurrent load. Requests from
 	// many submitters ride shared pool-wide batches on warm per-slot
-	// arenas; each response is still deterministic per (graph, op, seed).
-	srv := bipartite.NewServer(opt, 64)
+	// arenas (one shared scaling per graph); each response is still
+	// deterministic per (graph, op, seed). The admission queue is bounded:
+	// were the submitters to outrun it, the overflow would fail fast with
+	// bipartite.ErrOverloaded instead of queueing without bound, and
+	// Request.Ctx would let each call carry a deadline.
+	srv := bipartite.NewServerConfig(opt, bipartite.ServerConfig{MaxBatch: 64, Queue: 512})
 	defer srv.Close()
 	const submitters = 8
 	start = time.Now()
@@ -84,8 +88,8 @@ func main() {
 	wg.Wait()
 	report("server", start, int(lastSize.Load()))
 	st := srv.Stats()
-	fmt.Printf("\nserver batching: %d requests in %d batches (mean %.1f/batch)\n",
-		st.Requests, st.Batches, float64(st.Requests)/float64(st.Batches))
+	fmt.Printf("\nserver batching: %d requests in %d batches (mean %.1f/batch, %d rejected)\n",
+		st.Requests, st.Batches, float64(st.Requests)/float64(st.Batches), st.Rejected)
 }
 
 func report(name string, start time.Time, size int) {

@@ -40,6 +40,11 @@ type Session struct {
 	// Per-call RNG bases, written before the bodies are dispatched.
 	rbase, cbase, obase uint64
 
+	// cancel, when non-nil, is the cooperative cancellation hook: every
+	// parallel region polls it between chunks (par.ForCancel) and the
+	// pipeline polls it between regions. See SetCancel.
+	cancel func() bool
+
 	rchoice, cchoice []int32
 	cg               ChoiceGraph
 	match, mark, deg []int32
@@ -134,6 +139,21 @@ func (s *Session) ensureTwoSided() {
 	s.twoSidedSized = true
 }
 
+// SetCancel installs (or clears, with nil) the session's cooperative
+// cancellation hook. While set, TwoSided and OneSided poll it at chunk
+// granularity inside every parallel region and between regions; once it
+// reports true the running call abandons its remaining work and returns
+// nil. The hook must be cheap, safe for concurrent use and monotone —
+// once it reports true it must keep reporting true, as a context's Err
+// does — because the pipeline re-polls it at checkpoints to decide whether
+// earlier regions ran to completion. A canceled call leaves the
+// session workspaces in an undefined but reusable state — the next call
+// rewrites them from scratch.
+func (s *Session) SetCancel(cancel func() bool) { s.cancel = cancel }
+
+// canceled reports whether the session's cancellation hook has fired.
+func (s *Session) canceled() bool { return s.cancel != nil && s.cancel() }
+
 // SetScaling installs the scaling vectors (nil for uniform sampling) and,
 // optionally, the precomputed row/column sampling totals for the bound
 // matrix. The slices are retained, not copied, so a scaling workspace that
@@ -148,20 +168,34 @@ func (s *Session) Matrix() *sparse.CSR { return s.a }
 
 // TwoSided runs TwoSidedMatch (Algorithm 3) with the given seed on the
 // bound matrix, reusing every workspace. See TwoSided for the algorithm
-// and Session for the aliasing contract of the returned Result.
+// and Session for the aliasing contract of the returned Result. If the
+// session's cancellation hook (SetCancel) fires mid-run, the call returns
+// nil and no result is produced.
 func (s *Session) TwoSided(seed uint64) *Result {
+	if s.canceled() {
+		return nil
+	}
 	s.ensureTwoSided()
 	s.rbase = xrand.Base(seed)
 	s.cbase = xrand.Base(seed ^ colSeedSalt)
-	s.pool.For(s.a.RowsN+s.at.RowsN, s.opt.Workers, s.opt.Policy, s.chunk, s.sampleBoth)
+	s.pool.ForCancel(s.a.RowsN+s.at.RowsN, s.opt.Workers, s.opt.Policy, s.chunk, s.cancel, s.sampleBoth)
+	if s.canceled() {
+		return nil
+	}
 	buildChoiceInto(&s.cg, s.rchoice, s.cchoice)
 
 	nm := s.cg.N + s.cg.M
 	w, pol := s.opt.Workers, s.opt.KSPolicy
-	s.pool.For(nm, w, pol, s.chunk, s.ksInit)
-	s.pool.For(nm, w, pol, s.chunk, s.ksLink)
-	s.pool.For(nm, w, pol, s.chunk, s.ksPhase1)
-	s.pool.For(s.cg.M, w, pol, s.chunk, s.ksPhase2)
+	s.pool.ForCancel(nm, w, pol, s.chunk, s.cancel, s.ksInit)
+	s.pool.ForCancel(nm, w, pol, s.chunk, s.cancel, s.ksLink)
+	s.pool.ForCancel(nm, w, pol, s.chunk, s.cancel, s.ksPhase1)
+	s.pool.ForCancel(s.cg.M, w, pol, s.chunk, s.cancel, s.ksPhase2)
+	// One checkpoint after the kernel regions suffices: a hook that fired
+	// inside any of them left later regions partially run, so the decoded
+	// state below would be garbage either way.
+	if s.canceled() {
+		return nil
+	}
 
 	decodeMatchInto(&s.cg, s.match, &s.matching)
 	s.result = Result{Match: s.match, Matching: &s.matching, Graph: &s.cg}
@@ -170,13 +204,21 @@ func (s *Session) TwoSided(seed uint64) *Result {
 
 // OneSided runs OneSidedMatch (Algorithm 2) with the given seed on the
 // bound matrix. It returns the session-owned cmatch array and the matching
-// cardinality; see OneSided for the concurrency semantics.
+// cardinality; see OneSided for the concurrency semantics. If the
+// session's cancellation hook (SetCancel) fires mid-run, the call returns
+// (nil, 0).
 func (s *Session) OneSided(seed uint64) ([]int32, int) {
+	if s.canceled() {
+		return nil, 0
+	}
 	s.obase = xrand.Base(seed)
 	for j := range s.cmatch {
 		s.cmatch[j] = NIL
 	}
-	s.pool.For(s.a.RowsN, s.opt.Workers, s.opt.Policy, s.chunk, s.oneSided)
+	s.pool.ForCancel(s.a.RowsN, s.opt.Workers, s.opt.Policy, s.chunk, s.cancel, s.oneSided)
+	if s.canceled() {
+		return nil, 0
+	}
 	size := 0
 	for _, i := range s.cmatch {
 		if i != NIL {
@@ -187,9 +229,12 @@ func (s *Session) OneSided(seed uint64) ([]int32, int) {
 }
 
 // OneSidedMatching is OneSided decoded into the session-owned row/column
-// matching.
+// matching (nil on cancellation, like OneSided).
 func (s *Session) OneSidedMatching(seed uint64) (*exact.Matching, int) {
 	cmatch, size := s.OneSided(seed)
+	if cmatch == nil {
+		return nil, 0
+	}
 	cmatchInto(cmatch, &s.matching)
 	return &s.matching, size
 }

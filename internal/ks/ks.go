@@ -57,6 +57,20 @@ func Run(a, at *sparse.CSR, seed uint64) (*exact.Matching, Stats) {
 // RunWs is Run drawing every buffer from ws (nil means a throwaway
 // workspace, which makes it exactly Run).
 func RunWs(a, at *sparse.CSR, seed uint64, ws *Workspace) (*exact.Matching, Stats) {
+	return RunWsCancel(a, at, seed, ws, nil)
+}
+
+// cancelStride is how many heuristic steps (queue pops or random picks)
+// pass between polls of the cancellation hook — the same order of
+// granularity as the parallel kernels' per-chunk checks.
+const cancelStride = 4096
+
+// RunWsCancel is RunWs with a cooperative cancellation hook: cancel (when
+// non-nil) is polled every few thousand heuristic steps, and once it
+// reports true the run aborts, returning a nil matching and the statistics
+// accumulated so far. The workspace stays reusable. A nil cancel is
+// exactly RunWs.
+func RunWsCancel(a, at *sparse.CSR, seed uint64, ws *Workspace, cancel func() bool) (*exact.Matching, Stats) {
 	if ws == nil {
 		ws = &Workspace{}
 	}
@@ -162,8 +176,12 @@ func RunWs(a, at *sparse.CSR, seed uint64, ws *Workspace) (*exact.Matching, Stat
 	}
 
 	inPhase1 := true
-	drainQueue := func() {
+	// drainQueue reports false when the cancellation hook fired mid-drain.
+	drainQueue := func() bool {
 		for qh := 0; qh < len(queue); qh++ {
+			if cancel != nil && qh%cancelStride == cancelStride-1 && cancel() {
+				return false
+			}
 			v := queue[qh]
 			if !alive[v] || deg[v] != 1 {
 				continue
@@ -187,11 +205,25 @@ func RunWs(a, at *sparse.CSR, seed uint64, ws *Workspace) (*exact.Matching, Stat
 			}
 		}
 		queue = queue[:0]
+		return true
 	}
 
-	drainQueue()
+	// abort hands the buffers back and reports the canceled run.
+	abort := func() (*exact.Matching, Stats) {
+		ws.deg, ws.queue, ws.edges = deg, queue[:0], edges[:0]
+		return nil, st
+	}
+
+	if !drainQueue() {
+		return abort()
+	}
 	inPhase1 = false
+	steps := 0
 	for len(edges) > 0 {
+		steps++
+		if cancel != nil && steps%cancelStride == 0 && cancel() {
+			return abort()
+		}
 		// Uniform pick over live edges with swap-remove lazy deletion.
 		k := rng.Intn(len(edges))
 		e := edges[k]
@@ -204,7 +236,9 @@ func RunWs(a, at *sparse.CSR, seed uint64, ws *Workspace) (*exact.Matching, Stat
 		st.RandomPicks++
 		edges[k] = edges[len(edges)-1]
 		edges = edges[:len(edges)-1]
-		drainQueue()
+		if !drainQueue() {
+			return abort()
+		}
 	}
 	// Hand the (possibly regrown) buffers back so the next run on this
 	// workspace starts from their full capacity.

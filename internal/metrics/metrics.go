@@ -1,0 +1,167 @@
+// Package metrics provides lock-free latency histograms for the serving
+// stack: fixed log-spaced buckets, atomic counters, and quantile
+// estimation from the bucket boundaries. Observation is a few atomic adds
+// — cheap enough to sit on every request's hot path — and snapshots are
+// wait-free reads, so a /metrics endpoint never stalls the serving loop.
+//
+// The buckets double per step (bucket k covers [2^(k-1), 2^k) microseconds,
+// bucket 0 everything below 1µs), which bounds the relative error of a
+// reported quantile by the bucket width: the estimate returned is the
+// geometric midpoint of the bucket the quantile falls in, within ~1.42× of
+// the true value. That resolution is the standard trade for a histogram
+// whose memory (a few hundred bytes) and update cost are constant no
+// matter how many observations arrive.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// nBuckets spans [1µs, 2^39µs ≈ 6.4 days) with doubling buckets — wide
+// enough that no matching request ever lands outside it.
+const nBuckets = 40
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent use.
+// The zero value is ready.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	maxNs   atomic.Uint64
+	buckets [nBuckets]atomic.Uint64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	k := bits.Len64(uint64(us)) // us in [2^(k-1), 2^k)
+	if k >= nBuckets {
+		k = nBuckets - 1
+	}
+	return k
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(uint64(d.Nanoseconds()))
+	h.buckets[bucketOf(d)].Add(1)
+	for {
+		old := h.maxNs.Load()
+		if uint64(d.Nanoseconds()) <= old || h.maxNs.CompareAndSwap(old, uint64(d.Nanoseconds())) {
+			return
+		}
+	}
+}
+
+// Snapshot is a point-in-time summary of a Histogram.
+type Snapshot struct {
+	Count uint64
+	Mean  time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+}
+
+// bucketMid returns the representative latency of bucket k: the geometric
+// midpoint of its bounds (√2·2^(k-1) µs), 0.5µs for the sub-microsecond
+// bucket.
+func bucketMid(k int) time.Duration {
+	if k == 0 {
+		return 500 * time.Nanosecond
+	}
+	us := math.Sqrt2 * float64(uint64(1)<<(k-1))
+	return time.Duration(us * float64(time.Microsecond))
+}
+
+// Snapshot summarizes the histogram. Concurrent Observes may or may not be
+// included; the counts used for the quantiles are read once, so the
+// summary is internally consistent to within the in-flight updates.
+func (h *Histogram) Snapshot() Snapshot {
+	var counts [nBuckets]uint64
+	total := uint64(0)
+	for k := range counts {
+		counts[k] = h.buckets[k].Load()
+		total += counts[k]
+	}
+	s := Snapshot{
+		Count: h.count.Load(),
+		Max:   time.Duration(h.maxNs.Load()),
+	}
+	if total == 0 {
+		return s
+	}
+	s.Mean = time.Duration(h.sumNs.Load() / total)
+	quantile := func(p float64) time.Duration {
+		// The smallest bucket whose cumulative count reaches p·total.
+		want := uint64(math.Ceil(p * float64(total)))
+		if want < 1 {
+			want = 1
+		}
+		cum := uint64(0)
+		for k := range counts {
+			cum += counts[k]
+			if cum >= want {
+				return bucketMid(k)
+			}
+		}
+		return bucketMid(nBuckets - 1)
+	}
+	s.P50 = quantile(0.50)
+	s.P90 = quantile(0.90)
+	s.P99 = quantile(0.99)
+	return s
+}
+
+// Registry is a named set of histograms, created on first use — one per
+// operation the server tracks. Safe for concurrent use; lookups after
+// creation are a read-locked map hit.
+type Registry struct {
+	mu    sync.RWMutex
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{hists: make(map[string]*Histogram)}
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshots summarizes every histogram in the registry, keyed by name.
+// Histograms with no observations yet are included (Count 0), so an
+// endpoint shows every tracked operation from its first scrape.
+func (r *Registry) Snapshots() map[string]Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]Snapshot, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}

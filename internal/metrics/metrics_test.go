@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},                // [1µs, 2µs)
+		{3 * time.Microsecond, 2},            // [2µs, 4µs)
+		{time.Millisecond, 10},               // 1000µs in [512, 1024)µs
+		{time.Second, 20},                    // 1e6µs in [2^19, 2^20)µs
+		{100 * 24 * time.Hour, nBuckets - 1}, // clamped
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestSnapshotQuantiles feeds a known distribution and checks the
+// quantile estimates land in the right buckets (the documented ~1.42×
+// resolution of the doubling buckets).
+func TestSnapshotQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast samples at 1ms, 9 at 10ms, 1 at 100ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count %d, want 100", s.Count)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("max %v, want 100ms", s.Max)
+	}
+	wantMean := (90*time.Millisecond + 9*10*time.Millisecond + 100*time.Millisecond) / 100
+	if s.Mean != wantMean {
+		t.Fatalf("mean %v, want %v", s.Mean, wantMean)
+	}
+	// Each estimate must sit within one doubling bucket of the true value.
+	within := func(name string, got, truth time.Duration) {
+		t.Helper()
+		lo, hi := truth/2, 2*truth
+		if got < lo || got > hi {
+			t.Errorf("%s = %v, want within [%v, %v]", name, got, lo, hi)
+		}
+	}
+	within("p50", s.P50, time.Millisecond)
+	within("p90", s.P90, time.Millisecond)
+	within("p99", s.P99, 10*time.Millisecond)
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("non-zero snapshot of empty histogram: %+v", s)
+	}
+}
+
+// TestConcurrentObserve hammers one histogram from many goroutines; run
+// under -race this is the data-race gate, and the final count must see
+// every observation.
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count %d, want %d", s.Count, workers*per)
+	}
+	if s.Max != workers*time.Millisecond {
+		t.Fatalf("max %v, want %v", s.Max, workers*time.Millisecond)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("twosided")
+	if r.Histogram("twosided") != a {
+		t.Fatal("second lookup returned a different histogram")
+	}
+	a.Observe(time.Millisecond)
+	r.Histogram("onesided") // tracked but never observed
+	snaps := r.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("%d snapshots, want 2", len(snaps))
+	}
+	if snaps["twosided"].Count != 1 {
+		t.Fatalf("twosided count %d, want 1", snaps["twosided"].Count)
+	}
+	if snaps["onesided"].Count != 0 {
+		t.Fatalf("onesided count %d, want 0", snaps["onesided"].Count)
+	}
+}

@@ -74,6 +74,12 @@ type loopState struct {
 	chunk   int
 	workers int
 	body    func(worker, lo, hi int)
+	// cancel, when non-nil, is polled between chunk claims (and between
+	// chunk-sized steps of a static block): once it reports true, no new
+	// chunk is started. Iterations already in flight complete — the hook is
+	// cooperative, not preemptive — so a canceled loop leaves its outputs
+	// partially written and the caller must discard them.
+	cancel func() bool
 
 	runDynamic func(slot int)
 	runGuided  func(slot int)
@@ -84,6 +90,9 @@ var loopPool = sync.Pool{New: func() any {
 	l := &loopState{}
 	l.runDynamic = func(slot int) {
 		for {
+			if l.cancel != nil && l.cancel() {
+				return
+			}
 			lo := int(l.next.Add(int64(l.chunk))) - l.chunk
 			if lo >= l.n {
 				return
@@ -97,6 +106,9 @@ var loopPool = sync.Pool{New: func() any {
 	}
 	l.runGuided = func(slot int) {
 		for {
+			if l.cancel != nil && l.cancel() {
+				return
+			}
 			cur := l.next.Load()
 			remaining := int64(l.n) - cur
 			if remaining <= 0 {
@@ -117,8 +129,25 @@ var loopPool = sync.Pool{New: func() any {
 	l.runStatic = func(slot int) {
 		lo := slot * l.n / l.workers
 		hi := (slot + 1) * l.n / l.workers
-		if lo < hi {
+		if lo >= hi {
+			return
+		}
+		if l.cancel == nil {
 			l.body(slot, lo, hi)
+			return
+		}
+		// Cancellable static blocks step in chunk-sized pieces so the hook
+		// gets polled at the same granularity as the dynamic policies. The
+		// body sees the same (worker, lo, hi) partitioning semantics.
+		for ; lo < hi; lo += l.chunk {
+			if l.cancel() {
+				return
+			}
+			end := lo + l.chunk
+			if end > hi {
+				end = hi
+			}
+			l.body(slot, lo, end)
 		}
 	}
 	return l
@@ -297,6 +326,17 @@ func (p *Pool) dispatch(slots int, run func(slot int)) {
 // given number of worker slots and scheduling policy; see the package
 // function For for the full contract.
 func (p *Pool) For(n, workers int, policy Policy, chunk int, body func(worker, lo, hi int)) {
+	p.ForCancel(n, workers, policy, chunk, nil, body)
+}
+
+// ForCancel is For with a cooperative cancellation hook: cancel (when
+// non-nil) is polled between chunks on every worker, and once it reports
+// true no further chunk is started — the region returns early with the
+// remaining iterations never run. Chunks already executing finish normally,
+// so outputs of a canceled loop are partial and must be discarded by the
+// caller. A nil cancel is exactly For. The hook must be safe for concurrent
+// use and cheap (it is called once per chunk, not per iteration).
+func (p *Pool) ForCancel(n, workers int, policy Policy, chunk int, cancel func() bool, body func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -308,12 +348,28 @@ func (p *Pool) For(n, workers int, policy Policy, chunk int, body func(worker, l
 		chunk = DefaultChunk
 	}
 	if workers == 1 {
-		body(0, 0, n)
+		if cancel == nil {
+			body(0, 0, n)
+			return
+		}
+		// The inline width-1 fast path polls at the same chunk granularity
+		// as the parallel policies — this is the path the serving layer's
+		// width-1 session arenas run, so deadline checks must reach it.
+		for lo := 0; lo < n; lo += chunk {
+			if cancel() {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(0, lo, hi)
+		}
 		return
 	}
 	l := loopPool.Get().(*loopState)
 	l.next.Store(0)
-	l.n, l.chunk, l.workers, l.body = n, chunk, workers, body
+	l.n, l.chunk, l.workers, l.body, l.cancel = n, chunk, workers, body, cancel
 	switch policy {
 	case Dynamic:
 		p.dispatch(workers, l.runDynamic)
@@ -322,7 +378,7 @@ func (p *Pool) For(n, workers int, policy Policy, chunk int, body func(worker, l
 	default: // Static
 		p.dispatch(workers, l.runStatic)
 	}
-	l.body = nil // don't pin the caller's body in the arena
+	l.body, l.cancel = nil, nil // don't pin the caller's closures in the arena
 	loopPool.Put(l)
 }
 

@@ -58,7 +58,19 @@ type Options struct {
 	// workspace and is valid only until the workspace's next run. The
 	// convergence-checked, Ruiz and skew-aware paths ignore it.
 	Ws *Workspace
+	// Cancel, when non-nil, is a cooperative cancellation hook polled
+	// between matrix sweeps (once or twice per iteration). When it reports
+	// true the run aborts with ErrCanceled; the scaling state accumulated
+	// so far is discarded. The serving layer derives it from the request's
+	// context deadline.
+	Cancel func() bool
 }
+
+// canceled reports whether the run's cancellation hook has fired.
+func (o Options) canceled() bool { return o.Cancel != nil && o.Cancel() }
+
+// ErrCanceled reports a scaling run aborted by its Options.Cancel hook.
+var ErrCanceled = errors.New("scale: canceled")
 
 // Workspace owns the vectors of the fused fixed-iteration Sinkhorn–Knopp
 // loop (scaling vectors, row/column sums, error history) so matcher
@@ -144,12 +156,17 @@ func SinkhornKnopp(a, at *sparse.CSR, opt Options) (*Result, error) {
 		return nil, ErrShape
 	}
 	n, m := a.RowsN, a.ColsN
+	if opt.canceled() {
+		return nil, ErrCanceled
+	}
 	if opt.Tol > 0 {
 		// The convergence check needs the error of an iteration before
 		// deciding whether to run the next one, which forces the classic
 		// dedicated error sweep per iteration.
 		res := &Result{DR: ones(n), DC: ones(m)}
-		sinkhornKnoppTol(a, at, opt, res)
+		if err := sinkhornKnoppTol(a, at, opt, res); err != nil {
+			return nil, err
+		}
 		return res, nil
 	}
 
@@ -220,6 +237,9 @@ func SinkhornKnopp(a, at *sparse.CSR, opt Options) (*Result, error) {
 	rowPass(rsumIfLast(0))
 	res.Iters++
 	for it := 1; it < opt.MaxIters; it++ {
+		if opt.canceled() {
+			return nil, ErrCanceled
+		}
 		// Fused column pass: the fresh column sums determine both the
 		// error of the state entering this iteration (the previous
 		// iteration's result, measured against the not-yet-updated dc)
@@ -241,7 +261,7 @@ func SinkhornKnopp(a, at *sparse.CSR, opt Options) (*Result, error) {
 // sinkhornKnoppTol is the classic three-sweep loop used when a convergence
 // tolerance is set. It reports the same Err/History as the fused loop for
 // the iterations it runs, but leaves RSum/CSum nil.
-func sinkhornKnoppTol(a, at *sparse.CSR, opt Options, res *Result) {
+func sinkhornKnoppTol(a, at *sparse.CSR, opt Options, res *Result) error {
 	p := opt.pool()
 	chunk := opt.chunkOrDefault()
 	n, m := a.RowsN, a.ColsN
@@ -251,6 +271,9 @@ func sinkhornKnoppTol(a, at *sparse.CSR, opt Options, res *Result) {
 	for it := 0; it < opt.MaxIters; it++ {
 		if res.Err <= opt.Tol {
 			break
+		}
+		if opt.canceled() {
+			return ErrCanceled
 		}
 		// Column pass: dc[j] <- 1 / sum_{i in A*j} dr[i]*a_ij.
 		p.For(m, opt.Workers, opt.Policy, chunk, func(_, lo, hi int) {
@@ -294,6 +317,7 @@ func sinkhornKnoppTol(a, at *sparse.CSR, opt Options, res *Result) {
 		res.Err = colSumsAndError(at, res.DR, res.DC, nil, false, p, opt.Workers, opt.Policy, chunk)
 		res.History = append(res.History, res.Err)
 	}
+	return nil
 }
 
 // Ruiz runs the Ruiz equilibration iteration: every step scales rows and
@@ -317,6 +341,9 @@ func Ruiz(a, at *sparse.CSR, opt Options) (*Result, error) {
 	for it := 0; it < opt.MaxIters; it++ {
 		if opt.Tol > 0 && res.Err <= opt.Tol {
 			break
+		}
+		if opt.canceled() {
+			return nil, ErrCanceled
 		}
 		p.For(n, opt.Workers, opt.Policy, chunk, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {

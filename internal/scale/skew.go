@@ -43,6 +43,9 @@ func SinkhornKnoppSkewAware(a, at *sparse.CSR, opt Options) (*Result, error) {
 		if opt.Tol > 0 && res.Err <= opt.Tol {
 			break
 		}
+		if opt.canceled() {
+			return nil, ErrCanceled
+		}
 		// Light columns: one worker per chunk of columns.
 		pl.For(len(lightCols), workers, opt.Policy, chunk, func(_, lo, hi int) {
 			for k := lo; k < hi; k++ {

@@ -1,10 +1,18 @@
 package bipartite
 
 import (
+	"errors"
+
 	"repro/internal/core"
 	"repro/internal/ks"
 	"repro/internal/scale"
 )
+
+// ErrCanceled reports a matching call that was aborted by its cancellation
+// hook before producing a result — in the serving stack, a request whose
+// context deadline expired mid-kernel. The batch layer translates it back
+// into the request context's own error.
+var ErrCanceled = errors.New("bipartite: matching canceled")
 
 // Matcher is a reusable matching session bound to one graph. It caches the
 // transpose and the scaling of the bound graph and owns preallocated
@@ -42,6 +50,10 @@ type Matcher struct {
 	scErr   error
 	scaling Scaling     // backing storage for sc on the workspace path
 	result  MatchResult // reused result header
+
+	// cancel is the cooperative cancellation hook threaded through every
+	// kernel stage; see setCancel.
+	cancel func() bool
 }
 
 // NewMatcher creates a matching session on g. opt follows the same
@@ -72,6 +84,30 @@ func (m *Matcher) Reset(g *Graph) {
 // Graph returns the graph the session is currently bound to.
 func (m *Matcher) Graph() *Graph { return m.g }
 
+// setCancel installs (or clears, with nil) the session's cooperative
+// cancellation hook; the scaling, sampling and Karp–Sipser stages all poll
+// it at chunk granularity. The hook must be cheap, concurrency-safe and
+// monotone (once true, always true — a context's Err is). A canceled call
+// returns ErrCanceled (or a nil matching from KarpSipser) and leaves the
+// session reusable; the batch engine arms this per request from the
+// request's context.
+func (m *Matcher) setCancel(cancel func() bool) {
+	m.cancel = cancel
+	m.sess.SetCancel(cancel)
+}
+
+// installScaling hands the session a precomputed scaling of the bound
+// graph — the shared per-graph once-cell of the batch engine — so the slot
+// skips its own Sinkhorn–Knopp run entirely. The scaling must be that of
+// the bound graph under the session's options; sc's slices are retained.
+func (m *Matcher) installScaling(sc *Scaling) {
+	if m.sc == sc {
+		return
+	}
+	m.sc, m.scErr = sc, nil
+	m.sess.SetScaling(sc.DR, sc.DC, sc.RowSums, sc.ColSums)
+}
+
 // seed resolves a per-call seed: 0 means the session's Options.Seed.
 func (m *Matcher) seed(s uint64) uint64 {
 	if s == 0 {
@@ -87,8 +123,13 @@ func (m *Matcher) Scale() (*Scaling, error) {
 	if m.sc != nil || m.scErr != nil {
 		return m.sc, m.scErr
 	}
-	res, err := m.g.scaleRaw(m.opt, m.scaleWs)
+	res, err := m.g.scaleRaw(m.opt, m.scaleWs, m.cancel)
 	if err != nil {
+		if errors.Is(err, scale.ErrCanceled) {
+			// Cancellation is a property of the call, not the graph: do
+			// not poison the cache — the next (uncanceled) call rescales.
+			return nil, ErrCanceled
+		}
 		m.scErr = err
 		return nil, err
 	}
@@ -109,6 +150,9 @@ func (m *Matcher) OneSided(seed uint64) (*MatchResult, error) {
 		return nil, err
 	}
 	mt, _ := m.sess.OneSidedMatching(m.seed(seed))
+	if mt == nil {
+		return nil, ErrCanceled
+	}
 	m.result = MatchResult{Matching: mt, Scaling: sc}
 	return &m.result, nil
 }
@@ -123,18 +167,22 @@ func (m *Matcher) TwoSided(seed uint64) (*MatchResult, error) {
 		return nil, err
 	}
 	res := m.sess.TwoSided(m.seed(seed))
+	if res == nil {
+		return nil, ErrCanceled
+	}
 	m.result = MatchResult{Matching: res.Matching, Scaling: sc}
 	return &m.result, nil
 }
 
 // KarpSipser runs the classic sequential Karp–Sipser heuristic with the
 // given seed (0 means Options.Seed), reusing the session's queue and
-// live-edge buffers across calls.
+// live-edge buffers across calls. A canceled session call returns a nil
+// matching.
 func (m *Matcher) KarpSipser(seed uint64) (*Matching, KarpSipserStats) {
 	if m.ksWs == nil {
 		m.ksWs = &ks.Workspace{}
 	}
-	return ks.RunWs(m.g.a, m.g.transpose(), m.seed(seed), m.ksWs)
+	return ks.RunWsCancel(m.g.a, m.g.transpose(), m.seed(seed), m.ksWs, m.cancel)
 }
 
 // KarpSipserParallel runs the multithreaded Karp–Sipser baseline with the

@@ -2,6 +2,7 @@ package bipartite
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/cheap"
 	"repro/internal/core"
@@ -120,16 +121,29 @@ type Scaling struct {
 	RowSums, ColSums []float64
 }
 
+// scaleRunHook, when set, is called at the start of every scaling run —
+// the test seam that counts how many Sinkhorn–Knopp (or Ruiz) executions a
+// serving workload actually performs (the shared per-graph scaling
+// guarantee is asserted through it). Loaded atomically because batch slots
+// scale from pool workers.
+var scaleRunHook atomic.Pointer[func()]
+
 // scaleRaw runs the configured scaling method on g, drawing buffers from
 // ws when non-nil and the method supports it (the fused Sinkhorn–Knopp
-// path; Ruiz and skew-aware runs always allocate).
-func (g *Graph) scaleRaw(v Options, ws *scale.Workspace) (*scale.Result, error) {
+// path; Ruiz and skew-aware runs always allocate). cancel, when non-nil,
+// is the cooperative cancellation hook polled between sweeps; a canceled
+// run fails with scale.ErrCanceled.
+func (g *Graph) scaleRaw(v Options, ws *scale.Workspace, cancel func() bool) (*scale.Result, error) {
+	if hook := scaleRunHook.Load(); hook != nil {
+		(*hook)()
+	}
 	sopt := scale.Options{
 		MaxIters: v.ScalingIterations,
 		Workers:  v.Workers,
 		Policy:   par.Dynamic,
 		Pool:     v.Pool.inner(),
 		Ws:       ws,
+		Cancel:   cancel,
 	}
 	switch {
 	case v.UseRuiz:
@@ -146,7 +160,7 @@ func (g *Graph) scaleRaw(v Options, ws *scale.Workspace) (*scale.Result, error) 
 // scale internally; Scale is exposed for scaling-only workflows and the
 // experiments.
 func (g *Graph) Scale(opt *Options) (*Scaling, error) {
-	res, err := g.scaleRaw(opt.normalized(), nil)
+	res, err := g.scaleRaw(opt.normalized(), nil, nil)
 	if err != nil {
 		return nil, err
 	}

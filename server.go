@@ -1,20 +1,37 @@
 package bipartite
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrOverloaded reports a request rejected at admission because the
+// server's bounded queue was full. It is the back-pressure signal:
+// callers shed load, retry with backoff, or surface 503s — they never
+// block behind an unbounded backlog. A rejected request consumed no
+// kernel work and holds no server resources.
+var ErrOverloaded = errors.New("bipartite: server overloaded (admission queue full)")
+
+// ErrServerClosed reports a request submitted after Close.
+var ErrServerClosed = errors.New("bipartite: server closed")
 
 // Server is a long-lived batching front end for matching requests, the
 // serving-loop shape of MatchBatch: callers submit requests from any
 // number of goroutines, a collector drains the queue into batches, and
 // each batch executes as one pool-wide parallel region on per-slot Matcher
 // arenas that stay warm across batches. Under load, many requests ride one
-// dispatch and reuse hot workspaces (and cached scalings for repeated
-// graphs), so the per-request overhead approaches the cost of the kernels
-// themselves; an idle server serves a lone request with one dispatch of
-// latency and no batching delay — the collector never waits for a batch to
-// fill.
+// dispatch and reuse hot workspaces (and the per-graph shared scaling for
+// repeated graphs), so the per-request overhead approaches the cost of the
+// kernels themselves; an idle server serves a lone request with one
+// dispatch of latency and no batching delay — the collector never waits
+// for a batch to fill.
+//
+// Admission is bounded: at most Queue requests wait at any moment, and a
+// submission that finds the queue full fails fast with ErrOverloaded
+// instead of blocking. Per-request deadlines ride on Request.Ctx — an
+// expired context is answered without running kernels, and one that
+// expires mid-run aborts them at the next cooperative checkpoint.
 //
 // Responses are as deterministic as MatchBatch's: a function of
 // (Graph, Op, Seed, Options) only, however requests are interleaved or
@@ -24,11 +41,23 @@ type Server struct {
 	maxBatch int
 	jobs     chan serverJob
 
-	wg        sync.WaitGroup
+	wg sync.WaitGroup
+	// mu gates the jobs channel's lifecycle: submitters hold the read
+	// side across their (non-blocking) send, Close flips closed under the
+	// write side before closing the channel — so a send can never race
+	// the close, by construction rather than by caller discipline.
+	mu        sync.RWMutex
+	closed    bool
 	closeOnce sync.Once
 
 	requests atomic.Int64
 	batches  atomic.Int64
+	rejected atomic.Int64
+
+	// testHookBatch, when non-nil, runs on the collector goroutine before
+	// each batch executes — the test seam that stalls the collector to
+	// fill the admission queue deterministically.
+	testHookBatch func(batch int)
 }
 
 type serverJob struct {
@@ -36,60 +65,135 @@ type serverJob struct {
 	out chan Response
 }
 
+// ServerConfig sizes a Server's batching and admission behaviour.
+type ServerConfig struct {
+	// MaxBatch bounds how many queued requests one batch may drain;
+	// <= 0 means 256.
+	MaxBatch int
+	// Queue is the admission queue depth: the maximum number of requests
+	// waiting to be drained into a batch. Submissions beyond it fail with
+	// ErrOverloaded. <= 0 means 4×MaxBatch.
+	Queue int
+}
+
 // NewServer starts a serving loop with the given options (nil follows the
 // one-shot defaults). maxBatch bounds how many queued requests one batch
-// may drain; <= 0 means 256.
+// may drain; <= 0 means 256. The admission queue defaults to 4×maxBatch;
+// use NewServerConfig to size it explicitly.
 func NewServer(opt *Options, maxBatch int) *Server {
-	if maxBatch <= 0 {
-		maxBatch = 256
+	return NewServerConfig(opt, ServerConfig{MaxBatch: maxBatch})
+}
+
+// NewServerConfig starts a serving loop with explicit batch and admission
+// sizing; see ServerConfig.
+func NewServerConfig(opt *Options, cfg ServerConfig) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4 * cfg.MaxBatch
 	}
 	s := &Server{
 		engine:   newBatchEngine(opt),
-		maxBatch: maxBatch,
-		jobs:     make(chan serverJob, maxBatch),
+		maxBatch: cfg.MaxBatch,
+		jobs:     make(chan serverJob, cfg.Queue),
 	}
 	s.wg.Add(1)
 	go s.loop()
 	return s
 }
 
-// Match submits one request and blocks until its response is ready. Safe
-// for concurrent use. Match must not be called after (or concurrently
-// with) Close.
+// Match submits one request and blocks until its response is ready (or
+// the request's context expires, whichever comes first). If the admission
+// queue is full the request is rejected immediately with ErrOverloaded.
+// Safe for concurrent use, including with Close: a submission that races
+// or follows Close fails with ErrServerClosed.
 func (s *Server) Match(req Request) Response {
 	out := make(chan Response, 1)
-	s.jobs <- serverJob{req: req, out: out}
+	if resp, admitted := s.submit(req, out); !admitted {
+		return resp
+	}
+	if req.Ctx != nil {
+		// The buffered out channel lets the collector reply to an
+		// abandoned request without blocking; the early return only
+		// abandons the wait, never the slot.
+		select {
+		case resp := <-out:
+			return resp
+		case <-req.Ctx.Done():
+			return Response{Err: req.Ctx.Err()}
+		}
+	}
 	return <-out
 }
 
-// MatchBatch submits many requests at once and blocks until all responses
-// are ready, returned in request order. The requests enter the shared
-// queue together, so under low contention they execute as one batch on
-// the warm arenas. Safe for concurrent use; the same Close caveat as
-// Match applies.
+// submit tries to enqueue one request. When it fails, the returned
+// Response carries the admission error and nothing was enqueued. The read
+// lock is held only across the closed check and a non-blocking send, so
+// it never delays other submitters and cannot deadlock against Close.
+func (s *Server) submit(req Request, out chan Response) (Response, bool) {
+	if req.Ctx != nil {
+		if err := req.Ctx.Err(); err != nil {
+			return Response{Err: err}, false
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return Response{Err: ErrServerClosed}, false
+	}
+	select {
+	case s.jobs <- serverJob{req: req, out: out}:
+		return Response{}, true
+	default:
+		s.rejected.Add(1)
+		return Response{Err: ErrOverloaded}, false
+	}
+}
+
+// MatchBatch submits many requests at once and blocks until all admitted
+// responses are ready, returned in request order. The requests enter the
+// shared queue together, so under low contention they execute as one
+// batch on the warm arenas. Requests that do not fit the admission queue
+// are answered ErrOverloaded in place — size the queue at least as large
+// as the biggest burst one caller submits. Safe for concurrent use,
+// including with Close, like Match.
 func (s *Server) MatchBatch(reqs []Request) []Response {
 	jobs := make([]serverJob, len(reqs))
+	out := make([]Response, len(reqs))
 	for i, req := range reqs {
 		jobs[i] = serverJob{req: req, out: make(chan Response, 1)}
-		s.jobs <- jobs[i]
+		if resp, admitted := s.submit(req, jobs[i].out); !admitted {
+			jobs[i].out = nil
+			out[i] = resp
+		}
 	}
-	out := make([]Response, len(reqs))
 	for i := range jobs {
-		out[i] = <-jobs[i].out
+		if jobs[i].out != nil {
+			out[i] = <-jobs[i].out
+		}
 	}
 	return out
 }
 
 // Close drains the queue, stops the collector and waits for it to finish.
-// Idempotent.
+// Requests admitted before the close are still served. Idempotent, and
+// safe to call while Match/MatchBatch are in flight — racing submissions
+// fail with ErrServerClosed.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		// Taking the write lock waits out every in-flight send, and every
+		// later submitter sees closed — only then is the channel closed.
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
 		close(s.jobs)
 		s.wg.Wait()
 	})
 }
 
-// ServerStats is a snapshot of the server's batching behaviour.
+// ServerStats is a snapshot of the server's batching and admission
+// behaviour.
 type ServerStats struct {
 	// Requests is the number of requests served.
 	Requests int64
@@ -97,11 +201,19 @@ type ServerStats struct {
 	// Requests/Batches is the mean batch size, the dispatch amortization
 	// factor.
 	Batches int64
+	// Rejected is the number of submissions refused with ErrOverloaded at
+	// admission. A growing Rejected under steady traffic means the queue
+	// (or the pool behind it) is undersized for the offered load.
+	Rejected int64
 }
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{Requests: s.requests.Load(), Batches: s.batches.Load()}
+	return ServerStats{
+		Requests: s.requests.Load(),
+		Batches:  s.batches.Load(),
+		Rejected: s.rejected.Load(),
+	}
 }
 
 // loop is the collector: receive one job, opportunistically drain more up
@@ -131,6 +243,9 @@ func (s *Server) loop() {
 			default:
 				break drain
 			}
+		}
+		if s.testHookBatch != nil {
+			s.testHookBatch(len(jobs))
 		}
 		reqs = reqs[:0]
 		for _, bj := range jobs {
