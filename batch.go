@@ -11,6 +11,11 @@ import (
 )
 
 // Op selects the heuristic a batched matching request runs.
+//
+// Deprecated: Op predates the declarative Spec type and survives as a
+// compatibility shim — set Request.Spec instead, which additionally
+// carries refinement, ensembles and early-stop targets. An Op is honored
+// only when Request.Spec.Algorithm is unset (zero).
 type Op int
 
 const (
@@ -37,7 +42,22 @@ func (op Op) String() string {
 	}
 }
 
+// Algorithm converts the deprecated Op into its Spec equivalent.
+func (op Op) Algorithm() Algorithm {
+	switch op {
+	case OpOneSided:
+		return AlgOneSided
+	case OpKarpSipser:
+		return AlgKarpSipser
+	default:
+		return AlgTwoSided
+	}
+}
+
 // ParseOp converts a wire name back into an Op.
+//
+// Deprecated: use ParseAlgorithm, which also understands the algorithms
+// Op never covered.
 func ParseOp(s string) (Op, error) {
 	switch s {
 	case "twosided", "":
@@ -51,12 +71,23 @@ func ParseOp(s string) (Op, error) {
 	}
 }
 
-// Request is one matching request of a batch: which graph to match, with
-// which heuristic, under which seed (0 means the batch Options' seed).
+// Request is one matching request of a batch: which graph to match, under
+// which declarative Spec (the same request type Matcher.Run, Graph.Match
+// and the cmd/matchserve wire format execute).
 type Request struct {
 	Graph *Graph
-	Op    Op
-	Seed  uint64
+	// Spec is the declarative matching request: algorithm, seed (0 means
+	// the batch Options' seed), best-of-K ensemble, refinement, target.
+	Spec Spec
+	// Op is the deprecated pre-Spec algorithm selector, honored only when
+	// Spec.Algorithm is unset (zero, AlgTwoSided).
+	//
+	// Deprecated: set Spec.Algorithm.
+	Op Op
+	// Seed is the deprecated pre-Spec seed field, used when Spec.Seed is 0.
+	//
+	// Deprecated: set Spec.Seed.
+	Seed uint64
 	// Ctx, when non-nil, carries the request's deadline and cancellation:
 	// an already-expired context is answered with its error before any
 	// kernel runs, and a context that expires mid-run aborts the sampling
@@ -67,6 +98,21 @@ type Request struct {
 	// scaling is honored right after it. A nil Ctx never cancels, exactly
 	// the pre-deadline behaviour.
 	Ctx context.Context
+}
+
+// effectiveSpec resolves the request's Spec, folding the deprecated Op and
+// Seed fields in: Op is consulted only when Spec.Algorithm is unset, and
+// Seed only when Spec.Seed is 0 — so legacy requests behave exactly as
+// before the Spec redesign and Spec-carrying requests win outright.
+func (r *Request) effectiveSpec() Spec {
+	s := r.Spec
+	if s.Algorithm == AlgTwoSided && r.Op != OpTwoSided {
+		s.Algorithm = r.Op.Algorithm()
+	}
+	if s.Seed == 0 {
+		s.Seed = r.Seed
+	}
+	return s
 }
 
 // Response is the outcome of one batched request. The Matching is owned
@@ -84,7 +130,7 @@ var ErrNilGraph = errors.New("bipartite: request has nil Graph")
 // region: a single dispatch hands the request queue to the pool's worker
 // slots, and each slot serves requests sequentially on its own resident
 // Matcher arena. The per-request parallel width is one, so every response
-// is deterministic — a function of (Graph, Op, Seed, opt) only, identical
+// is deterministic — a function of (Graph, Spec, opt) only, identical
 // to the one-shot call with Workers: 1 regardless of batch composition,
 // pool width or scheduling. Requests that share a *Graph share one
 // scaling across all slots (a per-graph once-cell; the scaling is
@@ -233,6 +279,15 @@ func (e *batchEngine) sharedScaling(g *Graph) (*Scaling, error) {
 	return c.sc, c.err
 }
 
+// dropGraph evicts graph g's cached scaling (if any). A slot that already
+// holds the cell keeps using it — eviction only makes the next request of
+// the graph recompute — so the call is safe at any moment.
+func (e *batchEngine) dropGraph(g *Graph) {
+	e.mu.Lock()
+	delete(e.scales, g)
+	e.mu.Unlock()
+}
+
 // arena returns slot w's Matcher for graph g, recycling shape-keyed
 // arenas: a stream of same-shaped graphs rebinds one arena
 // allocation-free, while heterogeneous traffic keeps up to slotArenaCap
@@ -282,13 +337,19 @@ func (e *batchEngine) run(reqs []Request, out []Response) {
 	e.reqs, e.out = nil, nil
 }
 
-// serve runs request i on slot w's arena: an expired context is answered
-// before any kernel runs, a live one is armed as the arena's cancellation
-// hook, and the scaling comes from the shared per-graph cell.
+// serve runs request i on slot w's arena: the effective Spec is resolved
+// and validated first, an expired context is answered before any kernel
+// runs, a live one is armed as the arena's cancellation hook, the scaling
+// comes from the shared per-graph cell, and the Spec engine does the rest.
 func (e *batchEngine) serve(w, i int) {
 	req := e.reqs[i]
 	if req.Graph == nil {
 		e.out[i] = Response{Err: ErrNilGraph}
+		return
+	}
+	spec := req.effectiveSpec()
+	if err := spec.Validate(); err != nil {
+		e.out[i] = Response{Err: err}
 		return
 	}
 	ctx := req.Ctx
@@ -305,7 +366,7 @@ func (e *batchEngine) serve(w, i int) {
 	}
 	var mt *Matching
 	var err error
-	if req.Op != OpKarpSipser { // the sampling heuristics scale first
+	if spec.Algorithm.scales() {
 		var sc *Scaling
 		if sc, err = e.sharedScaling(req.Graph); err != nil {
 			e.out[i] = Response{Err: err}
@@ -313,23 +374,9 @@ func (e *batchEngine) serve(w, i int) {
 		}
 		a.installScaling(sc)
 	}
-	switch req.Op {
-	case OpOneSided:
-		var res *MatchResult
-		res, err = a.OneSided(req.Seed)
-		if err == nil {
-			mt = res.Matching
-		}
-	case OpKarpSipser:
-		if mt, _ = a.KarpSipser(req.Seed); mt == nil {
-			err = ErrCanceled
-		}
-	default: // OpTwoSided
-		var res *MatchResult
-		res, err = a.TwoSided(req.Seed)
-		if err == nil {
-			mt = res.Matching
-		}
+	var res *MatchResult
+	if res, err = a.Run(spec); err == nil {
+		mt = res.Matching
 	}
 	if ctx != nil {
 		// A context that expired mid-run trumps whatever the kernels

@@ -74,9 +74,27 @@ func serve(cfg bench.Config) []bench.PerfRecord {
 				quality = g.Quality(res.Matching)
 			}
 		}
+		// The ensemble tier runs the same number of TwoSided candidates as
+		// the other tiers, but grouped into best-of-8 Specs on one warm
+		// session — the jump-start-ensemble shape: one scaling, one arena,
+		// K kernels per returned (best) matching.
+		ensemble := func() {
+			m := g.NewMatcher(opt)
+			for k := 0; k < requests/8; k++ {
+				res, err := m.Run(bipartite.Spec{
+					Algorithm: bipartite.AlgTwoSided,
+					Seed:      cfg.Seed + uint64(8*k),
+					Ensemble:  8,
+				})
+				if err != nil {
+					panic(err)
+				}
+				quality = g.Quality(res.Matching)
+			}
+		}
 		reqs := make([]bipartite.Request, requests)
 		for k := range reqs {
-			reqs[k] = bipartite.Request{Graph: g, Op: bipartite.OpTwoSided, Seed: cfg.Seed + uint64(k)}
+			reqs[k] = bipartite.Request{Graph: g, Spec: bipartite.Spec{Seed: cfg.Seed + uint64(k)}}
 		}
 		batched := func() {
 			out := bipartite.MatchBatch(reqs, opt)
@@ -121,6 +139,7 @@ func serve(cfg bench.Config) []bench.PerfRecord {
 		}{
 			{"serve/oneshot", poolWidth, oneshot},
 			{"serve/matcher", poolWidth, matcher},
+			{"serve/ensemble8", poolWidth, ensemble},
 			{"serve/batch", poolWidth, batched},
 			{"serve/server", poolWidth, server},
 		} {

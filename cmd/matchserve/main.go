@@ -20,21 +20,40 @@
 //	                   → {"id":"g1","rows":R,"cols":C,"edges":E}
 //	                   (registering past -maxgraphs evicts the least
 //	                   recently used graph)
-//	DELETE /graph/{id} evict a registered graph explicitly
-//	POST /match        match once: {"graph":"g1","op":"twosided","seed":7,"timeout_ms":50}
-//	                   or with an inline graph: {"rows":..,"cols":..,"edges":..,"op":..}
+//	DELETE /graph/{id} evict a registered graph explicitly (this also drops
+//	                   the engine's cached scaling of the graph)
+//	POST /match        match once: {"graph":"g1","algorithm":"twosided",
+//	                   "seed":7,"refine":"exact","best_of":8,"target":0.95,
+//	                   "timeout_ms":50} or with an inline graph:
+//	                   {"rows":..,"cols":..,"edges":..,"algorithm":..}
 //	                   → {"size":S,"rows":R,"cols":C,"row_mate":[...],"ms":1.2}
 //	POST /match/batch  {"requests":[<match request>, ...]}
 //	                   → {"responses":[<match response | error>, ...],"ms":batchMs}
+//	                   (request and response envelopes may be gzip-encoded:
+//	                   send Content-Encoding: gzip and/or Accept-Encoding: gzip)
 //	GET  /healthz      → {"status":"ok"}
 //	GET  /stats        → {"requests":N,"batches":B,"rejected":J,"graphs":G,"evictions":E}
 //	GET  /metrics      → {"ops":{"twosided":{"count":N,"p50_ms":..,"p99_ms":..},..},
 //	                      "requests":N,"batches":B,"rejected":J,...}
+//	                   with ?format=prom (or an Accept header asking for
+//	                   text/plain / OpenMetrics), the same counters and
+//	                   histograms in Prometheus text format
+//
+// Match requests carry the library's declarative Spec on the wire:
+// "algorithm" selects the heuristic (twosided, onesided, karpsipser,
+// karpsipser-parallel, cheap-edge, cheap-vertex; "op" survives as a
+// deprecated alias), "refine":"exact" augments the heuristic matching to
+// maximum cardinality (Hopcroft–Karp jump-start), "best_of":K runs a
+// best-of-K seed ensemble on one shared scaling, and "target" stops the
+// ensemble early at the given quality fraction. Invalid specs are answered
+// with precise 400s before any kernel runs.
 //
 // Registering a graph once and matching it by id is the warm path: the
 // server computes one scaling per graph (shared by every batch slot), so a
 // seed-sweep workload pays the scaling sweeps once and the sampling
-// kernels per request.
+// kernels per request. Evicting a graph — explicitly or via the LRU cap —
+// also drops that cached scaling through Server.DropGraph, so the registry
+// and the engine scale-cache share one lifetime.
 //
 // Usage:
 //
@@ -43,15 +62,19 @@
 package main
 
 import (
+	"compress/gzip"
 	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -180,13 +203,48 @@ func (s *graphSpec) build() (*bipartite.Graph, error) {
 }
 
 // matchRequest is one /match body: a registered graph id or an inline
-// graph, plus heuristic, seed and optional per-request deadline.
+// graph, plus the declarative spec fields (algorithm, seed, refinement,
+// ensemble, target) and an optional per-request deadline. "op" is the
+// deprecated pre-Spec alias of "algorithm".
 type matchRequest struct {
 	graphSpec
-	GraphID   string `json:"graph"`
-	Op        string `json:"op"`
-	Seed      uint64 `json:"seed"`
-	TimeoutMs int64  `json:"timeout_ms"`
+	GraphID   string  `json:"graph"`
+	Op        string  `json:"op"` // deprecated alias of Algorithm
+	Algorithm string  `json:"algorithm"`
+	Seed      uint64  `json:"seed"`
+	Refine    string  `json:"refine"`
+	BestOf    int     `json:"best_of"`
+	Target    float64 `json:"target"`
+	TimeoutMs int64   `json:"timeout_ms"`
+}
+
+// spec translates the wire fields into a validated bipartite.Spec.
+func (mr *matchRequest) spec() (bipartite.Spec, error) {
+	algName := mr.Algorithm
+	if algName == "" {
+		algName = mr.Op
+	} else if mr.Op != "" && mr.Op != mr.Algorithm {
+		return bipartite.Spec{}, fmt.Errorf("op %q and algorithm %q disagree (op is the deprecated alias; set only algorithm)", mr.Op, mr.Algorithm)
+	}
+	alg, err := bipartite.ParseAlgorithm(algName)
+	if err != nil {
+		return bipartite.Spec{}, err
+	}
+	ref, err := bipartite.ParseRefinement(mr.Refine)
+	if err != nil {
+		return bipartite.Spec{}, err
+	}
+	spec := bipartite.Spec{
+		Algorithm: alg,
+		Seed:      mr.Seed,
+		Ensemble:  mr.BestOf,
+		Refine:    ref,
+		Target:    mr.Target,
+	}
+	if err := spec.Validate(); err != nil {
+		return bipartite.Spec{}, err
+	}
+	return spec, nil
 }
 
 // matchResponse is the writer-side shape of one served matching.
@@ -219,7 +277,7 @@ func (h *handler) lookup(id string) *bipartite.Graph {
 // (never nil) which the caller must invoke once the response is written.
 func (h *handler) resolve(ctx context.Context, mr *matchRequest) (bipartite.Request, context.CancelFunc, error) {
 	nop := context.CancelFunc(func() {})
-	op, err := bipartite.ParseOp(mr.Op)
+	spec, err := mr.spec()
 	if err != nil {
 		return bipartite.Request{}, nop, err
 	}
@@ -241,7 +299,7 @@ func (h *handler) resolve(ctx context.Context, mr *matchRequest) (bipartite.Requ
 	if timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 	}
-	return bipartite.Request{Graph: g, Op: op, Seed: mr.Seed, Ctx: ctx}, cancel, nil
+	return bipartite.Request{Graph: g, Spec: spec, Ctx: ctx}, cancel, nil
 }
 
 func (h *handler) handleGraph(w http.ResponseWriter, r *http.Request) {
@@ -257,12 +315,15 @@ func (h *handler) handleGraph(w http.ResponseWriter, r *http.Request) {
 	id := "g" + strconv.FormatInt(h.nextID.Add(1), 10)
 	h.mu.Lock()
 	// LRU eviction instead of rejection: a full registry stays writable,
-	// and cold graphs pay the cost (their next use re-registers).
+	// and cold graphs pay the cost (their next use re-registers). Each
+	// eviction also drops the engine's cached scaling for the graph, so
+	// the registry and the scale cache share one lifetime.
 	for h.cfg.maxGraphs > 0 && len(h.graphs) >= h.cfg.maxGraphs {
 		victim := h.lru.Back().Value.(*graphEntry)
 		h.lru.Remove(victim.elem)
 		delete(h.graphs, victim.id)
 		h.evictions.Add(1)
+		h.srv.DropGraph(victim.g)
 	}
 	e := &graphEntry{id: id, g: g}
 	e.elem = h.lru.PushFront(e)
@@ -286,6 +347,7 @@ func (h *handler) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
 		return
 	}
+	h.srv.DropGraph(e.g) // evict the cached scaling along with the graph
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
@@ -312,11 +374,76 @@ func (h *handler) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusOf(resp.Err), resp.Err)
 		return
 	}
-	h.met.Histogram(req.Op.String()).Observe(elapsed)
+	h.met.Histogram(req.Spec.Algorithm.String()).Observe(elapsed)
 	writeJSON(w, http.StatusOK, toWire(resp, elapsed))
 }
 
+// gzipBody reads decompressed bytes while Close releases both the gzip
+// stream and the underlying request body.
+type gzipBody struct {
+	zr   *gzip.Reader
+	body io.ReadCloser
+}
+
+func (b gzipBody) Read(p []byte) (int, error) { return b.zr.Read(p) }
+func (b gzipBody) Close() error {
+	err := b.zr.Close()
+	if berr := b.body.Close(); err == nil {
+		err = berr
+	}
+	return err
+}
+
+// gzipContentEncoding reports whether the request body is gzip-encoded
+// ("gzip" or its historic alias "x-gzip"; substring matching would also
+// claim encodings that merely mention gzip).
+func gzipContentEncoding(r *http.Request) bool {
+	switch strings.ToLower(strings.TrimSpace(r.Header.Get("Content-Encoding"))) {
+	case "gzip", "x-gzip":
+		return true
+	}
+	return false
+}
+
+// acceptsGzip parses the Accept-Encoding header: gzip is acceptable only
+// if listed (or wildcarded) with a non-zero q-value — "gzip;q=0" is an
+// RFC 9110 refusal, not an opt-in, so substring matching would hand those
+// clients a body they declared they cannot decode.
+func acceptsGzip(header string) bool {
+	for _, part := range strings.Split(header, ",") {
+		fields := strings.Split(part, ";")
+		coding := strings.ToLower(strings.TrimSpace(fields[0]))
+		if coding != "gzip" && coding != "x-gzip" && coding != "*" {
+			continue
+		}
+		q := 1.0
+		for _, p := range fields[1:] {
+			p = strings.TrimSpace(p)
+			if v, ok := strings.CutPrefix(p, "q="); ok {
+				if parsed, err := strconv.ParseFloat(v, 64); err == nil {
+					q = parsed
+				}
+			}
+		}
+		if q > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func (h *handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	// Optional gzip request envelope. The gzip layer sits *under* the
+	// decodeBody size cap, so -maxbody bounds the decompressed bytes — a
+	// tiny compressed bomb cannot smuggle an oversized batch past the cap.
+	if gzipContentEncoding(r) {
+		zr, err := gzip.NewReader(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("gzip request body: %w", err))
+			return
+		}
+		r.Body = gzipBody{zr: zr, body: r.Body}
+	}
 	var body struct {
 		Requests []matchRequest `json:"requests"`
 	}
@@ -347,10 +474,31 @@ func (h *handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for k, resp := range resps {
 		out[slots[k]] = toWire(resp, 0)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSONEncoded(w, r, http.StatusOK, map[string]any{
 		"responses": out,
 		"ms":        float64(elapsed.Microseconds()) / 1000,
 	})
+}
+
+// writeJSONEncoded is writeJSON honoring the client's Accept-Encoding:
+// batch response envelopes (thousands of row_mate entries of repetitive
+// JSON) compress an order of magnitude, so gzip is offered where the
+// payloads are large.
+func writeJSONEncoded(w http.ResponseWriter, r *http.Request, code int, v any) {
+	if !acceptsGzip(r.Header.Get("Accept-Encoding")) {
+		writeJSON(w, code, v)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Encoding", "gzip")
+	w.WriteHeader(code)
+	zw := gzip.NewWriter(w)
+	if err := json.NewEncoder(zw).Encode(v); err != nil {
+		log.Printf("matchserve: write: %v", err)
+	}
+	if err := zw.Close(); err != nil {
+		log.Printf("matchserve: gzip close: %v", err)
+	}
 }
 
 // statsMap assembles the counter set shared by /stats and /metrics.
@@ -379,7 +527,11 @@ type opMetrics struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
-func (h *handler) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (h *handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		h.writePromMetrics(w)
+		return
+	}
 	ops := make(map[string]opMetrics)
 	for name, s := range h.met.Snapshots() {
 		ops[name] = opMetrics{
@@ -394,6 +546,72 @@ func (h *handler) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	body := h.statsMap()
 	body["ops"] = ops
 	writeJSON(w, http.StatusOK, body)
+}
+
+// wantsProm content-negotiates the /metrics format: an explicit
+// ?format=prom wins, otherwise a text/plain or OpenMetrics Accept header
+// (what Prometheus scrapers send) selects the text exposition format and
+// everything else keeps the JSON body.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// writePromMetrics renders the counters and per-op latency histograms in
+// the Prometheus text exposition format (version 0.0.4), reusing the same
+// internal/metrics snapshots the JSON body reports: cumulative buckets in
+// seconds with the log2 upper bounds, plus _sum and _count per series.
+func (h *handler) writePromMetrics(w http.ResponseWriter) {
+	st := h.srv.Stats()
+	h.mu.Lock()
+	graphs := len(h.graphs)
+	h.mu.Unlock()
+
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("matchserve_requests_total", "Requests served by the batch engine.", st.Requests)
+	counter("matchserve_batches_total", "Pool-wide regions the requests were served in.", st.Batches)
+	counter("matchserve_rejected_total", "Submissions refused with 503 at admission.", st.Rejected)
+	counter("matchserve_graph_evictions_total", "Graphs evicted from the LRU registry.", h.evictions.Load())
+	fmt.Fprintf(&b, "# HELP matchserve_graphs Registered graphs.\n# TYPE matchserve_graphs gauge\nmatchserve_graphs %d\n", graphs)
+
+	snaps := h.met.Snapshots()
+	names := make([]string, 0, len(snaps))
+	for name := range snaps {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic scrape order
+	const hist = "matchserve_request_duration_seconds"
+	fmt.Fprintf(&b, "# HELP %s Latency of served requests by operation.\n# TYPE %s histogram\n", hist, hist)
+	for _, name := range names {
+		s := snaps[name]
+		cum := uint64(0)
+		for k := 0; k < metrics.NumBuckets; k++ {
+			cum += s.Buckets[k]
+			le := "+Inf"
+			if k < metrics.NumBuckets-1 {
+				le = strconv.FormatFloat(metrics.BucketUpperBound(k).Seconds(), 'g', -1, 64)
+			}
+			fmt.Fprintf(&b, "%s_bucket{op=%q,le=%q} %d\n", hist, name, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum{op=%q} %g\n", hist, name, s.Sum.Seconds())
+		fmt.Fprintf(&b, "%s_count{op=%q} %d\n", hist, name, s.Count)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		log.Printf("matchserve: write: %v", err)
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

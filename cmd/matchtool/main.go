@@ -4,11 +4,15 @@
 // Usage:
 //
 //	matchtool -in graph.mtx -alg twosided -iters 5
-//	matchtool -in graph.mtx -alg hk                 # exact maximum
+//	matchtool -in graph.mtx -alg twosided -refine exact   # heuristic jump-start + Hopcroft-Karp
+//	matchtool -in graph.mtx -alg twosided -best-of 8      # best-of-8 seed ensemble, one scaling
+//	matchtool -in graph.mtx -alg hk                       # exact maximum
 //	matchtool -in graph.mtx -alg ks -seed 7
 //
-// Algorithms: onesided, twosided, ks (classic Karp-Sipser), hk
-// (Hopcroft-Karp), mc21, cheap-edge, cheap-vertex.
+// Algorithms: onesided, twosided, ks (classic Karp-Sipser), ksp
+// (multithreaded Karp-Sipser), cheap-edge, cheap-vertex — all served by
+// the declarative Spec engine and composable with -refine/-best-of/-target
+// — plus the direct exact solvers hk (Hopcroft-Karp) and mc21.
 package main
 
 import (
@@ -23,10 +27,13 @@ import (
 func main() {
 	var (
 		in      = flag.String("in", "", "input MatrixMarket file (required)")
-		alg     = flag.String("alg", "twosided", "algorithm: onesided|twosided|ks|hk|mc21|cheap-edge|cheap-vertex")
+		alg     = flag.String("alg", "twosided", "algorithm: onesided|twosided|ks|ksp|cheap-edge|cheap-vertex|hk|mc21")
 		iters   = flag.Int("iters", 5, "Sinkhorn-Knopp scaling iterations (one/two-sided)")
 		workers = flag.Int("workers", 0, "worker count; 0 = all CPUs")
 		seed    = flag.Uint64("seed", 1, "RNG seed")
+		refine  = flag.String("refine", "none", "refinement: none|exact (augment the heuristic matching to maximum cardinality)")
+		bestOf  = flag.Int("best-of", 1, "ensemble size: run seeds seed..seed+K-1 on one shared scaling and keep the largest matching")
+		target  = flag.Float64("target", 0, "ensemble early-stop: halt once size reaches target*sprank-upper-bound, in (0,1]")
 		quality = flag.Bool("quality", false, "also compute sprank and report quality (costs an exact run)")
 	)
 	flag.Parse()
@@ -47,32 +54,50 @@ func main() {
 	var mt *bipartite.Matching
 	start := time.Now()
 	switch *alg {
-	case "onesided":
-		res, err := g.OneSidedMatch(opt)
-		fail(err)
-		mt = res.Matching
-		fmt.Printf("scaling error after %d iters: %.4g\n", res.Scaling.Iterations, res.Scaling.Error)
-	case "twosided":
-		res, err := g.TwoSidedMatch(opt)
-		fail(err)
-		mt = res.Matching
-		fmt.Printf("scaling error after %d iters: %.4g\n", res.Scaling.Iterations, res.Scaling.Error)
-	case "ks":
-		var st bipartite.KarpSipserStats
-		mt, st = g.KarpSipser(*seed)
-		fmt.Printf("karp-sipser stats: %+v\n", st)
-	case "hk":
-		mt = g.MaximumMatching()
-	case "mc21":
-		m, _ := g.MaximumMatchingFrom(nil)
-		mt = m
-	case "cheap-edge":
-		mt = g.CheapRandomEdge(*seed)
-	case "cheap-vertex":
-		mt = g.CheapRandomVertex(*seed)
+	case "hk", "mc21":
+		// Direct exact solvers: no spec fields apply.
+		if *refine != "none" || *bestOf > 1 || *target != 0 {
+			fmt.Fprintf(os.Stderr, "matchtool: -refine/-best-of/-target do not apply to %s (already exact)\n", *alg)
+			os.Exit(2)
+		}
+		if *alg == "hk" {
+			mt = g.MaximumMatching()
+		} else {
+			mt, _ = g.MaximumMatchingFrom(nil)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "matchtool: unknown algorithm %q\n", *alg)
-		os.Exit(2)
+		algorithm, err := bipartite.ParseAlgorithm(canonicalAlg(*alg))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matchtool: unknown algorithm %q\n", *alg)
+			os.Exit(2)
+		}
+		refinement, err := bipartite.ParseRefinement(*refine)
+		if err != nil {
+			fail(err)
+		}
+		spec := bipartite.Spec{
+			Algorithm: algorithm,
+			Refine:    refinement,
+			Ensemble:  *bestOf,
+			Target:    *target,
+		}
+		res, err := g.Match(spec, opt)
+		fail(err)
+		mt = res.Matching
+		if res.Scaling != nil {
+			fmt.Printf("scaling error after %d iters: %.4g\n", res.Scaling.Iterations, res.Scaling.Error)
+		}
+		if res.KSStats != nil {
+			fmt.Printf("karp-sipser stats: %+v\n", *res.KSStats)
+		}
+		if spec.Ensemble > 1 {
+			fmt.Printf("ensemble: %d candidates run, winner seed %d (size %d)\n",
+				res.Candidates, res.WinnerSeed, res.HeuristicSize)
+		}
+		if refinement == bipartite.RefineExact {
+			fmt.Printf("refinement: heuristic %d -> exact %d (+%d augmenting rows)\n",
+				res.HeuristicSize, mt.Size, mt.Size-res.HeuristicSize)
+		}
 	}
 	elapsed := time.Since(start)
 
@@ -85,6 +110,18 @@ func main() {
 		sp := g.Sprank()
 		fmt.Printf("sprank: %d\nquality: %.4f\n", sp, float64(mt.Size)/float64(sp))
 	}
+}
+
+// canonicalAlg maps matchtool's historic short names onto the wire names
+// ParseAlgorithm understands.
+func canonicalAlg(s string) string {
+	switch s {
+	case "ks":
+		return "karpsipser"
+	case "ksp":
+		return "karpsipser-parallel"
+	}
+	return s
 }
 
 func fail(err error) {

@@ -62,10 +62,52 @@
 // just reproducible sizes, run with Workers: 1 (as the batch layer below
 // does per request).
 //
+// # The Spec engine
+//
+// Every matching request in the library is one declarative value, Spec:
+// which Algorithm to run (TwoSided, OneSided, the Karp–Sipser variants,
+// the cheap baselines), under which Seed, whether to run a best-of-K
+// Ensemble of seeds, whether to Refine the heuristic result to a maximum
+// matching, and an optional early-stop Target. One engine — Matcher.Run —
+// executes Specs; it is the only code path in the package that dispatches
+// matching kernels. Everything else is a surface over it:
+//
+//   - Graph.Match(spec, opt) runs one Spec on a throwaway session.
+//   - Matcher.Run(spec) runs Specs on a warm session (cached scaling,
+//     resident workspaces).
+//   - Request.Spec carries Specs through MatchBatch and Server.
+//   - cmd/matchserve accepts the spec fields ("algorithm", "seed",
+//     "refine", "best_of", "target") on /match and /match/batch.
+//
+// The legacy entry points — OneSidedMatch, TwoSidedMatch, KarpSipser,
+// KarpSipserParallel, CheapRandomEdge/Vertex, and the batch layer's
+// deprecated Request.Op — survive as compatibility shims: each is a thin
+// wrapper over the equivalent Spec and returns bit-identical results at
+// the same options and seed (gated by the Spec conformance suite).
+//
+// Refine: RefineExact is the paper's central application (§4): the
+// heuristic matching jump-starts Hopcroft–Karp, which only pays for the
+// rows the heuristic left free, and the result always satisfies
+// size == Sprank(). Ensemble: K runs K candidate seeds over ONE shared
+// scaling and one workspace arena and returns the largest matching, ties
+// broken toward the smallest seed — the winner is deterministic wherever
+// candidate sizes are (everywhere at Workers: 1; the scaled heuristics at
+// any width). Target stops the ensemble as soon as the best candidate
+// reaches Target·SprankUpperBound():
+//
+//	res, _ := g.Match(bipartite.Spec{
+//		Algorithm: bipartite.AlgTwoSided,
+//		Ensemble:  8,           // seeds 1..8, one scaling
+//		Target:    0.95,        // stop early once 0.95·sprank-bound is met
+//		Refine:    bipartite.RefineExact, // then augment to maximum
+//	}, nil)
+//	// res.Matching.Size == g.Sprank(); res.WinnerSeed, res.Candidates,
+//	// res.HeuristicSize report how the ensemble unfolded.
+//
 // # Sessions and serving
 //
-// The one-shot calls above are thin wrappers over a Matcher, a reusable
-// session bound to one graph. A Matcher caches the transpose and the
+// The one-shot calls are thin wrappers over a Matcher, a reusable session
+// bound to one graph. A Matcher caches the transpose and the
 // (seed-independent) scaling and owns preallocated workspaces for every
 // pipeline stage, so repeated calls on the same graph — seed sweeps,
 // jump-start ensembles, servers — skip the scaling stage entirely and run
@@ -81,12 +123,13 @@
 //
 // Prefer a Matcher over one-shot calls whenever the same graph (or a
 // stream of same-shaped graphs) is matched more than once; results alias
-// the session and must be copied if retained across calls.
+// the session and must be copied if retained across calls (RefineExact
+// results are the exception: they are freshly allocated).
 //
 // For many small independent requests, MatchBatch executes a whole queue
 // as one pool-wide parallel region — one dispatch for N requests, one warm
 // Matcher arena per worker slot, each request served sequentially so its
-// response is a deterministic function of (Graph, Op, Seed) alone. Server
+// response is a deterministic function of (Graph, Spec) alone. Server
 // wraps the same engine in a long-lived collector loop that drains
 // concurrent submitters into batches (the arenas stay warm across
 // batches), and cmd/matchserve exposes it over HTTP/JSON; responses are
@@ -116,9 +159,12 @@
 //     per-graph once-cell shared by all W batch slots — not one per slot —
 //     and recycles per-slot arenas by graph shape under heterogeneous
 //     traffic. Scalings are seed-independent and width-independent, so
-//     sharing is invisible in the responses.
+//     sharing is invisible in the responses; ensemble requests reuse the
+//     same cell for every candidate. Server.DropGraph evicts a graph's
+//     cached scaling when an upstream registry evicts the graph, tying
+//     the two lifetimes together.
 //   - Determinism unchanged: every response remains a function of
-//     (Graph, Op, Seed, Options) only — bit-identical to the one-shot
+//     (Graph, Spec, Options) only — bit-identical to the one-shot
 //     call at Workers: 1 — however requests are batched, canceled
 //     neighbors included.
 //

@@ -41,7 +41,8 @@ type Graph struct {
 	atOnce sync.Once
 	at     *sparse.CSR // transpose, built lazily under atOnce
 
-	sprank atomic.Int64 // cached maximum matching size + 1; 0 until computed
+	sprank   atomic.Int64 // cached maximum matching size + 1; 0 until computed
+	sprankUB atomic.Int64 // cached structural upper bound + 1; 0 until computed
 }
 
 func newGraph(a *sparse.CSR) *Graph { return &Graph{a: a} }
@@ -212,6 +213,39 @@ func (g *Graph) Sprank() int {
 	s := exact.Sprank(g.a)
 	g.sprank.Store(int64(s) + 1)
 	return s
+}
+
+// SprankUpperBound returns a cheap structural upper bound on Sprank():
+// the number of non-isolated rows or columns, whichever is smaller —
+// an O(rows+cols) count, versus the exact run Sprank costs. It is always
+// the structural bound, even when the exact Sprank is already cached:
+// Spec.Target uses it as the denominator of the ensemble early-stop
+// threshold, and a threshold that tightened whenever somebody happened to
+// have called Sprank would make ensemble winners depend on unrelated
+// history instead of on (Graph, Spec, Options) alone.
+func (g *Graph) SprankUpperBound() int {
+	if v := g.sprankUB.Load(); v > 0 {
+		return int(v - 1)
+	}
+	rows := 0
+	for i := 0; i < g.a.RowsN; i++ {
+		if g.a.Degree(i) > 0 {
+			rows++
+		}
+	}
+	at := g.transpose()
+	cols := 0
+	for j := 0; j < at.RowsN; j++ {
+		if at.Degree(j) > 0 {
+			cols++
+		}
+	}
+	ub := rows
+	if cols < ub {
+		ub = cols
+	}
+	g.sprankUB.Store(int64(ub) + 1)
+	return ub
 }
 
 // MinimumVertexCover extracts a minimum vertex cover from a maximum

@@ -25,6 +25,26 @@ import (
 // enough that no matching request ever lands outside it.
 const nBuckets = 40
 
+// NumBuckets is the number of histogram buckets a Snapshot carries —
+// exporters (the Prometheus text endpoint) iterate over it.
+const NumBuckets = nBuckets
+
+// BucketUpperBound returns the inclusive upper bound of bucket k on the
+// microsecond-truncated latencies the histogram records: bucket k holds
+// truncated values in [2^(k-1), 2^k), i.e. integer microsecond counts up
+// to 2^k − 1, which is exactly the bound Prometheus's inclusive `le`
+// semantics need. The last bucket is the overflow bucket; exporters
+// render its bound as +Inf.
+func BucketUpperBound(k int) time.Duration {
+	if k < 0 {
+		k = 0
+	}
+	if k >= nBuckets {
+		k = nBuckets - 1
+	}
+	return time.Duration(uint64(1)<<uint(k)-1) * time.Microsecond
+}
+
 // Histogram is a fixed-bucket latency histogram safe for concurrent use.
 // The zero value is ready.
 type Histogram struct {
@@ -66,11 +86,16 @@ func (h *Histogram) Observe(d time.Duration) {
 // Snapshot is a point-in-time summary of a Histogram.
 type Snapshot struct {
 	Count uint64
+	Sum   time.Duration // total observed latency (Prometheus _sum)
 	Mean  time.Duration
 	Max   time.Duration
 	P50   time.Duration
 	P90   time.Duration
 	P99   time.Duration
+	// Buckets are the per-bucket counts (not cumulative); bucket k covers
+	// latencies up to BucketUpperBound(k), the last bucket everything
+	// beyond. Exporters accumulate them into Prometheus's cumulative form.
+	Buckets [NumBuckets]uint64
 }
 
 // bucketMid returns the representative latency of bucket k: the geometric
@@ -95,8 +120,10 @@ func (h *Histogram) Snapshot() Snapshot {
 		total += counts[k]
 	}
 	s := Snapshot{
-		Count: h.count.Load(),
-		Max:   time.Duration(h.maxNs.Load()),
+		Count:   h.count.Load(),
+		Sum:     time.Duration(h.sumNs.Load()),
+		Max:     time.Duration(h.maxNs.Load()),
+		Buckets: counts,
 	}
 	if total == 0 {
 		return s

@@ -51,6 +51,14 @@ type Matcher struct {
 	scaling Scaling     // backing storage for sc on the workspace path
 	result  MatchResult // reused result header
 
+	// best is the session-owned winner buffer of ensemble runs (Spec with
+	// Ensemble > 1): candidates alias the kernel workspaces, so the best
+	// one so far is copied here before the next candidate overwrites them.
+	best Matching
+	// ksStats holds the phase statistics of the latest Karp–Sipser run
+	// (the winner's, for ensembles); bestKS tracks the leader mid-ensemble.
+	ksStats, bestKS KarpSipserStats
+
 	// cancel is the cooperative cancellation hook threaded through every
 	// kernel stage; see setCancel.
 	cancel func() bool
@@ -59,12 +67,26 @@ type Matcher struct {
 // NewMatcher creates a matching session on g. opt follows the same
 // defaulting rules as the one-shot calls; opt.Seed is the default seed for
 // calls that pass seed 0. The session pins its pool and parallel width at
-// construction.
+// construction. The sampling workspaces (and the graph transpose) are
+// built lazily on the first call that needs them, so a Matcher used only
+// for the cheap baselines never pays for either.
 func (g *Graph) NewMatcher(opt *Options) *Matcher {
-	v := opt.normalized()
-	m := &Matcher{g: g, opt: v, scaleWs: &scale.Workspace{}}
-	m.sess = core.NewSession(g.a, g.transpose(), v.coreOptions(nil))
-	return m
+	return &Matcher{g: g, opt: opt.normalized(), scaleWs: &scale.Workspace{}}
+}
+
+// session returns the sampling-kernel session, building it on first use:
+// the pending cancellation hook and any already-cached scaling are
+// installed into the fresh session so lazy construction is invisible to
+// the callers.
+func (m *Matcher) session() *core.Session {
+	if m.sess == nil {
+		m.sess = core.NewSession(m.g.a, m.g.transpose(), m.opt.coreOptions(nil))
+		m.sess.SetCancel(m.cancel)
+		if m.sc != nil {
+			m.sess.SetScaling(m.sc.DR, m.sc.DC, m.sc.RowSums, m.sc.ColSums)
+		}
+	}
+	return m.sess
 }
 
 // Reset rebinds the session to a different graph, reusing every workspace
@@ -74,7 +96,9 @@ func (g *Graph) NewMatcher(opt *Options) *Matcher {
 // it. Results from before the Reset are invalidated.
 func (m *Matcher) Reset(g *Graph) {
 	m.g = g
-	m.sess.Rebind(g.a, g.transpose())
+	if m.sess != nil {
+		m.sess.Rebind(g.a, g.transpose())
+	}
 	if m.ksApprox != nil {
 		m.ksApprox.Rebind(g.a, g.transpose())
 	}
@@ -93,7 +117,9 @@ func (m *Matcher) Graph() *Graph { return m.g }
 // request's context.
 func (m *Matcher) setCancel(cancel func() bool) {
 	m.cancel = cancel
-	m.sess.SetCancel(cancel)
+	if m.sess != nil {
+		m.sess.SetCancel(cancel)
+	}
 }
 
 // installScaling hands the session a precomputed scaling of the bound
@@ -105,7 +131,9 @@ func (m *Matcher) installScaling(sc *Scaling) {
 		return
 	}
 	m.sc, m.scErr = sc, nil
-	m.sess.SetScaling(sc.DR, sc.DC, sc.RowSums, sc.ColSums)
+	if m.sess != nil {
+		m.sess.SetScaling(sc.DR, sc.DC, sc.RowSums, sc.ColSums)
+	}
 }
 
 // seed resolves a per-call seed: 0 means the session's Options.Seed.
@@ -136,61 +164,49 @@ func (m *Matcher) Scale() (*Scaling, error) {
 	m.scaling = Scaling{DR: res.DR, DC: res.DC, Iterations: res.Iters, Error: res.Err,
 		History: res.History, RowSums: res.RSum, ColSums: res.CSum}
 	m.sc = &m.scaling
-	m.sess.SetScaling(res.DR, res.DC, res.RSum, res.CSum)
+	if m.sess != nil {
+		m.sess.SetScaling(res.DR, res.DC, res.RSum, res.CSum)
+	}
 	return m.sc, nil
 }
 
 // OneSided runs the OneSidedMatch heuristic with the given seed (0 means
-// Options.Seed) on the bound graph, reusing the cached scaling and the
-// session workspaces. Bit-identical to the one-shot OneSidedMatch under
-// the same options and seed.
+// Options.Seed) on the bound graph — a compatibility wrapper over
+// Run(Spec{Algorithm: AlgOneSided}), bit-identical to the one-shot
+// OneSidedMatch under the same options and seed.
 func (m *Matcher) OneSided(seed uint64) (*MatchResult, error) {
-	sc, err := m.Scale()
-	if err != nil {
-		return nil, err
-	}
-	mt, _ := m.sess.OneSidedMatching(m.seed(seed))
-	if mt == nil {
-		return nil, ErrCanceled
-	}
-	m.result = MatchResult{Matching: mt, Scaling: sc}
-	return &m.result, nil
+	return m.Run(Spec{Algorithm: AlgOneSided, Seed: seed})
 }
 
 // TwoSided runs the TwoSidedMatch heuristic with the given seed (0 means
-// Options.Seed) on the bound graph, reusing the cached scaling and the
-// session workspaces. Bit-identical to the one-shot TwoSidedMatch under
-// the same options and seed.
+// Options.Seed) on the bound graph — a compatibility wrapper over
+// Run(Spec{Algorithm: AlgTwoSided}), bit-identical to the one-shot
+// TwoSidedMatch under the same options and seed.
 func (m *Matcher) TwoSided(seed uint64) (*MatchResult, error) {
-	sc, err := m.Scale()
-	if err != nil {
-		return nil, err
-	}
-	res := m.sess.TwoSided(m.seed(seed))
-	if res == nil {
-		return nil, ErrCanceled
-	}
-	m.result = MatchResult{Matching: res.Matching, Scaling: sc}
-	return &m.result, nil
+	return m.Run(Spec{Algorithm: AlgTwoSided, Seed: seed})
 }
 
 // KarpSipser runs the classic sequential Karp–Sipser heuristic with the
 // given seed (0 means Options.Seed), reusing the session's queue and
-// live-edge buffers across calls. A canceled session call returns a nil
-// matching.
+// live-edge buffers across calls — a compatibility wrapper over
+// Run(Spec{Algorithm: AlgKarpSipser}). A canceled session call returns a
+// nil matching with the statistics accumulated so far.
 func (m *Matcher) KarpSipser(seed uint64) (*Matching, KarpSipserStats) {
-	if m.ksWs == nil {
-		m.ksWs = &ks.Workspace{}
+	res, err := m.Run(Spec{Algorithm: AlgKarpSipser, Seed: seed})
+	if err != nil {
+		return nil, m.ksStats
 	}
-	return ks.RunWsCancel(m.g.a, m.g.transpose(), m.seed(seed), m.ksWs, m.cancel)
+	return res.Matching, *res.KSStats
 }
 
 // KarpSipserParallel runs the multithreaded Karp–Sipser baseline with the
 // given seed (0 means Options.Seed) on the session's pool and width,
-// reusing the session's matching buffers across calls.
+// reusing the session's matching buffers across calls — a compatibility
+// wrapper over Run(Spec{Algorithm: AlgKarpSipserParallel}).
 func (m *Matcher) KarpSipserParallel(seed uint64) *Matching {
-	if m.ksApprox == nil {
-		m.ksApprox = ks.NewApproxSession(m.g.a, m.g.transpose(), m.opt.Workers, m.opt.Pool.inner())
+	res, err := m.Run(Spec{Algorithm: AlgKarpSipserParallel, Seed: seed})
+	if err != nil {
+		return nil
 	}
-	return m.ksApprox.Run(m.seed(seed))
+	return res.Matching
 }

@@ -4,9 +4,7 @@ import (
 	"math"
 	"sync/atomic"
 
-	"repro/internal/cheap"
 	"repro/internal/core"
-	"repro/internal/ks"
 	"repro/internal/par"
 	"repro/internal/scale"
 )
@@ -168,12 +166,28 @@ func (g *Graph) Scale(opt *Options) (*Scaling, error) {
 		History: res.History, RowSums: res.RSum, ColSums: res.CSum}, nil
 }
 
-// MatchResult is the outcome of a heuristic matching run.
+// MatchResult is the outcome of a heuristic matching run executed by the
+// Spec engine (Matcher.Run and everything delegating to it).
 type MatchResult struct {
 	// Matching is the computed matching (always valid).
 	Matching *Matching
-	// Scaling reports the scaling stage that preceded sampling.
+	// Scaling reports the scaling stage that preceded sampling; nil for
+	// algorithms that do not scale (Karp–Sipser and the cheap baselines).
 	Scaling *Scaling
+	// KSStats reports the Karp–Sipser phase statistics when Algorithm was
+	// AlgKarpSipser (the winner's, for ensembles); nil otherwise.
+	KSStats *KarpSipserStats
+	// Candidates is the number of ensemble members actually run — 1 for
+	// single runs, possibly fewer than Spec.Ensemble when Spec.Target
+	// stopped the sweep early.
+	Candidates int
+	// WinnerSeed is the seed of the candidate that produced Matching
+	// (before refinement); for single runs, the resolved base seed.
+	WinnerSeed uint64
+	// HeuristicSize is the winning candidate's cardinality before
+	// refinement; with Refine: None it equals Matching.Size, and the gap
+	// Matching.Size − HeuristicSize is the work the exact solver added.
+	HeuristicSize int
 }
 
 // OneSidedMatch runs the OneSidedMatch heuristic (Algorithm 2):
@@ -181,11 +195,11 @@ type MatchResult struct {
 // with last-write-wins conflict semantics. Guaranteed expected quality
 // ≥ 1 − 1/e ≈ 0.632 on matrices with total support.
 //
-// It is a thin wrapper over a throwaway Matcher; callers that match the
-// same graph repeatedly (ensembles, servers) create one with NewMatcher
-// and reuse it.
+// It is a compatibility wrapper over Graph.Match with
+// Spec{Algorithm: AlgOneSided}; callers that match the same graph
+// repeatedly (ensembles, servers) create a Matcher and reuse it.
 func (g *Graph) OneSidedMatch(opt *Options) (*MatchResult, error) {
-	return g.NewMatcher(opt).OneSided(0)
+	return g.Match(Spec{Algorithm: AlgOneSided}, opt)
 }
 
 // TwoSidedMatch runs the TwoSidedMatch heuristic (Algorithm 3): both
@@ -194,20 +208,18 @@ func (g *Graph) OneSidedMatch(opt *Options) (*MatchResult, error) {
 // exactly. Conjectured quality ≥ 2(1 − ρ) ≈ 0.866 on matrices with total
 // support.
 //
-// It is a thin wrapper over a throwaway Matcher; callers that match the
-// same graph repeatedly (ensembles, servers) create one with NewMatcher
-// and reuse it.
+// It is a compatibility wrapper over Graph.Match with
+// Spec{Algorithm: AlgTwoSided}; callers that match the same graph
+// repeatedly (ensembles, servers) create a Matcher and reuse it.
 func (g *Graph) TwoSidedMatch(opt *Options) (*MatchResult, error) {
-	return g.NewMatcher(opt).TwoSided(0)
+	return g.Match(Spec{Algorithm: AlgTwoSided}, opt)
 }
 
 // KarpSipser runs the classic sequential Karp–Sipser heuristic (the
-// Table 1 baseline) and reports its phase statistics.
+// Table 1 baseline) and reports its phase statistics. A compatibility
+// wrapper over the Spec engine (Spec{Algorithm: AlgKarpSipser}).
 func (g *Graph) KarpSipser(seed uint64) (*Matching, KarpSipserStats) {
-	if seed == 0 {
-		seed = 1
-	}
-	return ks.Run(g.a, g.transpose(), seed)
+	return g.NewMatcher(&Options{Seed: seed}).KarpSipser(0)
 }
 
 // KarpSipserParallel runs an Azad-et-al-style multithreaded Karp–Sipser
@@ -220,29 +232,32 @@ func (g *Graph) KarpSipserParallel(seed uint64, workers int) *Matching {
 }
 
 // KarpSipserParallelPool is KarpSipserParallel running on a caller-owned
-// worker pool (nil means the default pool).
+// worker pool (nil means the default pool). A compatibility wrapper over
+// the Spec engine (Spec{Algorithm: AlgKarpSipserParallel}).
 func (g *Graph) KarpSipserParallelPool(seed uint64, workers int, pool *Pool) *Matching {
-	if seed == 0 {
-		seed = 1
-	}
-	return ks.RunApproxPool(g.a, g.transpose(), seed, workers, pool.inner())
+	m := g.NewMatcher(&Options{Seed: seed, Workers: workers, Pool: pool})
+	return m.KarpSipserParallel(0)
 }
 
 // CheapRandomEdge runs the §2.1 random-edge-visit 1/2-approximation.
+// A compatibility wrapper over the Spec engine (AlgCheapEdge).
 func (g *Graph) CheapRandomEdge(seed uint64) *Matching {
-	if seed == 0 {
-		seed = 1
+	res, err := g.Match(Spec{Algorithm: AlgCheapEdge, Seed: seed}, nil)
+	if err != nil { // unreachable: the spec is valid and the path cannot cancel
+		panic(err)
 	}
-	return cheap.RandomEdge(g.a, seed)
+	return res.Matching
 }
 
 // CheapRandomVertex runs the §2.1 random-vertex-random-neighbor
-// 1/2-approximation.
+// 1/2-approximation. A compatibility wrapper over the Spec engine
+// (AlgCheapVertex).
 func (g *Graph) CheapRandomVertex(seed uint64) *Matching {
-	if seed == 0 {
-		seed = 1
+	res, err := g.Match(Spec{Algorithm: AlgCheapVertex, Seed: seed}, nil)
+	if err != nil { // unreachable: the spec is valid and the path cannot cancel
+		panic(err)
 	}
-	return cheap.RandomVertex(g.a, seed)
+	return res.Matching
 }
 
 // OneSidedGuarantee returns the OneSidedMatch approximation bound implied

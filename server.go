@@ -176,6 +176,16 @@ func (s *Server) MatchBatch(reqs []Request) []Response {
 	return out
 }
 
+// DropGraph evicts the server's cached per-graph scaling for g, so the
+// graph's next request recomputes it. Callers that own a graph registry in
+// front of the Server (cmd/matchserve's LRU registry, for instance) call
+// this when they evict a graph, tying the scale cache's lifetime to the
+// registry's instead of leaving the two to drift apart — without it, the
+// engine would keep a dead graph's scaling alive until its own LRU cap
+// pushed it out. Safe for concurrent use with Match/MatchBatch/Close;
+// requests already holding the scaling finish with it unperturbed.
+func (s *Server) DropGraph(g *Graph) { s.engine.dropGraph(g) }
+
 // Close drains the queue, stops the collector and waits for it to finish.
 // Requests admitted before the close are still served. Idempotent, and
 // safe to call while Match/MatchBatch are in flight — racing submissions

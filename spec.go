@@ -1,0 +1,332 @@
+package bipartite
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cheap"
+	"repro/internal/exact"
+	"repro/internal/ks"
+)
+
+// Algorithm selects the matching heuristic a Spec runs. The zero value is
+// AlgTwoSided, the paper's flagship heuristic.
+type Algorithm int
+
+const (
+	// AlgTwoSided runs the TwoSidedMatch heuristic (Algorithm 3): both
+	// sides sample one neighbor from the scaled matrix and the 1-out graph
+	// is matched exactly; conjectured quality ≥ 2(1−ρ) ≈ 0.866.
+	AlgTwoSided Algorithm = iota
+	// AlgOneSided runs the OneSidedMatch heuristic (Algorithm 2):
+	// scaling-weighted column choice per row; guaranteed ≥ 1−1/e ≈ 0.632.
+	AlgOneSided
+	// AlgKarpSipser runs the classic sequential Karp–Sipser baseline.
+	AlgKarpSipser
+	// AlgKarpSipserParallel runs the multithreaded Karp–Sipser baseline
+	// (no quality guarantee; newly arising degree-one vertices are missed).
+	AlgKarpSipserParallel
+	// AlgCheapEdge runs the §2.1 random-edge-visit 1/2-approximation.
+	AlgCheapEdge
+	// AlgCheapVertex runs the §2.1 random-vertex-random-neighbor
+	// 1/2-approximation.
+	AlgCheapVertex
+
+	algCount // sentinel; keep last
+)
+
+// String returns the wire name of the algorithm, as accepted by
+// ParseAlgorithm and cmd/matchserve.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgTwoSided:
+		return "twosided"
+	case AlgOneSided:
+		return "onesided"
+	case AlgKarpSipser:
+		return "karpsipser"
+	case AlgKarpSipserParallel:
+		return "karpsipser-parallel"
+	case AlgCheapEdge:
+		return "cheap-edge"
+	case AlgCheapVertex:
+		return "cheap-vertex"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseAlgorithm converts a wire name back into an Algorithm. The empty
+// string means AlgTwoSided, the default.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "twosided", "":
+		return AlgTwoSided, nil
+	case "onesided":
+		return AlgOneSided, nil
+	case "karpsipser":
+		return AlgKarpSipser, nil
+	case "karpsipser-parallel", "ksp":
+		return AlgKarpSipserParallel, nil
+	case "cheap-edge":
+		return AlgCheapEdge, nil
+	case "cheap-vertex":
+		return AlgCheapVertex, nil
+	default:
+		return 0, fmt.Errorf("bipartite: unknown algorithm %q", s)
+	}
+}
+
+// scales reports whether the algorithm runs the matrix-scaling stage
+// before sampling (and therefore benefits from a Matcher's cached — or a
+// batch engine's shared — scaling).
+func (a Algorithm) scales() bool { return a == AlgTwoSided || a == AlgOneSided }
+
+// Refinement selects the post-processing applied to the heuristic
+// matching a Spec produced. The zero value is RefineNone.
+type Refinement int
+
+const (
+	// RefineNone returns the heuristic matching as is.
+	RefineNone Refinement = iota
+	// RefineExact augments the heuristic matching to maximum cardinality
+	// with Hopcroft–Karp — the paper's central application (§4, Table 3):
+	// the heuristic is a jump-start, the exact solver only pays for the
+	// rows the heuristic left free. The refined result always satisfies
+	// size == Sprank().
+	RefineExact
+
+	refineCount // sentinel; keep last
+)
+
+// String returns the wire name of the refinement.
+func (r Refinement) String() string {
+	switch r {
+	case RefineNone:
+		return "none"
+	case RefineExact:
+		return "exact"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseRefinement converts a wire name back into a Refinement. The empty
+// string means RefineNone.
+func ParseRefinement(s string) (Refinement, error) {
+	switch s {
+	case "none", "":
+		return RefineNone, nil
+	case "exact":
+		return RefineExact, nil
+	default:
+		return 0, fmt.Errorf("bipartite: unknown refinement %q", s)
+	}
+}
+
+// Spec is a declarative matching request — the one request type every
+// execution surface understands: Matcher.Run executes it on a session,
+// Graph.Match one-shot, the batch layer and Server run it per Request, and
+// cmd/matchserve accepts its fields on the wire. The zero value is a
+// single TwoSided run with the session's default seed, which makes every
+// legacy entry point expressible as a Spec (and since this redesign they
+// are implemented exactly that way).
+type Spec struct {
+	// Algorithm selects the heuristic. Zero value: AlgTwoSided.
+	Algorithm Algorithm
+
+	// Seed is the base RNG seed; 0 means the Options' seed. Ensemble
+	// candidate c runs with seed Seed+c.
+	Seed uint64
+
+	// Ensemble, when > 1, runs a best-of-K ensemble: K candidates with
+	// seeds Seed..Seed+K-1 share one scaling (and one workspace arena) and
+	// the largest matching wins, ties broken toward the smallest seed —
+	// the winner is deterministic wherever candidate sizes are
+	// (everywhere at Workers: 1; the scaled heuristics at any width —
+	// only AlgKarpSipserParallel's size is scheduling-dependent above one
+	// worker). 0 or 1 means a single run.
+	Ensemble int
+
+	// Refine post-processes the winning heuristic matching; see
+	// RefineExact.
+	Refine Refinement
+
+	// Target, when > 0, stops the ensemble early: after any candidate the
+	// ensemble halts as soon as the best size so far reaches
+	// ⌈Target · SprankUpperBound()⌉. Must lie in (0, 1]. Ignored for
+	// single runs.
+	Target float64
+}
+
+// errSpec tags Spec validation failures; matchserve maps them to 400s.
+var errSpec = errors.New("bipartite: invalid spec")
+
+// Validate checks the Spec's fields; the engine rejects invalid specs
+// before touching any kernel, and cmd/matchserve turns the errors into
+// precise HTTP 400s.
+func (s Spec) Validate() error {
+	if s.Algorithm < 0 || s.Algorithm >= algCount {
+		return fmt.Errorf("%w: unknown algorithm %d", errSpec, int(s.Algorithm))
+	}
+	if s.Refine < 0 || s.Refine >= refineCount {
+		return fmt.Errorf("%w: unknown refinement %d", errSpec, int(s.Refine))
+	}
+	if s.Ensemble < 0 {
+		return fmt.Errorf("%w: negative ensemble size %d", errSpec, s.Ensemble)
+	}
+	if s.Target != 0 && !(s.Target > 0 && s.Target <= 1) {
+		return fmt.Errorf("%w: target %v outside (0, 1]", errSpec, s.Target)
+	}
+	return nil
+}
+
+// Run executes one declarative matching request on the session — the
+// single engine behind every other entry point: the legacy one-shot and
+// session calls (OneSidedMatch, TwoSidedMatch, KarpSipser*, Cheap*), the
+// batch layer, Server and cmd/matchserve all delegate here, so Run is the
+// only code path that dispatches matching kernels.
+//
+// Single runs (Ensemble <= 1, Refine: None) are bit-identical to the
+// legacy entry points at the same options and seed, and reuse the cached
+// scaling and workspaces like any session call. Ensembles run their K
+// candidates sequentially on the same arena — one scaling, near-zero
+// allocations beyond the winner copy — and report the deterministic winner
+// in MatchResult.WinnerSeed. RefineExact completes the winner to maximum
+// cardinality with Hopcroft–Karp; the refined matching is freshly
+// allocated (it does not alias the session), while unrefined results
+// follow the usual Matcher aliasing contract.
+//
+// Cancellation (the batch layer's per-request deadlines) is honored
+// between and inside candidate runs at the kernels' usual checkpoints;
+// like the shared scaling, the refinement stage itself is not
+// interruptible — it is bounded warm-start work — so a deadline expiring
+// mid-refinement is reported right after it.
+func (m *Matcher) Run(spec Spec) (*MatchResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var sc *Scaling
+	if spec.Algorithm.scales() {
+		var err error
+		if sc, err = m.Scale(); err != nil {
+			return nil, err
+		}
+	}
+	k := spec.Ensemble
+	if k < 1 {
+		k = 1
+	}
+	base := m.seed(spec.Seed)
+	target := 0
+	if k > 1 && spec.Target > 0 {
+		target = int(math.Ceil(spec.Target * float64(m.g.SprankUpperBound())))
+	}
+
+	var best *Matching
+	winner := base
+	ran := 0
+	for c := 0; c < k; c++ {
+		seed := base + uint64(c)
+		mt, err := m.runOnce(spec.Algorithm, seed)
+		if err != nil {
+			return nil, err
+		}
+		ran++
+		if k == 1 {
+			best = mt
+			break
+		}
+		// Strict improvement only: ties keep the earliest seed, which
+		// makes the winner deterministic (sizes are deterministic at any
+		// width, so the comparison sequence is too).
+		if best == nil || mt.Size > best.Size {
+			m.copyBest(mt)
+			best = &m.best
+			winner = seed
+			if spec.Algorithm == AlgKarpSipser {
+				m.bestKS = m.ksStats
+			}
+		}
+		if target > 0 && best.Size >= target {
+			break
+		}
+	}
+	if k > 1 && spec.Algorithm == AlgKarpSipser {
+		m.ksStats = m.bestKS // report the winner's phase stats, not the last candidate's
+	}
+
+	heuristic := best.Size
+	if spec.Refine == RefineExact {
+		best = exact.HopcroftKarp(m.g.a, best)
+	}
+	m.result = MatchResult{
+		Matching:      best,
+		Scaling:       sc,
+		Candidates:    ran,
+		WinnerSeed:    winner,
+		HeuristicSize: heuristic,
+	}
+	if spec.Algorithm == AlgKarpSipser {
+		m.result.KSStats = &m.ksStats
+	}
+	return &m.result, nil
+}
+
+// runOnce dispatches a single candidate run of the given algorithm. The
+// returned matching aliases the session workspaces (except the cheap
+// baselines, which allocate). A nil kernel result means the cancellation
+// hook fired.
+func (m *Matcher) runOnce(alg Algorithm, seed uint64) (*Matching, error) {
+	switch alg {
+	case AlgOneSided:
+		mt, _ := m.session().OneSidedMatching(seed)
+		if mt == nil {
+			return nil, ErrCanceled
+		}
+		return mt, nil
+	case AlgKarpSipser:
+		if m.ksWs == nil {
+			m.ksWs = &ks.Workspace{}
+		}
+		mt, st := ks.RunWsCancel(m.g.a, m.g.transpose(), seed, m.ksWs, m.cancel)
+		m.ksStats = st
+		if mt == nil {
+			return nil, ErrCanceled
+		}
+		return mt, nil
+	case AlgKarpSipserParallel:
+		if m.ksApprox == nil {
+			m.ksApprox = ks.NewApproxSession(m.g.a, m.g.transpose(), m.opt.Workers, m.opt.Pool.inner())
+		}
+		return m.ksApprox.Run(seed), nil
+	case AlgCheapEdge:
+		return cheap.RandomEdge(m.g.a, seed), nil
+	case AlgCheapVertex:
+		return cheap.RandomVertex(m.g.a, seed), nil
+	default: // AlgTwoSided
+		res := m.session().TwoSided(seed)
+		if res == nil {
+			return nil, ErrCanceled
+		}
+		return res.Matching, nil
+	}
+}
+
+// copyBest retains mt as the ensemble's best candidate so far in the
+// session-owned winner buffer (the next candidate overwrites the kernel
+// workspaces mt points into).
+func (m *Matcher) copyBest(mt *Matching) {
+	m.best.RowMate = append(m.best.RowMate[:0], mt.RowMate...)
+	m.best.ColMate = append(m.best.ColMate[:0], mt.ColMate...)
+	m.best.Size = mt.Size
+}
+
+// Match executes one declarative matching request on a throwaway session —
+// the one-shot form of Matcher.Run. Callers that run several Specs on the
+// same graph create a Matcher and call Run directly, which reuses the
+// scaling and the workspaces across calls.
+func (g *Graph) Match(spec Spec, opt *Options) (*MatchResult, error) {
+	return g.NewMatcher(opt).Run(spec)
+}

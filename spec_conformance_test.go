@@ -1,0 +1,376 @@
+package bipartite
+
+import (
+	"errors"
+	"testing"
+)
+
+// The Spec conformance suite: the declarative engine (Matcher.Run) is the
+// only code path that dispatches matching kernels, and every legacy entry
+// point is a thin wrapper over it. These tests pin (a) bit-identity of the
+// wrappers against their Spec equivalents at fixed seeds, (b) the
+// RefineExact guarantee |M| == Sprank on the quality-suite families,
+// (c) the one-scaling-per-ensemble economy and deterministic winners, and
+// (d) the Op→Spec shim of the batch layer plus scale-cache eviction.
+
+// specConformanceGraphs are small instances spanning structure classes:
+// random with total support, complete (dense), mesh, and rank-deficient.
+func specConformanceGraphs() []struct {
+	name string
+	g    *Graph
+} {
+	return []struct {
+		name string
+		g    *Graph
+	}{
+		{"er-600", RandomER(600, 600, 4, 3)},
+		{"fullyind-500", FullyIndecomposable(500, 2, 5)},
+		{"road-800", RoadNetwork(800, 2.5, 9)}, // slightly rank-deficient
+	}
+}
+
+// TestSpecLegacyWrappersBitIdentical gates the api_redesign acceptance
+// criterion: every legacy entry point returns exactly what its Spec
+// equivalent returns at a fixed seed — same mates, same sizes, same
+// scaling vectors, same Karp–Sipser phase statistics. Workers: 1 keeps
+// the comparison bitwise (the package determinism contract).
+func TestSpecLegacyWrappersBitIdentical(t *testing.T) {
+	for _, tc := range specConformanceGraphs() {
+		g := tc.g
+		for _, seed := range []uint64{1, 7, 42} {
+			opt := &Options{ScalingIterations: 5, Workers: 1, Seed: seed}
+
+			want, err := g.TwoSidedMatch(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := g.Match(Spec{Algorithm: AlgTwoSided, Seed: seed}, &Options{ScalingIterations: 5, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmpMates(t, tc.name+" twosided", got.Matching, want.Matching)
+			cmpScalings(t, tc.name+" twosided scaling", got.Scaling, want.Scaling)
+			if got.Candidates != 1 || got.WinnerSeed != seed || got.HeuristicSize != got.Matching.Size {
+				t.Fatalf("%s twosided: provenance (%d, %d, %d) want (1, %d, %d)", tc.name,
+					got.Candidates, got.WinnerSeed, got.HeuristicSize, seed, got.Matching.Size)
+			}
+
+			wantOne, err := g.OneSidedMatch(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotOne, err := g.Match(Spec{Algorithm: AlgOneSided, Seed: seed}, &Options{ScalingIterations: 5, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmpMates(t, tc.name+" onesided", gotOne.Matching, wantOne.Matching)
+
+			wantKS, wantSt := g.KarpSipser(seed)
+			resKS, err := g.Match(Spec{Algorithm: AlgKarpSipser, Seed: seed}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmpMates(t, tc.name+" karpsipser", resKS.Matching, wantKS)
+			if resKS.KSStats == nil || *resKS.KSStats != wantSt {
+				t.Fatalf("%s karpsipser stats %+v want %+v", tc.name, resKS.KSStats, wantSt)
+			}
+			if resKS.Scaling != nil {
+				t.Fatalf("%s karpsipser: unexpected scaling in result", tc.name)
+			}
+
+			wantKSP := g.KarpSipserParallel(seed, 1)
+			gotKSP, err := g.Match(Spec{Algorithm: AlgKarpSipserParallel, Seed: seed}, &Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmpMates(t, tc.name+" karpsipser-parallel", gotKSP.Matching, wantKSP)
+
+			wantCE := g.CheapRandomEdge(seed)
+			gotCE, err := g.Match(Spec{Algorithm: AlgCheapEdge, Seed: seed}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmpMates(t, tc.name+" cheap-edge", gotCE.Matching, wantCE)
+
+			wantCV := g.CheapRandomVertex(seed)
+			gotCV, err := g.Match(Spec{Algorithm: AlgCheapVertex, Seed: seed}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmpMates(t, tc.name+" cheap-vertex", gotCV.Matching, wantCV)
+		}
+	}
+}
+
+// TestSpecRefineExactReachesSprank is the jump-start acceptance gate:
+// Refine: Exact completes any heuristic matching to maximum cardinality
+// (|M| == Sprank) on the quality-suite families — including a
+// rank-deficient instance, where no heuristic alone can reach the bound.
+func TestSpecRefineExactReachesSprank(t *testing.T) {
+	families := qualityGraphs()
+	families = append(families, struct {
+		name string
+		g    *Graph
+	}{"road-1000", RoadNetwork(1000, 2.5, 4)})
+	for _, tc := range families {
+		sprank := tc.g.Sprank()
+		for _, alg := range []Algorithm{AlgTwoSided, AlgOneSided, AlgKarpSipser, AlgCheapVertex} {
+			res, err := tc.g.Match(Spec{Algorithm: alg, Seed: 3, Refine: RefineExact}, &Options{ScalingIterations: 5})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, alg, err)
+			}
+			if res.Matching.Size != sprank {
+				t.Fatalf("%s/%s: refined size %d want sprank %d", tc.name, alg, res.Matching.Size, sprank)
+			}
+			if err := tc.g.ValidateMatching(res.Matching); err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, alg, err)
+			}
+			if !tc.g.CertifyMaximum(res.Matching) {
+				t.Fatalf("%s/%s: refined matching fails the König certificate", tc.name, alg)
+			}
+			if res.HeuristicSize > res.Matching.Size {
+				t.Fatalf("%s/%s: heuristic size %d exceeds refined size %d",
+					tc.name, alg, res.HeuristicSize, res.Matching.Size)
+			}
+		}
+	}
+}
+
+// TestSpecEnsembleSingleScalingDeterministicWinner gates the ensemble
+// acceptance criteria: a best-of-8 ensemble on a warm Matcher performs
+// exactly one scaling run (the counter hook proves it), its winner is
+// deterministic, and the best-of size dominates every individual
+// candidate.
+func TestSpecEnsembleSingleScalingDeterministicWinner(t *testing.T) {
+	g := RandomER(1000, 1000, 3, 17)
+	scales := countScaleRuns(t)
+
+	run := func() *MatchResult {
+		m := g.NewMatcher(&Options{ScalingIterations: 5, Workers: 1})
+		res, err := m.Run(Spec{Algorithm: AlgTwoSided, Seed: 1, Ensemble: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	if n := scales.Load(); n != 1 {
+		t.Fatalf("best-of-8 on a cold matcher: %d scaling runs, want exactly 1", n)
+	}
+	if first.Candidates != 8 {
+		t.Fatalf("Candidates = %d, want 8 (no target set)", first.Candidates)
+	}
+
+	// The winner dominates each individual candidate and carries its seed.
+	m := g.NewMatcher(&Options{ScalingIterations: 5, Workers: 1})
+	bestSize, bestSeed := -1, uint64(0)
+	for s := uint64(1); s <= 8; s++ {
+		res, err := m.TwoSided(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matching.Size > bestSize {
+			bestSize, bestSeed = res.Matching.Size, s
+		}
+	}
+	if first.Matching.Size != bestSize || first.WinnerSeed != bestSeed {
+		t.Fatalf("ensemble winner (size %d, seed %d) want (size %d, seed %d)",
+			first.Matching.Size, first.WinnerSeed, bestSize, bestSeed)
+	}
+	if n := scales.Load(); n != 2 { // the candidate loop's own matcher scaled once
+		t.Fatalf("after individual candidates: %d scaling runs, want 2", n)
+	}
+	// A second cold ensemble scales once more, and the winner reproduces
+	// bit for bit.
+	second := run()
+	if n := scales.Load(); n != 3 {
+		t.Fatalf("two cold ensembles + candidate sweep: %d scaling runs, want 3", n)
+	}
+	cmpMates(t, "deterministic ensemble winner", second.Matching, first.Matching)
+	if second.WinnerSeed != first.WinnerSeed {
+		t.Fatalf("winner seed drifted: %d then %d", first.WinnerSeed, second.WinnerSeed)
+	}
+
+	// Warm-matcher follow-up ensemble on the same session: still no
+	// rescale.
+	mm := g.NewMatcher(&Options{ScalingIterations: 5, Workers: 1})
+	if _, err := mm.TwoSided(1); err != nil { // warm the scaling
+		t.Fatal(err)
+	}
+	before := scales.Load()
+	if _, err := mm.Run(Spec{Ensemble: 8, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if n := scales.Load(); n != before {
+		t.Fatalf("warm ensemble rescaled: %d -> %d runs", before, n)
+	}
+}
+
+// TestSpecEnsembleTargetEarlyStop: a modest Target stops the sweep after
+// the first candidate that satisfies it (TwoSided clears 0.5·sprank-bound
+// in one shot), while Target: 1 on a graph the heuristic cannot saturate
+// runs the whole ensemble.
+func TestSpecEnsembleTargetEarlyStop(t *testing.T) {
+	g := RandomER(1000, 1000, 4, 23)
+	res, err := g.Match(Spec{Ensemble: 8, Seed: 1, Target: 0.5}, &Options{ScalingIterations: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 1 {
+		t.Fatalf("target 0.5: ran %d candidates, want 1", res.Candidates)
+	}
+	if res.Matching.Size < g.SprankUpperBound()/2 {
+		t.Fatalf("early-stopped size %d below the target it claimed to meet", res.Matching.Size)
+	}
+
+	hard := HardForKarpSipser(300, 6) // KS quality degrades here by design
+	resHard, err := hard.Match(Spec{Algorithm: AlgKarpSipser, Ensemble: 4, Seed: 1, Target: 1.0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resHard.Candidates != 4 && resHard.Matching.Size != hard.SprankUpperBound() {
+		t.Fatalf("target 1.0: stopped after %d candidates at size %d < upper bound %d",
+			resHard.Candidates, resHard.Matching.Size, hard.SprankUpperBound())
+	}
+}
+
+// TestSpecValidate: malformed specs fail fast with precise errors — from
+// Run, from Graph.Match and from the batch layer — before any kernel runs.
+func TestSpecValidate(t *testing.T) {
+	g := Complete(16)
+	bad := []Spec{
+		{Algorithm: Algorithm(99)},
+		{Algorithm: -1},
+		{Refine: Refinement(7)},
+		{Ensemble: -2},
+		{Target: 1.5},
+		{Target: -0.25},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("spec %d (%+v): Validate accepted it", i, spec)
+		}
+		if _, err := g.Match(spec, nil); err == nil {
+			t.Fatalf("spec %d (%+v): Match accepted it", i, spec)
+		}
+		resp := MatchBatch([]Request{{Graph: g, Spec: spec}}, nil)
+		if resp[0].Err == nil {
+			t.Fatalf("spec %d (%+v): batch accepted it", i, spec)
+		}
+	}
+	// Valid specs round-trip their wire names.
+	for _, alg := range []Algorithm{AlgTwoSided, AlgOneSided, AlgKarpSipser, AlgKarpSipserParallel, AlgCheapEdge, AlgCheapVertex} {
+		back, err := ParseAlgorithm(alg.String())
+		if err != nil || back != alg {
+			t.Fatalf("algorithm %v does not round-trip: %v %v", alg, back, err)
+		}
+	}
+	for _, ref := range []Refinement{RefineNone, RefineExact} {
+		back, err := ParseRefinement(ref.String())
+		if err != nil || back != ref {
+			t.Fatalf("refinement %v does not round-trip: %v %v", ref, back, err)
+		}
+	}
+}
+
+// TestSpecBatchOpShim: the deprecated Request.Op/Seed fields resolve to
+// the same responses as their Spec equivalents, and an explicit
+// Spec.Algorithm wins over a stale Op.
+func TestSpecBatchOpShim(t *testing.T) {
+	g := RandomER(700, 700, 4, 31)
+	ops := []Op{OpTwoSided, OpOneSided, OpKarpSipser}
+	legacy := make([]Request, 0, 3*len(ops))
+	speced := make([]Request, 0, 3*len(ops))
+	for _, op := range ops {
+		for s := uint64(1); s <= 3; s++ {
+			legacy = append(legacy, Request{Graph: g, Op: op, Seed: s})
+			speced = append(speced, Request{Graph: g, Spec: Spec{Algorithm: op.Algorithm(), Seed: s}})
+		}
+	}
+	opt := &Options{ScalingIterations: 5}
+	outLegacy := MatchBatch(legacy, opt)
+	outSpec := MatchBatch(speced, opt)
+	for i := range outLegacy {
+		if outLegacy[i].Err != nil || outSpec[i].Err != nil {
+			t.Fatalf("req %d: errs %v / %v", i, outLegacy[i].Err, outSpec[i].Err)
+		}
+		cmpMates(t, "op shim", outSpec[i].Matching, outLegacy[i].Matching)
+	}
+	// Precedence: a set Spec.Algorithm silences Op entirely.
+	mixed := MatchBatch([]Request{{Graph: g, Op: OpKarpSipser, Spec: Spec{Algorithm: AlgOneSided, Seed: 2}}}, opt)
+	pure := MatchBatch([]Request{{Graph: g, Spec: Spec{Algorithm: AlgOneSided, Seed: 2}}}, opt)
+	if mixed[0].Err != nil || pure[0].Err != nil {
+		t.Fatal(mixed[0].Err, pure[0].Err)
+	}
+	cmpMates(t, "spec wins over op", mixed[0].Matching, pure[0].Matching)
+}
+
+// TestSpecBatchEnsembleRefine: full specs ride the batch layer — a
+// best-of-4 refined request comes back maximum, and ensembles still share
+// the per-graph scaling cell (1 run per graph however many candidates).
+func TestSpecBatchEnsembleRefine(t *testing.T) {
+	g := RandomER(800, 800, 4, 41)
+	sprank := g.Sprank()
+	scales := countScaleRuns(t)
+	reqs := []Request{
+		{Graph: g, Spec: Spec{Algorithm: AlgTwoSided, Seed: 1, Ensemble: 4, Refine: RefineExact}},
+		{Graph: g, Spec: Spec{Algorithm: AlgTwoSided, Seed: 5, Ensemble: 4}},
+		{Graph: g, Spec: Spec{Algorithm: AlgOneSided, Seed: 9, Refine: RefineExact}},
+	}
+	out := MatchBatch(reqs, &Options{ScalingIterations: 5})
+	for i, resp := range out {
+		if resp.Err != nil {
+			t.Fatalf("req %d: %v", i, resp.Err)
+		}
+		if err := g.ValidateMatching(resp.Matching); err != nil {
+			t.Fatalf("req %d: %v", i, err)
+		}
+	}
+	if out[0].Matching.Size != sprank || out[2].Matching.Size != sprank {
+		t.Fatalf("refined sizes (%d, %d) want sprank %d", out[0].Matching.Size, out[2].Matching.Size, sprank)
+	}
+	if n := scales.Load(); n != 1 {
+		t.Fatalf("batched ensembles: %d scaling runs for one graph, want 1", n)
+	}
+}
+
+// TestSpecServerDropGraph gates the registry→engine eviction callback:
+// dropping a graph's cached scaling forces the next request of that graph
+// to rescale, while requests of untouched graphs stay warm.
+func TestSpecServerDropGraph(t *testing.T) {
+	g := RandomER(600, 600, 4, 51)
+	scales := countScaleRuns(t)
+	srv := NewServer(&Options{ScalingIterations: 5}, 16)
+	defer srv.Close()
+
+	for s := uint64(1); s <= 3; s++ {
+		if resp := srv.Match(Request{Graph: g, Spec: Spec{Seed: s}}); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	if n := scales.Load(); n != 1 {
+		t.Fatalf("warm server: %d scaling runs, want 1", n)
+	}
+	srv.DropGraph(g)
+	if resp := srv.Match(Request{Graph: g, Spec: Spec{Seed: 4}}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if n := scales.Load(); n != 2 {
+		t.Fatalf("after DropGraph: %d scaling runs, want 2 (one recompute)", n)
+	}
+	// Dropping an unknown graph is a no-op, not a panic.
+	srv.DropGraph(Complete(4))
+}
+
+// TestSpecErrorsAreTagged: spec validation failures unwrap to a stable
+// sentinel-free shape the HTTP layer can rely on (they are not ErrCanceled
+// or context errors).
+func TestSpecErrorsAreTagged(t *testing.T) {
+	_, err := Complete(8).Match(Spec{Target: 3}, nil)
+	if err == nil {
+		t.Fatal("invalid target accepted")
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatalf("validation error aliases ErrCanceled: %v", err)
+	}
+}
