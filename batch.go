@@ -117,10 +117,26 @@ func (r *Request) effectiveSpec() Spec {
 
 // Response is the outcome of one batched request. The Matching is owned
 // by the caller (copied out of the serving workspaces), so it stays valid
-// after the next batch.
+// after the next batch. The provenance fields mirror MatchResult's: how
+// the Spec's ensemble unfolded and what refinement added — cmd/matchserve
+// forwards them onto the wire.
 type Response struct {
 	Matching *Matching
-	Err      error
+	// WinnerSeed is the seed of the candidate that produced Matching
+	// (for refined ensembles, the refinement's warm-start candidate); for
+	// single runs, the resolved base seed.
+	WinnerSeed uint64
+	// Candidates is the number of ensemble members actually consumed — 1
+	// for single runs, possibly fewer than Spec.Ensemble when a target or
+	// the refinement stopped the sweep early.
+	Candidates int
+	// HeuristicSize is the winning candidate's cardinality before
+	// refinement.
+	HeuristicSize int
+	// Refined reports whether a refinement stage ran (Spec.Refine was not
+	// RefineNone).
+	Refined bool
+	Err     error
 }
 
 // ErrNilGraph reports a batched request without a graph.
@@ -172,18 +188,51 @@ type scaleCell struct {
 	last uint64 // LRU tick; guarded by the engine mutex
 }
 
-// slotArena is one shape-keyed entry of a slot's arena cache.
+// slotArena is one shape-keyed entry of an arena cache.
 type slotArena struct {
 	rows, cols int
-	last       uint64 // slot-local LRU tick
+	last       uint64 // cache-local LRU tick
 	m          *Matcher
 }
 
-// slotArenas is the per-slot arena cache. It is touched only by the slot
-// that owns it, so it needs no locking.
-type slotArenas struct {
+// arenaCache is a shape-keyed cache of width-1 Matcher arenas with LRU
+// recycling, shared by the batch engine's slots and a Matcher's parallel
+// ensemble workers: a stream of same-shaped graphs rebinds one arena
+// allocation-free, while heterogeneous traffic keeps up to slotArenaCap
+// differently-sized arenas warm instead of thrashing one arena's buffers
+// between shapes. A cache is touched only by the worker slot that owns it,
+// so it needs no locking.
+type arenaCache struct {
 	tick   uint64
 	arenas []*slotArena
+}
+
+// get returns the cache's Matcher for graph g under opt (the slot's
+// width-1 options), building, rebinding or recycling an arena as the
+// shape mix demands.
+func (s *arenaCache) get(g *Graph, opt Options) *Matcher {
+	s.tick++
+	var lru *slotArena
+	for _, a := range s.arenas {
+		if a.rows == g.Rows() && a.cols == g.Cols() {
+			a.last = s.tick
+			if a.m.Graph() != g {
+				a.m.Reset(g)
+			}
+			return a.m
+		}
+		if lru == nil || a.last < lru.last {
+			lru = a
+		}
+	}
+	m := g.NewMatcher(&opt)
+	entry := &slotArena{rows: g.Rows(), cols: g.Cols(), last: s.tick, m: m}
+	if len(s.arenas) < slotArenaCap {
+		s.arenas = append(s.arenas, entry)
+	} else {
+		*lru = *entry
+	}
+	return m
 }
 
 // batchEngine is the shared executor of MatchBatch and Server: per-slot
@@ -192,10 +241,11 @@ type slotArenas struct {
 // calls must not overlap; Server guarantees that with its single collector
 // goroutine.
 type batchEngine struct {
-	opt   Options // normalized; per-slot matchers run width-1
-	pool  *par.Pool
-	width int
-	slots []slotArenas
+	opt     Options // normalized; per-slot matchers run width-1
+	slotOpt Options // opt with Workers: 1, Pool: nil — what the arenas run
+	pool    *par.Pool
+	width   int
+	slots   []arenaCache
 
 	// scales is the shared per-graph scaling cache (LRU-bounded); tick is
 	// its recency clock. Guarded by mu — slots from every pool worker take
@@ -213,6 +263,9 @@ type batchEngine struct {
 func newBatchEngine(opt *Options) *batchEngine {
 	v := opt.normalized()
 	e := &batchEngine{opt: v, scales: make(map[*Graph]*scaleCell)}
+	e.slotOpt = v
+	e.slotOpt.Workers = 1
+	e.slotOpt.Pool = nil // width-1 sessions run inline; no pool needed
 	e.pool = v.Pool.inner()
 	if e.pool == nil {
 		e.pool = par.Default()
@@ -221,7 +274,7 @@ func newBatchEngine(opt *Options) *batchEngine {
 	if e.width > e.pool.Width() {
 		e.width = e.pool.Width()
 	}
-	e.slots = make([]slotArenas, e.width)
+	e.slots = make([]arenaCache, e.width)
 	e.body = func(w int) {
 		for {
 			i := int(e.next.Add(1)) - 1
@@ -288,38 +341,10 @@ func (e *batchEngine) dropGraph(g *Graph) {
 	e.mu.Unlock()
 }
 
-// arena returns slot w's Matcher for graph g, recycling shape-keyed
-// arenas: a stream of same-shaped graphs rebinds one arena
-// allocation-free, while heterogeneous traffic keeps up to slotArenaCap
-// differently-sized arenas warm per slot instead of thrashing one arena's
-// buffers between shapes.
+// arena returns slot w's Matcher for graph g from the slot's shape-keyed
+// cache; see arenaCache.
 func (e *batchEngine) arena(w int, g *Graph) *Matcher {
-	s := &e.slots[w]
-	s.tick++
-	var lru *slotArena
-	for _, a := range s.arenas {
-		if a.rows == g.Rows() && a.cols == g.Cols() {
-			a.last = s.tick
-			if a.m.Graph() != g {
-				a.m.Reset(g)
-			}
-			return a.m
-		}
-		if lru == nil || a.last < lru.last {
-			lru = a
-		}
-	}
-	slotOpt := e.opt
-	slotOpt.Workers = 1
-	slotOpt.Pool = nil // width-1 sessions run inline; no pool needed
-	m := g.NewMatcher(&slotOpt)
-	entry := &slotArena{rows: g.Rows(), cols: g.Cols(), last: s.tick, m: m}
-	if len(s.arenas) < slotArenaCap {
-		s.arenas = append(s.arenas, entry)
-	} else {
-		*lru = *entry
-	}
-	return m
+	return e.slots[w].get(g, e.slotOpt)
 }
 
 // run executes reqs into out (same length) as one pool-wide region.
@@ -364,7 +389,6 @@ func (e *batchEngine) serve(w, i int) {
 		a.setCancel(func() bool { return ctx.Err() != nil })
 		defer a.setCancel(nil)
 	}
-	var mt *Matching
 	var err error
 	if spec.Algorithm.scales() {
 		var sc *Scaling
@@ -374,10 +398,7 @@ func (e *batchEngine) serve(w, i int) {
 		}
 		a.installScaling(sc)
 	}
-	var res *MatchResult
-	if res, err = a.Run(spec); err == nil {
-		mt = res.Matching
-	}
+	res, err := a.Run(spec)
 	if ctx != nil {
 		// A context that expired mid-run trumps whatever the kernels
 		// managed to produce: the caller's deadline has passed and the
@@ -391,8 +412,15 @@ func (e *batchEngine) serve(w, i int) {
 		return
 	}
 	// Copy out of the arena: the response must survive the slot's next
-	// request.
-	e.out[i] = Response{Matching: cloneMatching(mt)}
+	// request. The provenance rides along so the serving layers can put
+	// it on the wire.
+	e.out[i] = Response{
+		Matching:      cloneMatching(res.Matching),
+		WinnerSeed:    res.WinnerSeed,
+		Candidates:    res.Candidates,
+		HeuristicSize: res.HeuristicSize,
+		Refined:       res.Refined,
+	}
 }
 
 func cloneMatching(mt *Matching) *Matching {

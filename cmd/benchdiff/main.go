@@ -1,0 +1,175 @@
+// Command benchdiff compares two matchbench perf JSON files
+// (BENCH_matchbench.json) and fails when the new run regressed: any record
+// whose ns_op grew beyond the tolerated ratio of its baseline fails the
+// diff. It is the CI perf-regression gate — a PR runs
+// `matchbench -exp perf -scale tiny` and diffs the fresh records against
+// the committed baseline.
+//
+// Records are matched by (instance, heuristic, workers); records present
+// in only one file are reported and skipped, so a baseline that carries
+// more experiments than the fresh run (for example the serve tiers) still
+// diffs cleanly against a perf-only run.
+//
+// Wall-clock numbers only travel between comparable machines: the
+// committed baseline should be refreshed from the CI artifact of a green
+// run (same runner class), not from a developer laptop, and the tolerance
+// exists to absorb the residual runner-to-runner noise.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_matchbench.json -new fresh.json -tolerance 1.6
+//
+// Exit status: 0 clean, 1 regression found, 2 usage or input error
+// (unreadable file, wrong schema, or no overlapping records).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+// perfRecord mirrors bench.PerfRecord's JSON shape; benchdiff decodes it
+// independently so it can diff files produced by any commit.
+type perfRecord struct {
+	Instance  string  `json:"instance"`
+	Heuristic string  `json:"heuristic"`
+	Workers   int     `json:"workers"`
+	NsOp      int64   `json:"ns_op"`
+	Quality   float64 `json:"quality"`
+}
+
+// benchFile is the envelope cmd/matchbench writes.
+type benchFile struct {
+	Schema  string       `json:"schema"`
+	Scale   string       `json:"scale"`
+	Records []perfRecord `json:"records"`
+}
+
+const wantSchema = "matchbench/perf/v1"
+
+func readBench(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != wantSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, wantSchema)
+	}
+	return &f, nil
+}
+
+func key(r perfRecord) string {
+	return fmt.Sprintf("%s|%s|%d", r.Instance, r.Heuristic, r.Workers)
+}
+
+// diffLine is one compared record pair.
+type diffLine struct {
+	key        string
+	oldNs      int64
+	newNs      int64
+	ratio      float64
+	regression bool
+}
+
+// diff matches records by key and flags every new ns_op beyond
+// tolerance × its baseline. Ratios below 1 are improvements; they never
+// fail the diff.
+func diff(oldF, newF *benchFile, tolerance float64) (lines []diffLine, onlyOld, onlyNew []string) {
+	base := make(map[string]perfRecord, len(oldF.Records))
+	for _, r := range oldF.Records {
+		base[key(r)] = r
+	}
+	seen := make(map[string]bool, len(newF.Records))
+	for _, r := range newF.Records {
+		k := key(r)
+		seen[k] = true
+		b, ok := base[k]
+		if !ok {
+			onlyNew = append(onlyNew, k)
+			continue
+		}
+		ratio := float64(r.NsOp) / float64(b.NsOp)
+		lines = append(lines, diffLine{
+			key:        k,
+			oldNs:      b.NsOp,
+			newNs:      r.NsOp,
+			ratio:      ratio,
+			regression: ratio > tolerance,
+		})
+	}
+	for _, r := range oldF.Records {
+		if k := key(r); !seen[k] {
+			onlyOld = append(onlyOld, k)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].key < lines[j].key })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return lines, onlyOld, onlyNew
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		oldPath   = fs.String("old", "BENCH_matchbench.json", "baseline perf JSON (the committed file)")
+		newPath   = fs.String("new", "", "fresh perf JSON to compare (required)")
+		tolerance = fs.Float64("tolerance", 1.5, "max tolerated ns_op ratio new/old before a record counts as a regression")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *newPath == "" || *tolerance <= 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required and -tolerance must be positive")
+		fs.Usage()
+		return 2
+	}
+	oldF, err := readBench(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	newF, err := readBench(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	lines, onlyOld, onlyNew := diff(oldF, newF, *tolerance)
+	if len(lines) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no overlapping records between %s and %s\n", *oldPath, *newPath)
+		return 2
+	}
+
+	regressions := 0
+	fmt.Fprintf(out, "benchdiff: %d records compared (tolerance %.2fx)\n", len(lines), *tolerance)
+	fmt.Fprintf(out, "%-44s %12s %12s %8s\n", "record", "old ns_op", "new ns_op", "ratio")
+	for _, l := range lines {
+		mark := ""
+		if l.regression {
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(out, "%-44s %12d %12d %7.2fx%s\n", l.key, l.oldNs, l.newNs, l.ratio, mark)
+	}
+	for _, k := range onlyOld {
+		fmt.Fprintf(out, "only in baseline (skipped): %s\n", k)
+	}
+	for _, k := range onlyNew {
+		fmt.Fprintf(out, "only in fresh run (skipped): %s\n", k)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(out, "benchdiff: %d regression(s) beyond %.2fx\n", regressions, *tolerance)
+		return 1
+	}
+	fmt.Fprintln(out, "benchdiff: no regressions")
+	return 0
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, scale string, records string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	blob := `{"schema":"matchbench/perf/v1","scale":"` + scale + `","seed":1,"records":[` + records + `]}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func rec(instance, heuristic string, workers int, nsOp int64) string {
+	return `{"instance":"` + instance + `","heuristic":"` + heuristic + `","workers":` +
+		itoa(workers) + `,"ns_op":` + itoa64(nsOp) + `,"quality":0.9,"speedup_vs_1":1}`
+}
+
+func itoa(v int) string { return itoa64(int64(v)) }
+func itoa64(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// TestDiffFlagsRegressions: a record beyond tolerance is flagged, one
+// within it is not, improvements never fail, and one-sided records are
+// skipped rather than failing the diff.
+func TestDiffFlagsRegressions(t *testing.T) {
+	oldF := &benchFile{Schema: wantSchema, Records: []perfRecord{
+		{Instance: "er", Heuristic: "twosided", Workers: 1, NsOp: 1000},
+		{Instance: "er", Heuristic: "twosided", Workers: 2, NsOp: 600},
+		{Instance: "er", Heuristic: "onesided", Workers: 1, NsOp: 800},
+		{Instance: "mesh", Heuristic: "serve/batch", Workers: 1, NsOp: 500}, // baseline-only
+	}}
+	newF := &benchFile{Schema: wantSchema, Records: []perfRecord{
+		{Instance: "er", Heuristic: "twosided", Workers: 1, NsOp: 1700}, // 1.7x: regression at 1.5
+		{Instance: "er", Heuristic: "twosided", Workers: 2, NsOp: 700},  // 1.17x: fine
+		{Instance: "er", Heuristic: "onesided", Workers: 1, NsOp: 400},  // improvement
+		{Instance: "new", Heuristic: "twosided", Workers: 1, NsOp: 100}, // fresh-only
+	}}
+	lines, onlyOld, onlyNew := diff(oldF, newF, 1.5)
+	if len(lines) != 3 {
+		t.Fatalf("compared %d records, want 3", len(lines))
+	}
+	regressions := 0
+	for _, l := range lines {
+		if l.regression {
+			regressions++
+			if l.key != "er|twosided|1" {
+				t.Fatalf("unexpected regression %q", l.key)
+			}
+		}
+	}
+	if regressions != 1 {
+		t.Fatalf("%d regressions, want 1", regressions)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "mesh|serve/batch|1" {
+		t.Fatalf("baseline-only records %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "new|twosided|1" {
+		t.Fatalf("fresh-only records %v", onlyNew)
+	}
+}
+
+// TestRunExitCodes drives the CLI end to end over temp files: clean diff
+// exits 0, regression exits 1, missing/garbage/disjoint inputs exit 2.
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", "tiny",
+		rec("er", "twosided", 1, 1000)+","+rec("er", "onesided", 1, 800))
+	same := writeBench(t, dir, "same.json", "tiny",
+		rec("er", "twosided", 1, 1100)+","+rec("er", "onesided", 1, 790))
+	worse := writeBench(t, dir, "worse.json", "tiny",
+		rec("er", "twosided", 1, 5000)+","+rec("er", "onesided", 1, 790))
+	disjoint := writeBench(t, dir, "disjoint.json", "tiny", rec("other", "twosided", 1, 10))
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badSchema := filepath.Join(dir, "schema.json")
+	if err := os.WriteFile(badSchema, []byte(`{"schema":"other/v9","records":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean", []string{"-old", base, "-new", same, "-tolerance", "1.5"}, 0},
+		{"regression", []string{"-old", base, "-new", worse, "-tolerance", "1.5"}, 1},
+		{"regression tolerated", []string{"-old", base, "-new", worse, "-tolerance", "10"}, 0},
+		{"missing -new", []string{"-old", base}, 2},
+		{"unreadable new", []string{"-old", base, "-new", filepath.Join(dir, "nope.json")}, 2},
+		{"garbage json", []string{"-old", base, "-new", garbage}, 2},
+		{"wrong schema", []string{"-old", badSchema, "-new", same}, 2},
+		{"no overlap", []string{"-old", base, "-new", disjoint}, 2},
+		{"bad tolerance", []string{"-old", base, "-new", same, "-tolerance", "-1"}, 2},
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	for _, tc := range cases {
+		if got := run(tc.args, devnull); got != tc.want {
+			t.Fatalf("%s: exit %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

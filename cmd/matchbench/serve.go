@@ -34,10 +34,12 @@ func serveInstances(scale string) []struct {
 }
 
 // serve measures per-request throughput of the TwoSided heuristic served
-// four ways — one-shot calls, a reused Matcher session, MatchBatch, and
-// the long-lived Server under concurrent submitters (admission control and
-// shared per-graph scaling included) — and returns perf-style records
-// (ns_op is ns per request, speedup is versus the one-shot tier).
+// six ways — one-shot calls, a reused Matcher session, sequential and
+// candidate-parallel best-of-8 ensembles, MatchBatch, and the long-lived
+// Server under concurrent submitters (admission control and shared
+// per-graph scaling included) — and returns perf-style records (ns_op is
+// ns per request; speedup is versus the one-shot tier, except
+// ensemble8par's, which is versus ensemble8).
 func serve(cfg bench.Config) []bench.PerfRecord {
 	cfg = cfg.Defaults()
 	requests := 60 * cfg.Runs // 600 at the default 10 runs
@@ -74,18 +76,35 @@ func serve(cfg bench.Config) []bench.PerfRecord {
 				quality = g.Quality(res.Matching)
 			}
 		}
-		// The ensemble tier runs the same number of TwoSided candidates as
+		// The ensemble tiers run the same number of TwoSided candidates as
 		// the other tiers, but grouped into best-of-8 Specs on one warm
-		// session — the jump-start-ensemble shape: one scaling, one arena,
-		// K kernels per returned (best) matching.
+		// session — the jump-start-ensemble shape: one scaling, K kernels
+		// per returned (best) matching. ensemble8 keeps the candidates
+		// sequential on one arena; ensemble8par fans them out across the
+		// pool (one width-1 arena per worker), the candidate-parallel
+		// schedule whose speedup over ensemble8 this experiment records.
+		ensembleSpec := func(k int, sequential bool) bipartite.Spec {
+			return bipartite.Spec{
+				Algorithm:  bipartite.AlgTwoSided,
+				Seed:       cfg.Seed + uint64(8*k),
+				Ensemble:   8,
+				Sequential: sequential,
+			}
+		}
 		ensemble := func() {
 			m := g.NewMatcher(opt)
 			for k := 0; k < requests/8; k++ {
-				res, err := m.Run(bipartite.Spec{
-					Algorithm: bipartite.AlgTwoSided,
-					Seed:      cfg.Seed + uint64(8*k),
-					Ensemble:  8,
-				})
+				res, err := m.Run(ensembleSpec(k, true))
+				if err != nil {
+					panic(err)
+				}
+				quality = g.Quality(res.Matching)
+			}
+		}
+		ensemblePar := func() {
+			m := g.NewMatcher(opt)
+			for k := 0; k < requests/8; k++ {
+				res, err := m.Run(ensembleSpec(k, false))
 				if err != nil {
 					panic(err)
 				}
@@ -131,7 +150,7 @@ func serve(cfg bench.Config) []bench.PerfRecord {
 
 		poolWidth := runtime.GOMAXPROCS(0)
 
-		var anchor time.Duration
+		var anchor, ensembleSeq time.Duration
 		for _, mode := range []struct {
 			name    string
 			workers int
@@ -140,15 +159,26 @@ func serve(cfg bench.Config) []bench.PerfRecord {
 			{"serve/oneshot", poolWidth, oneshot},
 			{"serve/matcher", poolWidth, matcher},
 			{"serve/ensemble8", poolWidth, ensemble},
+			{"serve/ensemble8par", poolWidth, ensemblePar},
 			{"serve/batch", poolWidth, batched},
 			{"serve/server", poolWidth, server},
 		} {
 			best := bench.TimeBest(3, mode.run)
-			if mode.name == "serve/oneshot" {
+			switch mode.name {
+			case "serve/oneshot":
 				anchor = best
+			case "serve/ensemble8":
+				ensembleSeq = best
 			}
 			perReq := best / time.Duration(requests)
+			// Speedups are versus the one-shot tier — except ensemble8par,
+			// whose speedup is versus the sequential ensemble8 tier: that
+			// ratio is the candidate-parallel fan-out's win, the number this
+			// experiment exists to track.
 			speedup := float64(anchor) / float64(best)
+			if mode.name == "serve/ensemble8par" {
+				speedup = float64(ensembleSeq) / float64(best)
+			}
 			records = append(records, bench.PerfRecord{
 				Instance:  inst.name,
 				Edges:     g.Edges(),

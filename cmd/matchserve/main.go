@@ -24,9 +24,11 @@
 //	                   the engine's cached scaling of the graph)
 //	POST /match        match once: {"graph":"g1","algorithm":"twosided",
 //	                   "seed":7,"refine":"exact","best_of":8,"target":0.95,
-//	                   "timeout_ms":50} or with an inline graph:
-//	                   {"rows":..,"cols":..,"edges":..,"algorithm":..}
-//	                   → {"size":S,"rows":R,"cols":C,"row_mate":[...],"ms":1.2}
+//	                   "sequential":false,"timeout_ms":50} or with an inline
+//	                   graph: {"rows":..,"cols":..,"edges":..,"algorithm":..}
+//	                   → {"size":S,"rows":R,"cols":C,"row_mate":[...],
+//	                      "winner_seed":9,"candidates_run":3,
+//	                      "heuristic_size":H,"refined":true,"ms":1.2}
 //	POST /match/batch  {"requests":[<match request>, ...]}
 //	                   → {"responses":[<match response | error>, ...],"ms":batchMs}
 //	                   (request and response envelopes may be gzip-encoded:
@@ -42,11 +44,23 @@
 // Match requests carry the library's declarative Spec on the wire:
 // "algorithm" selects the heuristic (twosided, onesided, karpsipser,
 // karpsipser-parallel, cheap-edge, cheap-vertex; "op" survives as a
-// deprecated alias), "refine":"exact" augments the heuristic matching to
-// maximum cardinality (Hopcroft–Karp jump-start), "best_of":K runs a
-// best-of-K seed ensemble on one shared scaling, and "target" stops the
-// ensemble early at the given quality fraction. Invalid specs are answered
-// with precise 400s before any kernel runs.
+// deprecated alias), "refine" augments the heuristic matching toward
+// maximum cardinality ("exact" = Hopcroft–Karp jump-start, "pushrelabel" =
+// the push-relabel/auction family), "best_of":K runs a best-of-K seed
+// ensemble on one shared scaling, "target" stops the ensemble early at the
+// given quality fraction, and "sequential":true forces the ensemble's
+// candidates onto one arena (inside the batch engine's width-1 slots the
+// candidates run sequentially either way; a standalone Matcher fans them
+// out across the pool). Invalid specs are answered with precise 400s
+// before any kernel runs.
+//
+// Every successful match response carries the engine's provenance:
+// "winner_seed" (the ensemble seed that produced the matching),
+// "candidates_run" (how many candidates were consumed — a target or the
+// ensemble-aware refinement may stop the sweep before best_of),
+// "heuristic_size" (the winner's cardinality before refinement) and
+// "refined" (whether a refinement stage ran). size − heuristic_size is
+// exactly the work the exact solver added on top of the jump-start.
 //
 // Registering a graph once and matching it by id is the warm path: the
 // server computes one scaling per graph (shared by every batch slot), so a
@@ -208,14 +222,15 @@ func (s *graphSpec) build() (*bipartite.Graph, error) {
 // deprecated pre-Spec alias of "algorithm".
 type matchRequest struct {
 	graphSpec
-	GraphID   string  `json:"graph"`
-	Op        string  `json:"op"` // deprecated alias of Algorithm
-	Algorithm string  `json:"algorithm"`
-	Seed      uint64  `json:"seed"`
-	Refine    string  `json:"refine"`
-	BestOf    int     `json:"best_of"`
-	Target    float64 `json:"target"`
-	TimeoutMs int64   `json:"timeout_ms"`
+	GraphID    string  `json:"graph"`
+	Op         string  `json:"op"` // deprecated alias of Algorithm
+	Algorithm  string  `json:"algorithm"`
+	Seed       uint64  `json:"seed"`
+	Refine     string  `json:"refine"`
+	BestOf     int     `json:"best_of"`
+	Target     float64 `json:"target"`
+	Sequential bool    `json:"sequential"`
+	TimeoutMs  int64   `json:"timeout_ms"`
 }
 
 // spec translates the wire fields into a validated bipartite.Spec.
@@ -235,11 +250,12 @@ func (mr *matchRequest) spec() (bipartite.Spec, error) {
 		return bipartite.Spec{}, err
 	}
 	spec := bipartite.Spec{
-		Algorithm: alg,
-		Seed:      mr.Seed,
-		Ensemble:  mr.BestOf,
-		Refine:    ref,
-		Target:    mr.Target,
+		Algorithm:  alg,
+		Seed:       mr.Seed,
+		Ensemble:   mr.BestOf,
+		Refine:     ref,
+		Target:     mr.Target,
+		Sequential: mr.Sequential,
 	}
 	if err := spec.Validate(); err != nil {
 		return bipartite.Spec{}, err
@@ -247,12 +263,22 @@ func (mr *matchRequest) spec() (bipartite.Spec, error) {
 	return spec, nil
 }
 
-// matchResponse is the writer-side shape of one served matching.
+// matchResponse is the writer-side shape of one served matching. The
+// provenance fields surface how the engine arrived at the matching:
+// which ensemble seed won, how many candidates actually ran (a target or
+// the ensemble-aware refinement may stop the sweep early), the winner's
+// pre-refinement size, and whether a refinement stage ran at all.
 type matchResponse struct {
 	Size    int     `json:"size"`
 	Rows    int     `json:"rows"`
 	Cols    int     `json:"cols"`
 	RowMate []int32 `json:"row_mate"`
+	// Provenance: always present on successful responses (zero-valued on
+	// errors, alongside the zero size/rows/cols).
+	WinnerSeed    uint64 `json:"winner_seed"`
+	CandidatesRun int    `json:"candidates_run"`
+	HeuristicSize int    `json:"heuristic_size"`
+	Refined       bool   `json:"refined"`
 	// Ms is the wall-clock of a single /match; batch responses omit it
 	// and report one batch-wide "ms" in the envelope instead (the
 	// requests ran concurrently, so no per-request wall-clock exists).
@@ -637,11 +663,15 @@ func toWire(resp bipartite.Response, d time.Duration) matchResponse {
 		return matchResponse{Error: resp.Err.Error()}
 	}
 	return matchResponse{
-		Size:    resp.Matching.Size,
-		Rows:    len(resp.Matching.RowMate),
-		Cols:    len(resp.Matching.ColMate),
-		RowMate: resp.Matching.RowMate,
-		Ms:      float64(d.Microseconds()) / 1000,
+		Size:          resp.Matching.Size,
+		Rows:          len(resp.Matching.RowMate),
+		Cols:          len(resp.Matching.ColMate),
+		RowMate:       resp.Matching.RowMate,
+		WinnerSeed:    resp.WinnerSeed,
+		CandidatesRun: resp.Candidates,
+		HeuristicSize: resp.HeuristicSize,
+		Refined:       resp.Refined,
+		Ms:            float64(d.Microseconds()) / 1000,
 	}
 }
 

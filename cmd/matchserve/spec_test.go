@@ -19,7 +19,9 @@ func TestMatchServeSpecFields(t *testing.T) {
 	id := registerRing(t, ts, 64)
 
 	// cheap-vertex alone is a 1/2-approximation; refined it must hit the
-	// ring's sprank of 64 exactly.
+	// ring's sprank of 64 exactly — and the provenance fields must report
+	// the refinement: one candidate, the requested seed, and a heuristic
+	// size no larger than the refined one.
 	resp, body := postJSON(t, ts.URL+"/match", map[string]any{
 		"graph": id, "algorithm": "cheap-vertex", "seed": 3, "refine": "exact",
 	})
@@ -29,16 +31,59 @@ func TestMatchServeSpecFields(t *testing.T) {
 	if int(body["size"].(float64)) != 64 {
 		t.Fatalf("refined size %v, want 64 (sprank of the ring)", body["size"])
 	}
+	if body["refined"] != true {
+		t.Fatalf("refined run lacks the provenance flag: %v", body)
+	}
+	if int(body["winner_seed"].(float64)) != 3 || int(body["candidates_run"].(float64)) != 1 {
+		t.Fatalf("single-run provenance (%v, %v) want (3, 1)", body["winner_seed"], body["candidates_run"])
+	}
+	if hs := int(body["heuristic_size"].(float64)); hs > 64 || hs < 1 {
+		t.Fatalf("heuristic_size %d outside (0, 64]", hs)
+	}
 
-	// A best-of-8 ensemble with a target: valid request, sane response.
+	// The push-relabel refinement family is reachable over the wire and
+	// reaches the same maximum.
 	resp, body = postJSON(t, ts.URL+"/match", map[string]any{
-		"graph": id, "algorithm": "twosided", "seed": 1, "best_of": 8, "target": 0.9,
+		"graph": id, "algorithm": "cheap-vertex", "seed": 3, "refine": "pushrelabel",
 	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/match pushrelabel: status %d body %v", resp.StatusCode, body)
+	}
+	if int(body["size"].(float64)) != 64 || body["refined"] != true {
+		t.Fatalf("pushrelabel-refined response %v, want size 64 refined", body)
+	}
+
+	// A best-of-8 ensemble with a target: valid request, sane response,
+	// ensemble provenance on the wire. The sequential variant must agree
+	// exactly (the library gates bit-identity; here we pin the wire).
+	ensembleReq := map[string]any{
+		"graph": id, "algorithm": "twosided", "seed": 1, "best_of": 8, "target": 0.9,
+	}
+	resp, body = postJSON(t, ts.URL+"/match", ensembleReq)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/match ensemble: status %d body %v", resp.StatusCode, body)
 	}
 	if size := int(body["size"].(float64)); size < 52 || size > 64 {
 		t.Fatalf("ensemble size %d outside [52, 64]", size)
+	}
+	if ws := int(body["winner_seed"].(float64)); ws < 1 || ws > 8 {
+		t.Fatalf("ensemble winner_seed %d outside [1, 8]", ws)
+	}
+	cand := int(body["candidates_run"].(float64))
+	if cand < 1 || cand > 8 {
+		t.Fatalf("ensemble candidates_run %d outside [1, 8]", cand)
+	}
+	if body["refined"] != false {
+		t.Fatalf("unrefined ensemble reports refined = %v, want false", body["refined"])
+	}
+	ensembleReq["sequential"] = true
+	resp, seqBody := postJSON(t, ts.URL+"/match", ensembleReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/match sequential ensemble: status %d body %v", resp.StatusCode, seqBody)
+	}
+	if seqBody["size"] != body["size"] || seqBody["winner_seed"] != body["winner_seed"] ||
+		seqBody["candidates_run"] != body["candidates_run"] {
+		t.Fatalf("sequential ensemble drifted from the default: %v vs %v", seqBody, body)
 	}
 
 	// The extended algorithms are reachable over the wire.

@@ -5,14 +5,18 @@
 //
 //	matchtool -in graph.mtx -alg twosided -iters 5
 //	matchtool -in graph.mtx -alg twosided -refine exact   # heuristic jump-start + Hopcroft-Karp
-//	matchtool -in graph.mtx -alg twosided -best-of 8      # best-of-8 seed ensemble, one scaling
+//	matchtool -in graph.mtx -alg cheap-edge -refine pushrelabel  # auction-family refinement
+//	matchtool -in graph.mtx -alg twosided -best-of 8      # best-of-8 seed ensemble, one scaling,
+//	                                                      # candidates fanned out across the pool
+//	matchtool -in graph.mtx -best-of 8 -sequential        # same ensemble, candidates in series
 //	matchtool -in graph.mtx -alg hk                       # exact maximum
 //	matchtool -in graph.mtx -alg ks -seed 7
 //
 // Algorithms: onesided, twosided, ks (classic Karp-Sipser), ksp
 // (multithreaded Karp-Sipser), cheap-edge, cheap-vertex — all served by
-// the declarative Spec engine and composable with -refine/-best-of/-target
-// — plus the direct exact solvers hk (Hopcroft-Karp) and mc21.
+// the declarative Spec engine and composable with
+// -refine/-best-of/-target/-sequential — plus the direct exact solvers hk
+// (Hopcroft-Karp) and mc21.
 package main
 
 import (
@@ -31,9 +35,10 @@ func main() {
 		iters   = flag.Int("iters", 5, "Sinkhorn-Knopp scaling iterations (one/two-sided)")
 		workers = flag.Int("workers", 0, "worker count; 0 = all CPUs")
 		seed    = flag.Uint64("seed", 1, "RNG seed")
-		refine  = flag.String("refine", "none", "refinement: none|exact (augment the heuristic matching to maximum cardinality)")
+		refine  = flag.String("refine", "none", "refinement: none|exact|pushrelabel (augment the heuristic matching to maximum cardinality)")
 		bestOf  = flag.Int("best-of", 1, "ensemble size: run seeds seed..seed+K-1 on one shared scaling and keep the largest matching")
 		target  = flag.Float64("target", 0, "ensemble early-stop: halt once size reaches target*sprank-upper-bound, in (0,1]")
+		seq     = flag.Bool("sequential", false, "run ensemble candidates sequentially on one arena instead of fanning out across the pool")
 		quality = flag.Bool("quality", false, "also compute sprank and report quality (costs an exact run)")
 	)
 	flag.Parse()
@@ -56,8 +61,8 @@ func main() {
 	switch *alg {
 	case "hk", "mc21":
 		// Direct exact solvers: no spec fields apply.
-		if *refine != "none" || *bestOf > 1 || *target != 0 {
-			fmt.Fprintf(os.Stderr, "matchtool: -refine/-best-of/-target do not apply to %s (already exact)\n", *alg)
+		if *refine != "none" || *bestOf > 1 || *target != 0 || *seq {
+			fmt.Fprintf(os.Stderr, "matchtool: -refine/-best-of/-target/-sequential do not apply to %s (already exact)\n", *alg)
 			os.Exit(2)
 		}
 		if *alg == "hk" {
@@ -76,10 +81,11 @@ func main() {
 			fail(err)
 		}
 		spec := bipartite.Spec{
-			Algorithm: algorithm,
-			Refine:    refinement,
-			Ensemble:  *bestOf,
-			Target:    *target,
+			Algorithm:  algorithm,
+			Refine:     refinement,
+			Ensemble:   *bestOf,
+			Target:     *target,
+			Sequential: *seq,
 		}
 		res, err := g.Match(spec, opt)
 		fail(err)
@@ -91,12 +97,16 @@ func main() {
 			fmt.Printf("karp-sipser stats: %+v\n", *res.KSStats)
 		}
 		if spec.Ensemble > 1 {
-			fmt.Printf("ensemble: %d candidates run, winner seed %d (size %d)\n",
-				res.Candidates, res.WinnerSeed, res.HeuristicSize)
+			schedule := "parallel"
+			if spec.Sequential {
+				schedule = "sequential"
+			}
+			fmt.Printf("ensemble (%s): %d candidates run, winner seed %d (size %d)\n",
+				schedule, res.Candidates, res.WinnerSeed, res.HeuristicSize)
 		}
-		if refinement == bipartite.RefineExact {
-			fmt.Printf("refinement: heuristic %d -> exact %d (+%d augmenting rows)\n",
-				res.HeuristicSize, mt.Size, mt.Size-res.HeuristicSize)
+		if res.Refined {
+			fmt.Printf("refinement (%s): heuristic %d -> %d (+%d augmenting rows)\n",
+				refinement, res.HeuristicSize, mt.Size, mt.Size-res.HeuristicSize)
 		}
 	}
 	elapsed := time.Since(start)

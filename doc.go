@@ -67,17 +67,20 @@
 // Every matching request in the library is one declarative value, Spec:
 // which Algorithm to run (TwoSided, OneSided, the Karp–Sipser variants,
 // the cheap baselines), under which Seed, whether to run a best-of-K
-// Ensemble of seeds, whether to Refine the heuristic result to a maximum
-// matching, and an optional early-stop Target. One engine — Matcher.Run —
-// executes Specs; it is the only code path in the package that dispatches
-// matching kernels. Everything else is a surface over it:
+// Ensemble of seeds (and whether its candidates fan out across the pool
+// or run Sequentially), whether to Refine the heuristic result toward a
+// maximum matching, and an optional early-stop Target. One engine —
+// Matcher.Run — executes Specs; it is the only code path in the package
+// that dispatches matching kernels. Everything else is a surface over it:
 //
 //   - Graph.Match(spec, opt) runs one Spec on a throwaway session.
 //   - Matcher.Run(spec) runs Specs on a warm session (cached scaling,
 //     resident workspaces).
 //   - Request.Spec carries Specs through MatchBatch and Server.
 //   - cmd/matchserve accepts the spec fields ("algorithm", "seed",
-//     "refine", "best_of", "target") on /match and /match/batch.
+//     "refine", "best_of", "target", "sequential") on /match and
+//     /match/batch, and reports the result's provenance ("winner_seed",
+//     "candidates_run", "heuristic_size", "refined") in every response.
 //
 // The legacy entry points — OneSidedMatch, TwoSidedMatch, KarpSipser,
 // KarpSipserParallel, CheapRandomEdge/Vertex, and the batch layer's
@@ -85,24 +88,39 @@
 // wrapper over the equivalent Spec and returns bit-identical results at
 // the same options and seed (gated by the Spec conformance suite).
 //
+// Ensemble: K consumes K candidate seeds strictly in seed order over ONE
+// shared scaling and keeps the largest matching, ties broken toward the
+// smallest seed. On a session wider than one worker the candidates fan
+// out across the pool — each candidate runs at width 1 on a per-worker
+// arena — which makes the whole ensemble deterministic at any pool width
+// and bit-identical to the sequential sweep at Workers: 1 (gated under
+// the race detector in CI); Spec.Sequential forces the old
+// one-arena-in-series schedule. Target stops the sweep as soon as the
+// best candidate reaches Target·SprankUpperBound().
+//
 // Refine: RefineExact is the paper's central application (§4): the
 // heuristic matching jump-starts Hopcroft–Karp, which only pays for the
-// rows the heuristic left free, and the result always satisfies
-// size == Sprank(). Ensemble: K runs K candidate seeds over ONE shared
-// scaling and one workspace arena and returns the largest matching, ties
-// broken toward the smallest seed — the winner is deterministic wherever
-// candidate sizes are (everywhere at Workers: 1; the scaled heuristics at
-// any width). Target stops the ensemble as soon as the best candidate
-// reaches Target·SprankUpperBound():
+// rows the heuristic left free, and a refined single run always satisfies
+// size == Sprank(). RefinePushRelabel is the second augmentation family
+// under the same contract — the push-relabel/auction scheme of the GPU
+// and multicore maximum-transversal codes the paper cites — so both
+// families compare under one API and wire format. Inside an ensemble the
+// refinement is ensemble-aware: it advances incrementally (one
+// Hopcroft–Karp phase, or one push-relabel bid budget, per consumed
+// candidate), warm-starts from the best heuristic so far, and stops the
+// ensemble the moment the refined size reaches the Target or structural
+// sprank bound — jump-start workloads stop paying for candidates the
+// refinement has already made redundant:
 //
 //	res, _ := g.Match(bipartite.Spec{
 //		Algorithm: bipartite.AlgTwoSided,
-//		Ensemble:  8,           // seeds 1..8, one scaling
+//		Ensemble:  8,           // seeds 1..8, one scaling, pool-parallel
 //		Target:    0.95,        // stop early once 0.95·sprank-bound is met
-//		Refine:    bipartite.RefineExact, // then augment to maximum
+//		Refine:    bipartite.RefineExact, // augment incrementally
 //	}, nil)
-//	// res.Matching.Size == g.Sprank(); res.WinnerSeed, res.Candidates,
-//	// res.HeuristicSize report how the ensemble unfolded.
+//	// res.WinnerSeed, res.Candidates, res.HeuristicSize and res.Refined
+//	// report how the ensemble unfolded; with no Target the refined size
+//	// is exactly g.Sprank().
 //
 // # Sessions and serving
 //

@@ -55,11 +55,30 @@ func FromRowMate(rowMate []int32, m int) *Matching {
 	return mt
 }
 
-// HopcroftKarp computes a maximum matching of the bipartite graph given by
-// a. init may be nil or a valid warm-start matching (it is copied, not
-// mutated). The returned matching is maximum regardless of the warm start;
-// a good warm start only reduces the number of phases.
-func HopcroftKarp(a *sparse.CSR, init *Matching) *Matching {
+// HKRefiner is the incremental form of Hopcroft–Karp: a warm-start
+// matching plus the BFS/DFS workspaces, advanced one phase at a time. Each
+// Phase augments along a maximal set of vertex-disjoint shortest
+// augmenting paths, so the held matching grows monotonically and is a
+// valid matching between phases — callers can interleave phases with other
+// work (the ensemble engine interleaves them with candidate arrivals) and
+// stop as soon as the size crosses a bound, or run to the maximum.
+type HKRefiner struct {
+	a  *sparse.CSR
+	mt *Matching
+
+	dist  []int32
+	queue []int32
+	// Iterative DFS state: stack of rows and per-row arc cursors.
+	arc   []int
+	stack []int32
+
+	done bool
+}
+
+// NewHKRefiner prepares an incremental Hopcroft–Karp run on a, warm-started
+// from init (nil means the empty matching; init is copied, not mutated, and
+// not retained).
+func NewHKRefiner(a *sparse.CSR, init *Matching) *HKRefiner {
 	n, m := a.RowsN, a.ColsN
 	mt := NewMatching(n, m)
 	if init != nil {
@@ -67,90 +86,135 @@ func HopcroftKarp(a *sparse.CSR, init *Matching) *Matching {
 		copy(mt.ColMate, init.ColMate)
 		mt.Size = init.Size
 	}
+	return &HKRefiner{
+		a:     a,
+		mt:    mt,
+		dist:  make([]int32, n),
+		queue: make([]int32, 0, n),
+		arc:   make([]int, n),
+		stack: make([]int32, 0, 64),
+	}
+}
 
-	dist := make([]int32, n)
-	queue := make([]int32, 0, n)
-	// Iterative DFS state: stack of rows and per-row arc cursors.
-	arc := make([]int, n)
-	stack := make([]int32, 0, 64)
+// Matching returns the refiner's current matching. It is owned by the
+// refiner until Phase can no longer improve it; callers that mutate it must
+// not call Phase again.
+func (r *HKRefiner) Matching() *Matching { return r.mt }
 
-	for {
-		// BFS phase: layer rows by alternating distance from free rows.
-		queue = queue[:0]
-		for i := 0; i < n; i++ {
-			if mt.RowMate[i] == NIL {
-				dist[i] = 0
-				queue = append(queue, int32(i))
-			} else {
-				dist[i] = inf
-			}
+// Size returns the current matching cardinality.
+func (r *HKRefiner) Size() int { return r.mt.Size }
+
+// Done reports whether the matching is provably maximum (a phase found no
+// augmenting path).
+func (r *HKRefiner) Done() bool { return r.done }
+
+// Phase runs one Hopcroft–Karp phase — a BFS layering followed by a
+// maximal wave of vertex-disjoint shortest augmenting paths — and reports
+// whether the matching may still be improvable. A false return means the
+// matching is maximum; the refiner stays in that state.
+func (r *HKRefiner) Phase() bool {
+	if r.done {
+		return false
+	}
+	a, mt, n := r.a, r.mt, r.a.RowsN
+	dist := r.dist
+	// BFS phase: layer rows by alternating distance from free rows.
+	queue := r.queue[:0]
+	for i := 0; i < n; i++ {
+		if mt.RowMate[i] == NIL {
+			dist[i] = 0
+			queue = append(queue, int32(i))
+		} else {
+			dist[i] = inf
 		}
-		found := false
-		for qh := 0; qh < len(queue); qh++ {
-			i := queue[qh]
-			for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
-				j := a.Idx[p]
-				i2 := mt.ColMate[j]
-				if i2 == NIL {
-					found = true
-					continue
-				}
-				if dist[i2] == inf {
-					dist[i2] = dist[i] + 1
-					queue = append(queue, i2)
-				}
-			}
-		}
-		if !found {
-			return mt
-		}
-		// DFS phase: find a maximal set of vertex-disjoint shortest
-		// augmenting paths along the layering.
-		for i := 0; i < n; i++ {
-			arc[i] = a.Ptr[i]
-		}
-		for s := 0; s < n; s++ {
-			if mt.RowMate[s] != NIL || dist[s] != 0 {
+	}
+	found := false
+	for qh := 0; qh < len(queue); qh++ {
+		i := queue[qh]
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			j := a.Idx[p]
+			i2 := mt.ColMate[j]
+			if i2 == NIL {
+				found = true
 				continue
 			}
-			stack = append(stack[:0], int32(s))
-			for len(stack) > 0 {
-				i := stack[len(stack)-1]
-				advanced := false
-				for arc[i] < a.Ptr[i+1] {
-					p := arc[i]
-					arc[i]++
-					j := a.Idx[p]
-					i2 := mt.ColMate[j]
-					if i2 == NIL {
-						// Augment along the stack; mark the rows used so
-						// paths in this phase stay vertex-disjoint.
-						for k := len(stack) - 1; k >= 0; k-- {
-							r := stack[k]
-							pj := mt.RowMate[r]
-							mt.RowMate[r] = j
-							mt.ColMate[j] = r
-							dist[r] = inf
-							j = pj
-						}
-						mt.Size++
-						stack = stack[:0]
-						advanced = true
-						break
-					}
-					if dist[i2] == dist[i]+1 {
-						stack = append(stack, i2)
-						advanced = true
-						break
-					}
-				}
-				if !advanced {
-					dist[i] = inf // dead end: prune for this phase
-					stack = stack[:len(stack)-1]
-				}
+			if dist[i2] == inf {
+				dist[i2] = dist[i] + 1
+				queue = append(queue, i2)
 			}
 		}
 	}
+	r.queue = queue
+	if !found {
+		r.done = true
+		return false
+	}
+	// DFS phase: find a maximal set of vertex-disjoint shortest
+	// augmenting paths along the layering.
+	arc := r.arc
+	for i := 0; i < n; i++ {
+		arc[i] = a.Ptr[i]
+	}
+	stack := r.stack
+	for s := 0; s < n; s++ {
+		if mt.RowMate[s] != NIL || dist[s] != 0 {
+			continue
+		}
+		stack = append(stack[:0], int32(s))
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			advanced := false
+			for arc[i] < a.Ptr[i+1] {
+				p := arc[i]
+				arc[i]++
+				j := a.Idx[p]
+				i2 := mt.ColMate[j]
+				if i2 == NIL {
+					// Augment along the stack; mark the rows used so
+					// paths in this phase stay vertex-disjoint.
+					for k := len(stack) - 1; k >= 0; k-- {
+						row := stack[k]
+						pj := mt.RowMate[row]
+						mt.RowMate[row] = j
+						mt.ColMate[j] = row
+						dist[row] = inf
+						j = pj
+					}
+					mt.Size++
+					stack = stack[:0]
+					advanced = true
+					break
+				}
+				if dist[i2] == dist[i]+1 {
+					stack = append(stack, i2)
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				dist[i] = inf // dead end: prune for this phase
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	r.stack = stack
+	return true
+}
+
+// Run advances the refiner to the maximum matching and returns it.
+func (r *HKRefiner) Run() *Matching {
+	for r.Phase() {
+	}
+	return r.mt
+}
+
+// HopcroftKarp computes a maximum matching of the bipartite graph given by
+// a. init may be nil or a valid warm-start matching (it is copied, not
+// mutated). The returned matching is maximum regardless of the warm start;
+// a good warm start only reduces the number of phases. It is the one-shot
+// form of HKRefiner.
+func HopcroftKarp(a *sparse.CSR, init *Matching) *Matching {
+	return NewHKRefiner(a, init).Run()
 }
 
 // Sprank returns the maximum matching cardinality (structural rank) of a.

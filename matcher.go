@@ -59,6 +59,15 @@ type Matcher struct {
 	// (the winner's, for ensembles); bestKS tracks the leader mid-ensemble.
 	ksStats, bestKS KarpSipserStats
 
+	// ensSlots are the per-worker child arenas of parallel ensembles: when
+	// Run fans a best-of-K Spec out across the pool, worker w draws a
+	// width-1 Matcher for the bound graph from ensSlots[w] — the same
+	// shape-keyed recycling the batch engine's slots use, so a session that
+	// Resets across a stream of same-shaped graphs keeps its ensemble
+	// arenas warm too. Each slot is touched only by the worker that owns
+	// it for the duration of a parallel region.
+	ensSlots []arenaCache
+
 	// cancel is the cooperative cancellation hook threaded through every
 	// kernel stage; see setCancel.
 	cancel func() bool
@@ -133,6 +142,15 @@ func (m *Matcher) installScaling(sc *Scaling) {
 	m.sc, m.scErr = sc, nil
 	if m.sess != nil {
 		m.sess.SetScaling(sc.DR, sc.DC, sc.RowSums, sc.ColSums)
+	}
+}
+
+// growEnsembleSlots sizes the per-worker arena caches of parallel
+// ensembles before a fan-out region starts (workers must never grow the
+// slice concurrently). Existing slots keep their warm arenas.
+func (m *Matcher) growEnsembleSlots(width int) {
+	for len(m.ensSlots) < width {
+		m.ensSlots = append(m.ensSlots, arenaCache{})
 	}
 }
 

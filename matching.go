@@ -177,17 +177,24 @@ type MatchResult struct {
 	// KSStats reports the Karp–Sipser phase statistics when Algorithm was
 	// AlgKarpSipser (the winner's, for ensembles); nil otherwise.
 	KSStats *KarpSipserStats
-	// Candidates is the number of ensemble members actually run — 1 for
-	// single runs, possibly fewer than Spec.Ensemble when Spec.Target
-	// stopped the sweep early.
+	// Candidates is the number of ensemble members actually consumed — 1
+	// for single runs, possibly fewer than Spec.Ensemble when Spec.Target
+	// or the ensemble-aware refinement stopped the sweep early.
 	Candidates int
-	// WinnerSeed is the seed of the candidate that produced Matching
-	// (before refinement); for single runs, the resolved base seed.
+	// WinnerSeed is the seed of the candidate that produced Matching: the
+	// largest heuristic candidate for unrefined ensembles, the candidate
+	// the incremental refinement warm-started from for refined ones (a
+	// late candidate that can no longer beat the refined size is not the
+	// winner), and the resolved base seed for single runs.
 	WinnerSeed uint64
 	// HeuristicSize is the winning candidate's cardinality before
 	// refinement; with Refine: None it equals Matching.Size, and the gap
 	// Matching.Size − HeuristicSize is the work the exact solver added.
 	HeuristicSize int
+	// Refined reports whether a refinement stage ran (Spec.Refine was not
+	// RefineNone); it is the wire-level provenance bit cmd/matchserve
+	// surfaces as "refined".
+	Refined bool
 }
 
 // OneSidedMatch runs the OneSidedMatch heuristic (Algorithm 2):

@@ -34,8 +34,8 @@ var ErrServerClosed = errors.New("bipartite: server closed")
 // expires mid-run aborts them at the next cooperative checkpoint.
 //
 // Responses are as deterministic as MatchBatch's: a function of
-// (Graph, Op, Seed, Options) only, however requests are interleaved or
-// batched.
+// (Graph, Spec, Options) only — ensemble provenance included — however
+// requests are interleaved or batched.
 type Server struct {
 	engine   *batchEngine
 	maxBatch int

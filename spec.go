@@ -4,10 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cheap"
 	"repro/internal/exact"
 	"repro/internal/ks"
+	"repro/internal/par"
+	"repro/internal/sparse"
 )
 
 // Algorithm selects the matching heuristic a Spec runs. The zero value is
@@ -93,9 +97,19 @@ const (
 	// RefineExact augments the heuristic matching to maximum cardinality
 	// with Hopcroft–Karp — the paper's central application (§4, Table 3):
 	// the heuristic is a jump-start, the exact solver only pays for the
-	// rows the heuristic left free. The refined result always satisfies
+	// rows the heuristic left free. A refined single run always satisfies
+	// size == Sprank(); inside an ensemble, refinement proceeds
+	// incrementally between candidates and a Spec.Target may stop it early
+	// (size ≥ ⌈Target·SprankUpperBound()⌉), otherwise it too finishes at
 	// size == Sprank().
 	RefineExact
+	// RefinePushRelabel augments with the push-relabel / auction scheme
+	// instead (the algorithm family of the GPU and multicore
+	// maximum-transversal codes the paper cites) — the second augmentation
+	// family under the same Spec, with exactly RefineExact's contract. The
+	// two produce matchings of identical (maximum) size but generally
+	// different mates.
+	RefinePushRelabel
 
 	refineCount // sentinel; keep last
 )
@@ -107,6 +121,8 @@ func (r Refinement) String() string {
 		return "none"
 	case RefineExact:
 		return "exact"
+	case RefinePushRelabel:
+		return "pushrelabel"
 	default:
 		return "unknown"
 	}
@@ -120,6 +136,8 @@ func ParseRefinement(s string) (Refinement, error) {
 		return RefineNone, nil
 	case "exact":
 		return RefineExact, nil
+	case "pushrelabel", "push-relabel":
+		return RefinePushRelabel, nil
 	default:
 		return 0, fmt.Errorf("bipartite: unknown refinement %q", s)
 	}
@@ -141,23 +159,37 @@ type Spec struct {
 	Seed uint64
 
 	// Ensemble, when > 1, runs a best-of-K ensemble: K candidates with
-	// seeds Seed..Seed+K-1 share one scaling (and one workspace arena) and
-	// the largest matching wins, ties broken toward the smallest seed —
-	// the winner is deterministic wherever candidate sizes are
-	// (everywhere at Workers: 1; the scaled heuristics at any width —
-	// only AlgKarpSipserParallel's size is scheduling-dependent above one
-	// worker). 0 or 1 means a single run.
+	// seeds Seed..Seed+K-1 share one scaling and the largest matching
+	// wins, ties broken toward the smallest seed. On a session whose pool
+	// is wider than one worker the candidates fan out across the pool
+	// (each runs at width 1 on its own arena) unless Sequential is set;
+	// either way the candidates are consumed in seed order, so the winner
+	// — and, at Workers: 1 (or on the parallel path, at any width), the
+	// full matching — is deterministic. 0 or 1 means a single run.
 	Ensemble int
 
 	// Refine post-processes the winning heuristic matching; see
-	// RefineExact.
+	// RefineExact and RefinePushRelabel. Inside an ensemble the
+	// refinement is ensemble-aware: it advances incrementally as
+	// candidates arrive (warm-started from the best candidate so far) and
+	// the ensemble stops early once the refined size reaches the Target
+	// or structural sprank bound.
 	Refine Refinement
 
-	// Target, when > 0, stops the ensemble early: after any candidate the
-	// ensemble halts as soon as the best size so far reaches
-	// ⌈Target · SprankUpperBound()⌉. Must lie in (0, 1]. Ignored for
-	// single runs.
+	// Target, when > 0, stops the ensemble early: the sweep halts as soon
+	// as the best size so far — the refined size when Refine is set, the
+	// heuristic best otherwise — reaches ⌈Target · SprankUpperBound()⌉.
+	// With Refine set it also bounds the final refinement pass, so the
+	// returned matching may stop short of maximum once the target is met.
+	// Must lie in (0, 1]. Ignored for single runs.
 	Target float64
+
+	// Sequential, when true, forces an ensemble's candidates to run one
+	// after another on the session's own arena (at the session's full
+	// parallel width) instead of fanning out across the pool — the
+	// pre-fan-out behaviour, useful for benchmarking the two schedules
+	// against each other. Single runs ignore it.
+	Sequential bool
 }
 
 // errSpec tags Spec validation failures; matchserve maps them to 400s.
@@ -190,13 +222,29 @@ func (s Spec) Validate() error {
 //
 // Single runs (Ensemble <= 1, Refine: None) are bit-identical to the
 // legacy entry points at the same options and seed, and reuse the cached
-// scaling and workspaces like any session call. Ensembles run their K
-// candidates sequentially on the same arena — one scaling, near-zero
-// allocations beyond the winner copy — and report the deterministic winner
-// in MatchResult.WinnerSeed. RefineExact completes the winner to maximum
-// cardinality with Hopcroft–Karp; the refined matching is freshly
-// allocated (it does not alias the session), while unrefined results
-// follow the usual Matcher aliasing contract.
+// scaling and workspaces like any session call.
+//
+// Ensembles consume their K candidates strictly in seed order over one
+// shared scaling. On a session whose pool is wider than one worker (and
+// with Spec.Sequential unset) the candidates fan out across the pool —
+// one width-1 run per candidate on per-worker shape-keyed arenas — and the
+// consumption order still makes the winner (size-then-seed) bit-identical
+// to the sequential sweep; because every candidate runs at width 1, the
+// parallel path's full matchings are deterministic at any pool width,
+// matching the sequential sweep at Workers: 1. MatchResult reports the
+// winner's provenance (WinnerSeed, Candidates, HeuristicSize) and, for
+// AlgKarpSipser, the winner's phase statistics.
+//
+// Refinement completes the winner toward maximum cardinality with
+// Hopcroft–Karp (RefineExact) or push-relabel (RefinePushRelabel). For
+// single runs the refined matching always satisfies size == Sprank().
+// Inside an ensemble the refinement is ensemble-aware: it advances one
+// bounded unit per consumed candidate, warm-starting from the best
+// heuristic so far, and the ensemble stops the moment the refined size
+// reaches the Target or structural sprank bound — jump-start workloads
+// stop paying for candidates they no longer need. Refined matchings are
+// freshly allocated (they do not alias the session), while unrefined
+// results follow the usual Matcher aliasing contract.
 //
 // Cancellation (the batch layer's per-request deadlines) is honored
 // between and inside candidate runs at the kernels' usual checkpoints;
@@ -214,64 +262,320 @@ func (m *Matcher) Run(spec Spec) (*MatchResult, error) {
 			return nil, err
 		}
 	}
-	k := spec.Ensemble
-	if k < 1 {
-		k = 1
-	}
 	base := m.seed(spec.Seed)
-	target := 0
-	if k > 1 && spec.Target > 0 {
-		target = int(math.Ceil(spec.Target * float64(m.g.SprankUpperBound())))
+	if spec.Ensemble <= 1 {
+		return m.runSingle(spec, base, sc)
 	}
+	return m.runEnsemble(spec, base, sc)
+}
 
-	var best *Matching
-	winner := base
-	ran := 0
-	for c := 0; c < k; c++ {
-		seed := base + uint64(c)
-		mt, err := m.runOnce(spec.Algorithm, seed)
-		if err != nil {
-			return nil, err
-		}
-		ran++
-		if k == 1 {
-			best = mt
-			break
-		}
-		// Strict improvement only: ties keep the earliest seed, which
-		// makes the winner deterministic (sizes are deterministic at any
-		// width, so the comparison sequence is too).
-		if best == nil || mt.Size > best.Size {
-			m.copyBest(mt)
-			best = &m.best
-			winner = seed
-			if spec.Algorithm == AlgKarpSipser {
-				m.bestKS = m.ksStats
-			}
-		}
-		if target > 0 && best.Size >= target {
-			break
-		}
+// runSingle executes a non-ensemble Spec: one candidate, optionally
+// refined to maximum cardinality.
+func (m *Matcher) runSingle(spec Spec, seed uint64, sc *Scaling) (*MatchResult, error) {
+	best, err := m.runOnce(spec.Algorithm, seed)
+	if err != nil {
+		return nil, err
 	}
-	if k > 1 && spec.Algorithm == AlgKarpSipser {
-		m.ksStats = m.bestKS // report the winner's phase stats, not the last candidate's
-	}
-
 	heuristic := best.Size
-	if spec.Refine == RefineExact {
+	switch spec.Refine {
+	case RefineExact:
 		best = exact.HopcroftKarp(m.g.a, best)
+	case RefinePushRelabel:
+		best = exact.PushRelabel(m.g.a, best)
 	}
 	m.result = MatchResult{
 		Matching:      best,
 		Scaling:       sc,
-		Candidates:    ran,
-		WinnerSeed:    winner,
+		Candidates:    1,
+		WinnerSeed:    seed,
 		HeuristicSize: heuristic,
+		Refined:       spec.Refine != RefineNone,
 	}
 	if spec.Algorithm == AlgKarpSipser {
 		m.result.KSStats = &m.ksStats
 	}
 	return &m.result, nil
+}
+
+// runEnsemble executes a best-of-K Spec: the candidates run sequentially
+// on the session arena or fan out across the pool, and either way their
+// results are consumed strictly in seed order by one ensembleRun state
+// machine — which is what makes the two schedules agree bit for bit.
+func (m *Matcher) runEnsemble(spec Spec, base uint64, sc *Scaling) (*MatchResult, error) {
+	e := ensembleRun{m: m, spec: spec, base: base, k: spec.Ensemble}
+	if spec.Refine != RefineNone || spec.Target > 0 {
+		e.ub = m.g.SprankUpperBound()
+		if spec.Target > 0 {
+			bound := int(math.Ceil(spec.Target * float64(e.ub)))
+			if spec.Refine == RefineNone {
+				e.targetH = bound
+			} else {
+				e.targetR = bound
+			}
+		}
+	}
+	pool, width := m.ensembleWidth(e.k)
+	if spec.Sequential || width <= 1 {
+		e.runSequential()
+	} else {
+		e.runParallel(pool, width, sc)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	final := &m.best
+	if spec.Refine != RefineNone {
+		if !e.hitTarget {
+			// Complete the refinement — up to the target when one is set,
+			// to the maximum otherwise (the RefineExact guarantee). A size
+			// already at the structural bound is provably maximum, so the
+			// loop never pays a fruitless final sweep for it.
+			for e.refiner.Size() < e.ub && (e.targetR == 0 || e.refiner.Size() < e.targetR) && e.refiner.Advance() {
+			}
+		}
+		final = e.refiner.Result()
+	}
+	if spec.Algorithm == AlgKarpSipser {
+		m.ksStats = m.bestKS // report the winner's phase stats, not the last candidate's
+	}
+	m.result = MatchResult{
+		Matching:      final,
+		Scaling:       sc,
+		Candidates:    e.consumed,
+		WinnerSeed:    e.winner,
+		HeuristicSize: e.heuristic,
+		Refined:       spec.Refine != RefineNone,
+	}
+	if spec.Algorithm == AlgKarpSipser {
+		m.result.KSStats = &m.ksStats
+	}
+	return &m.result, nil
+}
+
+// ensembleWidth resolves the pool and fan-out width of an ensemble run:
+// the session's pool (or the process default), its width capped by
+// Options.Workers and the candidate count. Width 1 means the candidates
+// run sequentially on the session arena.
+func (m *Matcher) ensembleWidth(k int) (*par.Pool, int) {
+	pool := m.opt.Pool.inner()
+	if pool == nil {
+		pool = par.Default()
+	}
+	width := pool.Workers(m.opt.Workers)
+	if width > pool.Width() {
+		width = pool.Width()
+	}
+	if width > k {
+		width = k
+	}
+	return pool, width
+}
+
+// candResult is one ensemble candidate's outcome, as handed to the
+// consumption state machine: the matching (aliasing the producing arena on
+// the sequential path, an owned copy on the parallel path), the
+// Karp–Sipser phase statistics when that kernel ran, and the kernel error.
+type candResult struct {
+	mt   *Matching
+	st   KarpSipserStats
+	err  error
+	done bool
+}
+
+// ensembleRun is the consumption state of one best-of-K ensemble. Both
+// execution schedules feed it the same way — candidate results enter
+// consume strictly in seed order — so every decision it takes (strict
+// improvement, refinement advances, early stops) is a deterministic
+// function of the candidate results alone, never of completion order or
+// pool width. On the parallel path the state is guarded by mu, and stop
+// doubles as the lock-free cancellation hook that keeps unneeded
+// candidates from starting.
+type ensembleRun struct {
+	m    *Matcher
+	spec Spec
+	base uint64
+	k    int
+
+	ub      int // structural sprank upper bound (refine or target runs)
+	targetH int // heuristic early-stop bound (Refine: None)
+	targetR int // refined early-stop bound (Refine set)
+
+	mu        sync.Mutex
+	stop      atomic.Bool
+	frontier  int
+	consumed  int
+	err       error
+	bestSet   bool
+	bestSize  int
+	winner    uint64
+	heuristic int
+	hitTarget bool
+	refiner   specRefiner
+	refDone   bool
+}
+
+// consume folds the next candidate (in seed order) into the ensemble
+// state: strict-improvement winner tracking, one incremental refinement
+// advance, and the early-stop decisions.
+//
+// The reported winner is the candidate the returned matching derives
+// from. Without refinement that is the strict-improvement best (ties keep
+// the earliest seed, which makes the winner deterministic — sizes are
+// deterministic at any width, so the comparison sequence is too). With
+// refinement it is the refiner's current warm start: a later candidate
+// that improves the heuristic best but can no longer beat the refined
+// size contributes nothing to the final matching, so it must not claim
+// WinnerSeed/HeuristicSize — the wire contract is that
+// size − heuristic_size is exactly the work the refinement added.
+func (e *ensembleRun) consume(res candResult) {
+	c := e.frontier
+	e.frontier++
+	if res.err != nil {
+		e.err = res.err
+		e.stop.Store(true)
+		return
+	}
+	e.consumed++
+	m := e.m
+	improved := !e.bestSet || res.mt.Size > e.bestSize
+	if improved {
+		e.bestSet = true
+		e.bestSize = res.mt.Size
+	}
+	if e.spec.Refine == RefineNone {
+		if improved {
+			m.copyBest(res.mt)
+			e.winner = e.base + uint64(c)
+			e.heuristic = res.mt.Size
+			if e.spec.Algorithm == AlgKarpSipser {
+				m.bestKS = res.st
+			}
+		}
+		if e.targetH > 0 && e.bestSize >= e.targetH {
+			e.hitTarget = true
+			e.stop.Store(true)
+		}
+		return
+	}
+	// Ensemble-aware refinement: keep one incremental refiner warm-started
+	// from the best heuristic so far (restarted when a candidate strictly
+	// beats the refined size, at which point that candidate becomes the
+	// provenance anchor), advance it one bounded unit per candidate, and
+	// stop the ensemble the moment the refined size proves the target or
+	// the structural bound — or the refiner reports the matching maximum,
+	// after which further candidates cannot improve the final size.
+	if e.refiner == nil || (improved && e.bestSize > e.refiner.Size()) {
+		e.refiner = newSpecRefiner(e.spec.Refine, m.g.a, res.mt)
+		e.refDone = false
+		e.winner = e.base + uint64(c)
+		e.heuristic = res.mt.Size
+		if e.spec.Algorithm == AlgKarpSipser {
+			m.bestKS = res.st
+		}
+	}
+	if !e.refDone && !e.refiner.Advance() {
+		e.refDone = true
+	}
+	size := e.refiner.Size()
+	switch {
+	case e.targetR > 0 && size >= e.targetR:
+		e.hitTarget = true
+		e.stop.Store(true)
+	case e.refDone || size >= e.ub:
+		e.stop.Store(true)
+	}
+}
+
+// runSequential drives the candidates one after another on the session's
+// own arena, at the session's full parallel width — the pre-fan-out
+// schedule, and the one batch slots (width 1) always use.
+func (e *ensembleRun) runSequential() {
+	m := e.m
+	for c := 0; c < e.k && !e.stop.Load(); c++ {
+		mt, err := m.runOnce(e.spec.Algorithm, e.base+uint64(c))
+		e.consume(candResult{mt: mt, st: m.ksStats, err: err})
+	}
+}
+
+// runParallel fans the candidates out across the pool: each worker slot
+// owns a shape-keyed width-1 arena (the batch engine's recycling), claims
+// candidates off a dynamic schedule, and hands owned copies of the results
+// to the seed-ordered consumption loop. Candidates past a stop decision
+// never start (the claim loop polls stop); candidates already in flight
+// when the ensemble stops finish and are discarded unread, which is what
+// keeps the outcome independent of completion order.
+func (e *ensembleRun) runParallel(pool *par.Pool, width int, sc *Scaling) {
+	m := e.m
+	m.growEnsembleSlots(width)
+	opt := m.opt
+	opt.Workers = 1
+	opt.Pool = nil // width-1 arenas run inline; no pool needed
+	results := make([]candResult, e.k)
+	pool.ForCancel(e.k, width, par.Dynamic, 1, e.stop.Load, func(w, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			child := m.ensSlots[w].get(m.g, opt)
+			child.setCancel(m.cancel)
+			if sc != nil {
+				child.installScaling(sc)
+			}
+			mt, err := child.runOnce(e.spec.Algorithm, e.base+uint64(c))
+			res := candResult{err: err, done: true}
+			if err == nil {
+				// Own the result: the arena's buffers are overwritten by
+				// the worker's next candidate, and consumption may happen
+				// on another worker's goroutine.
+				res.mt = cloneMatching(mt)
+				res.st = child.ksStats
+			}
+			e.mu.Lock()
+			results[c] = res
+			for e.frontier < e.k && !e.stop.Load() && results[e.frontier].done {
+				e.consume(results[e.frontier])
+			}
+			e.mu.Unlock()
+		}
+	})
+}
+
+// specRefiner is the incremental engine behind ensemble-aware refinement:
+// Advance performs one bounded unit of augmentation work (a Hopcroft–Karp
+// phase, a push-relabel bid budget) and reports whether the matching may
+// still be improvable; Result exposes the refined matching, which is valid
+// between advances and whose size is monotone.
+type specRefiner interface {
+	Advance() bool
+	Size() int
+	Result() *Matching
+}
+
+type hkSpecRefiner struct{ *exact.HKRefiner }
+
+func (r hkSpecRefiner) Advance() bool     { return r.Phase() }
+func (r hkSpecRefiner) Result() *Matching { return r.Matching() }
+
+type prSpecRefiner struct {
+	r      *exact.PRRefiner
+	budget int
+}
+
+func (r prSpecRefiner) Advance() bool     { return r.r.Step(r.budget) }
+func (r prSpecRefiner) Size() int         { return r.r.Size() }
+func (r prSpecRefiner) Result() *Matching { return r.r.Matching() }
+
+// newSpecRefiner builds the incremental refiner of the given family,
+// warm-started from a copy of init. The push-relabel advance budget is one
+// bid per row — roughly one sweep of work per unit, the granularity a
+// Hopcroft–Karp phase has naturally.
+func newSpecRefiner(ref Refinement, a *sparse.CSR, init *Matching) specRefiner {
+	if ref == RefinePushRelabel {
+		budget := a.RowsN
+		if budget < 1 {
+			budget = 1
+		}
+		return prSpecRefiner{r: exact.NewPRRefiner(a, init), budget: budget}
+	}
+	return hkSpecRefiner{exact.NewHKRefiner(a, init)}
 }
 
 // runOnce dispatches a single candidate run of the given algorithm. The

@@ -2,6 +2,7 @@ package bipartite
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -114,23 +115,28 @@ func TestSpecRefineExactReachesSprank(t *testing.T) {
 	}{"road-1000", RoadNetwork(1000, 2.5, 4)})
 	for _, tc := range families {
 		sprank := tc.g.Sprank()
-		for _, alg := range []Algorithm{AlgTwoSided, AlgOneSided, AlgKarpSipser, AlgCheapVertex} {
-			res, err := tc.g.Match(Spec{Algorithm: alg, Seed: 3, Refine: RefineExact}, &Options{ScalingIterations: 5})
-			if err != nil {
-				t.Fatalf("%s/%s: %v", tc.name, alg, err)
-			}
-			if res.Matching.Size != sprank {
-				t.Fatalf("%s/%s: refined size %d want sprank %d", tc.name, alg, res.Matching.Size, sprank)
-			}
-			if err := tc.g.ValidateMatching(res.Matching); err != nil {
-				t.Fatalf("%s/%s: %v", tc.name, alg, err)
-			}
-			if !tc.g.CertifyMaximum(res.Matching) {
-				t.Fatalf("%s/%s: refined matching fails the König certificate", tc.name, alg)
-			}
-			if res.HeuristicSize > res.Matching.Size {
-				t.Fatalf("%s/%s: heuristic size %d exceeds refined size %d",
-					tc.name, alg, res.HeuristicSize, res.Matching.Size)
+		for _, ref := range []Refinement{RefineExact, RefinePushRelabel} {
+			for _, alg := range []Algorithm{AlgTwoSided, AlgOneSided, AlgKarpSipser, AlgCheapVertex} {
+				res, err := tc.g.Match(Spec{Algorithm: alg, Seed: 3, Refine: ref}, &Options{ScalingIterations: 5})
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", tc.name, alg, ref, err)
+				}
+				if res.Matching.Size != sprank {
+					t.Fatalf("%s/%s/%s: refined size %d want sprank %d", tc.name, alg, ref, res.Matching.Size, sprank)
+				}
+				if err := tc.g.ValidateMatching(res.Matching); err != nil {
+					t.Fatalf("%s/%s/%s: %v", tc.name, alg, ref, err)
+				}
+				if !tc.g.CertifyMaximum(res.Matching) {
+					t.Fatalf("%s/%s/%s: refined matching fails the König certificate", tc.name, alg, ref)
+				}
+				if res.HeuristicSize > res.Matching.Size {
+					t.Fatalf("%s/%s/%s: heuristic size %d exceeds refined size %d",
+						tc.name, alg, ref, res.HeuristicSize, res.Matching.Size)
+				}
+				if !res.Refined {
+					t.Fatalf("%s/%s/%s: Refined flag not set", tc.name, alg, ref)
+				}
 			}
 		}
 	}
@@ -332,6 +338,24 @@ func TestSpecBatchEnsembleRefine(t *testing.T) {
 	if n := scales.Load(); n != 1 {
 		t.Fatalf("batched ensembles: %d scaling runs for one graph, want 1", n)
 	}
+	// The Response carries the engine's provenance: refined requests are
+	// flagged, ensemble winners report their seed and candidate count, and
+	// unrefined responses have HeuristicSize == Matching.Size.
+	if !out[0].Refined || !out[2].Refined || out[1].Refined {
+		t.Fatalf("Refined flags (%v, %v, %v) want (true, false, true)",
+			out[0].Refined, out[1].Refined, out[2].Refined)
+	}
+	if out[1].WinnerSeed < 5 || out[1].WinnerSeed > 8 || out[1].Candidates < 1 || out[1].Candidates > 4 {
+		t.Fatalf("ensemble response provenance: winner seed %d, candidates %d", out[1].WinnerSeed, out[1].Candidates)
+	}
+	if out[1].HeuristicSize != out[1].Matching.Size {
+		t.Fatalf("unrefined response: heuristic size %d != matching size %d",
+			out[1].HeuristicSize, out[1].Matching.Size)
+	}
+	if out[2].Candidates != 1 || out[2].WinnerSeed != 9 || out[2].HeuristicSize > out[2].Matching.Size {
+		t.Fatalf("refined single response provenance: (%d, %d, %d)",
+			out[2].Candidates, out[2].WinnerSeed, out[2].HeuristicSize)
+	}
 }
 
 // TestSpecServerDropGraph gates the registry→engine eviction callback:
@@ -372,5 +396,178 @@ func TestSpecErrorsAreTagged(t *testing.T) {
 	}
 	if errors.Is(err, ErrCanceled) {
 		t.Fatalf("validation error aliases ErrCanceled: %v", err)
+	}
+}
+
+// TestSpecEnsembleParallelBitIdentical gates this PR's acceptance
+// criterion: the parallel ensemble path (candidates fanned out across the
+// pool, one width-1 arena per worker) returns a bit-identical result to
+// the sequential path at any pool width — same mates, same winner seed,
+// same candidate count, same heuristic size, same Karp–Sipser phase
+// statistics — across algorithms, refinements and early-stop targets. The
+// sequential reference runs at Workers: 1, which is the width the parallel
+// path's candidates run at by construction.
+func TestSpecEnsembleParallelBitIdentical(t *testing.T) {
+	g := RandomER(900, 900, 4, 13)
+	specs := []Spec{
+		{Algorithm: AlgTwoSided, Seed: 1, Ensemble: 8},
+		{Algorithm: AlgTwoSided, Seed: 3, Ensemble: 8, Target: 0.9},
+		{Algorithm: AlgTwoSided, Seed: 5, Ensemble: 6, Refine: RefineExact},
+		{Algorithm: AlgOneSided, Seed: 2, Ensemble: 8, Refine: RefinePushRelabel},
+		{Algorithm: AlgOneSided, Seed: 4, Ensemble: 8, Refine: RefineExact, Target: 0.97},
+		{Algorithm: AlgKarpSipser, Seed: 1, Ensemble: 5},
+		{Algorithm: AlgKarpSipserParallel, Seed: 7, Ensemble: 4},
+		{Algorithm: AlgCheapVertex, Seed: 9, Ensemble: 8, Target: 0.6},
+	}
+	for _, spec := range specs {
+		seq := spec
+		seq.Sequential = true
+		want, err := g.NewMatcher(&Options{ScalingIterations: 5, Workers: 1}).Run(seq)
+		if err != nil {
+			t.Fatalf("%+v sequential: %v", spec, err)
+		}
+		wantMt := cloneMatching(want.Matching)
+		for _, width := range []int{2, 3, 8} {
+			pool := NewPool(width)
+			m := g.NewMatcher(&Options{ScalingIterations: 5, Pool: pool})
+			got, err := m.Run(spec)
+			if err != nil {
+				t.Fatalf("%+v width %d: %v", spec, width, err)
+			}
+			cmpMates(t, fmt.Sprintf("%v/%v width %d", spec.Algorithm, spec.Refine, width), got.Matching, wantMt)
+			if got.WinnerSeed != want.WinnerSeed || got.Candidates != want.Candidates ||
+				got.HeuristicSize != want.HeuristicSize || got.Refined != want.Refined {
+				t.Fatalf("%+v width %d: provenance (%d, %d, %d, %v) want (%d, %d, %d, %v)", spec, width,
+					got.WinnerSeed, got.Candidates, got.HeuristicSize, got.Refined,
+					want.WinnerSeed, want.Candidates, want.HeuristicSize, want.Refined)
+			}
+			if spec.Algorithm == AlgKarpSipser && *got.KSStats != *want.KSStats {
+				t.Fatalf("%+v width %d: KS stats %+v want %+v", spec, width, *got.KSStats, *want.KSStats)
+			}
+			pool.Close()
+		}
+	}
+}
+
+// TestSpecEnsembleParallelWinnerStats gates the winner-stats satellite: on
+// the parallel path, MatchResult reflects the *winner's* Karp–Sipser phase
+// statistics (not the last candidate's, not a mixture), and a parallel
+// TwoSided ensemble on a cold session still performs exactly one scaling
+// run — the candidates share the session's cached scaling via their
+// per-worker arenas.
+func TestSpecEnsembleParallelWinnerStats(t *testing.T) {
+	g := HardForKarpSipser(300, 5) // KS sizes spread out by seed here
+	const k = 6
+
+	// The expected winner, computed the slow way from individual runs.
+	bestSize, bestSeed := -1, uint64(0)
+	var wantStats KarpSipserStats
+	for s := uint64(1); s <= k; s++ {
+		mt, st := g.KarpSipser(s)
+		if mt.Size > bestSize {
+			bestSize, bestSeed, wantStats = mt.Size, s, st
+		}
+	}
+
+	pool := NewPool(4)
+	defer pool.Close()
+	res, err := g.NewMatcher(&Options{Pool: pool}).Run(Spec{Algorithm: AlgKarpSipser, Seed: 1, Ensemble: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matching.Size != bestSize || res.WinnerSeed != bestSeed {
+		t.Fatalf("parallel KS ensemble winner (size %d, seed %d) want (size %d, seed %d)",
+			res.Matching.Size, res.WinnerSeed, bestSize, bestSeed)
+	}
+	if res.KSStats == nil || *res.KSStats != wantStats {
+		t.Fatalf("parallel KS ensemble stats %+v want winner's %+v", res.KSStats, wantStats)
+	}
+
+	// Scaling economy on the parallel path: one cold best-of-8 TwoSided
+	// ensemble = exactly one scaling run, shared by every worker arena.
+	g2 := RandomER(800, 800, 4, 77)
+	scales := countScaleRuns(t)
+	res2, err := g2.NewMatcher(&Options{ScalingIterations: 5, Pool: pool}).Run(Spec{Seed: 1, Ensemble: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := scales.Load(); n != 1 {
+		t.Fatalf("parallel best-of-8 on a cold matcher: %d scaling runs, want exactly 1", n)
+	}
+	if res2.Scaling == nil {
+		t.Fatal("parallel ensemble result carries no scaling")
+	}
+	if res2.Candidates != 8 {
+		t.Fatalf("Candidates = %d, want 8 (no target set)", res2.Candidates)
+	}
+}
+
+// TestSpecEnsembleRefineIncremental pins the ensemble-aware refinement
+// semantics: on a graph with total support (sprank == its structural upper
+// bound) the incremental refinement saturates the bound and stops the
+// ensemble before all K candidates run; on a rank-deficient graph the
+// refiner proves maximality below the bound and stops too — in both cases
+// the final matching is maximum, keeping the RefineExact contract.
+func TestSpecEnsembleRefineIncremental(t *testing.T) {
+	for _, ref := range []Refinement{RefineExact, RefinePushRelabel} {
+		full := FullyIndecomposable(600, 2, 7) // sprank == 600 == upper bound
+		res, err := full.Match(Spec{Seed: 1, Ensemble: 8, Refine: ref},
+			&Options{ScalingIterations: 5, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matching.Size != full.Sprank() {
+			t.Fatalf("%v: refined size %d want sprank %d", ref, res.Matching.Size, full.Sprank())
+		}
+		if res.Candidates >= 8 {
+			t.Fatalf("%v: refinement saturated the structural bound but all %d candidates ran", ref, res.Candidates)
+		}
+		if err := full.ValidateMatching(res.Matching); err != nil {
+			t.Fatal(err)
+		}
+		// Provenance anchor: the reported winner is the candidate the
+		// refinement warm-started from, so replaying its seed as a single
+		// unrefined run must reproduce HeuristicSize exactly.
+		replay, err := full.Match(Spec{Seed: res.WinnerSeed},
+			&Options{ScalingIterations: 5, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replay.Matching.Size != res.HeuristicSize {
+			t.Fatalf("%v: winner seed %d replays to size %d, but HeuristicSize is %d",
+				ref, res.WinnerSeed, replay.Matching.Size, res.HeuristicSize)
+		}
+
+		deficient := RoadNetwork(900, 2.5, 4) // sprank < upper bound
+		res, err = deficient.Match(Spec{Seed: 1, Ensemble: 8, Refine: ref},
+			&Options{ScalingIterations: 5, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Matching.Size != deficient.Sprank() {
+			t.Fatalf("%v deficient: refined size %d want sprank %d", ref, res.Matching.Size, deficient.Sprank())
+		}
+		if !deficient.CertifyMaximum(res.Matching) {
+			t.Fatalf("%v deficient: refined matching fails the König certificate", ref)
+		}
+	}
+
+	// A Target under the refined path bounds the refinement itself: the
+	// returned matching clears ⌈Target·UB⌉ but the sweep stops right there.
+	g := RandomER(1000, 1000, 4, 23)
+	res, err := g.Match(Spec{Seed: 1, Ensemble: 8, Refine: RefineExact, Target: 0.5},
+		&Options{ScalingIterations: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (g.SprankUpperBound() + 1) / 2
+	if res.Matching.Size < want {
+		t.Fatalf("refined target run: size %d below target bound %d", res.Matching.Size, want)
+	}
+	if res.Candidates != 1 {
+		t.Fatalf("refined target 0.5: ran %d candidates, want 1", res.Candidates)
+	}
+	if err := g.ValidateMatching(res.Matching); err != nil {
+		t.Fatal(err)
 	}
 }
