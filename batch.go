@@ -6,8 +6,11 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/par"
+	"repro/internal/scale"
+	"repro/internal/watchdog"
 )
 
 // Op selects the heuristic a batched matching request runs.
@@ -90,14 +93,25 @@ type Request struct {
 	Seed uint64
 	// Ctx, when non-nil, carries the request's deadline and cancellation:
 	// an already-expired context is answered with its error before any
-	// kernel runs, and a context that expires mid-run aborts the sampling
-	// and Karp–Sipser kernels at their next cooperative checkpoint (chunk
-	// granularity) — the response then carries ctx.Err(). The shared
-	// per-graph scaling is the one uncancellable stage (see the package
-	// serving contract): a deadline expiring during a cold graph's
-	// scaling is honored right after it. A nil Ctx never cancels, exactly
-	// the pre-deadline behaviour.
+	// kernel runs, and a context that expires mid-run aborts the scaling,
+	// sampling and Karp–Sipser kernels at their next cooperative
+	// checkpoint (chunk granularity) — the response then carries
+	// ctx.Err(). A deadline expiring while this request computes a cold
+	// graph's shared scaling aborts that scaling too, and the shared cell
+	// stays retryable: the graph's next request recomputes it (see the
+	// package serving contract). A nil Ctx never cancels, exactly the
+	// pre-deadline behaviour.
 	Ctx context.Context
+	// Priority ranks the request for admission when a Server's watchdog
+	// reports the process hot: PriorityLow is shed first, PriorityHigh
+	// last. The zero value is PriorityNormal. Ignored by MatchBatch,
+	// which has no admission stage.
+	Priority Priority
+	// Client identifies the submitter for the Server's per-client rate
+	// limiting; the empty string bypasses the limiter (callers that want
+	// fairness must name their clients — cmd/matchserve uses the X-Client
+	// header, falling back to the connection's remote address).
+	Client string
 }
 
 // effectiveSpec resolves the request's Spec, folding the deprecated Op and
@@ -136,7 +150,14 @@ type Response struct {
 	// Refined reports whether a refinement stage ran (Spec.Refine was not
 	// RefineNone).
 	Refined bool
-	Err     error
+	// Degraded, when non-empty, records the self-protection downgrades
+	// the engine applied before running the Spec (e.g.
+	// "refine:exact->none,best_of:8->2"): the response was computed under
+	// load shedding and carries the heuristic's quality bound instead of
+	// whatever the full Spec guaranteed. Empty means the Spec ran exactly
+	// as requested.
+	Degraded string
+	Err      error
 }
 
 // ErrNilGraph reports a batched request without a graph.
@@ -177,12 +198,18 @@ const engineScaleCap = 256
 // traffic brings more shapes than that.
 const slotArenaCap = 4
 
-// scaleCell is the per-graph scaling once-cell: the first slot that needs
-// graph g's scaling computes it (one pool-wide Sinkhorn–Knopp run), every
-// other slot blocks on the cell and shares the result — W batch slots pay
-// one scaling per graph instead of W.
+// scaleCell is the per-graph scaling cell: the first slot that needs
+// graph g's scaling computes it, every other slot blocks on the cell's
+// mutex and shares the result — W batch slots pay one scaling per graph
+// instead of W. Unlike a sync.Once, the cell is *retryable*: a compute
+// aborted by the triggering request's deadline leaves done unset, so the
+// graph's next request simply computes the scaling itself instead of
+// inheriting a poisoned cell forever (the pre-PR-6 behaviour was worse
+// still — the scaling was uncancellable, so a 1ms deadline on a cold
+// 10M-edge graph pinned a slot for the whole run).
 type scaleCell struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	sc   *Scaling
 	err  error
 	last uint64 // LRU tick; guarded by the engine mutex
@@ -254,6 +281,17 @@ type batchEngine struct {
 	tick   uint64
 	scales map[*Graph]*scaleCell
 
+	// shed, when non-nil, reports the owning Server's watchdog level before
+	// each request runs; serve downgrades the Spec per the degradation
+	// ladder (degradeSpec) and stamps the marker into the response. nil —
+	// every MatchBatch engine and every Server without a watchdog — means
+	// full service, bit-for-bit the pre-watchdog behaviour.
+	shed func() watchdog.Level
+	// svc, when non-nil, accumulates per-class service-time EWMAs for the
+	// Server's would-miss admission check.
+	svc      *svcStats
+	degraded atomic.Int64
+
 	next atomic.Int64
 	reqs []Request
 	out  []Response
@@ -262,7 +300,7 @@ type batchEngine struct {
 
 func newBatchEngine(opt *Options) *batchEngine {
 	v := opt.normalized()
-	e := &batchEngine{opt: v, scales: make(map[*Graph]*scaleCell)}
+	e := &batchEngine{opt: v, scales: make(map[*Graph]*scaleCell), svc: newSvcStats()}
 	e.slotOpt = v
 	e.slotOpt.Workers = 1
 	e.slotOpt.Pool = nil // width-1 sessions run inline; no pool needed
@@ -288,12 +326,20 @@ func newBatchEngine(opt *Options) *batchEngine {
 }
 
 // sharedScaling returns graph g's scaling under the engine options,
-// computing it exactly once per graph (however many slots ask, from
-// however many batches) and serving every later request from the cell.
-// The scaling is seed-independent and — per the package determinism
-// contract — bit-identical at every parallel width, so sharing one run
-// preserves each response bit for bit.
-func (e *batchEngine) sharedScaling(g *Graph) (*Scaling, error) {
+// computing it once per graph (however many slots ask, from however many
+// batches) and serving every later request from the cell. The scaling is
+// seed-independent and — per the package determinism contract —
+// bit-identical at every parallel width, so sharing one run preserves
+// each response bit for bit.
+//
+// cancel, when non-nil, is the triggering request's cancellation hook:
+// the compute aborts at the scaling kernel's next sweep boundary once it
+// fires, the request fails with ErrCanceled, and the cell stays
+// *retryable* — the graph's next request computes the scaling itself
+// (exactly one fresh run, not one per parked waiter: the waiters
+// re-check done under the cell lock). Only a completed run — success or
+// a real kernel error — latches the cell.
+func (e *batchEngine) sharedScaling(g *Graph, cancel func() bool) (*Scaling, error) {
 	e.mu.Lock()
 	c := e.scales[g]
 	if c == nil {
@@ -313,32 +359,51 @@ func (e *batchEngine) sharedScaling(g *Graph) (*Scaling, error) {
 	e.tick++
 	c.last = e.tick
 	e.mu.Unlock()
-	// The compute runs outside the lock: concurrent slots wanting the same
-	// graph park on the once, slots wanting other graphs proceed. It is
-	// deliberately uncancellable — the result is shared infrastructure for
-	// every later request of the graph, not work owned by the triggering
-	// request — and it runs inline at width 1, never dispatching to the
-	// pool: a nested region here could steal back a queued batch-slot task
-	// that blocks on this very once (the pool's steal-back waits make
-	// blocking under a once reentrancy-unsafe), and width 1 is also
-	// exactly the width the per-slot arenas used to scale at, so responses
-	// stay bit-for-bit.
-	c.once.Do(func() {
-		sopt := e.opt
-		sopt.Workers = 1
-		sopt.Pool = nil
-		c.sc, c.err = g.Scale(&sopt)
-	})
-	return c.sc, c.err
+	// The compute runs outside the engine lock: concurrent slots wanting
+	// the same graph park on the cell's mutex, slots wanting other graphs
+	// proceed. It runs inline at width 1, never dispatching to the pool: a
+	// nested region here could steal back a queued batch-slot task that
+	// blocks on this very cell (the pool's steal-back waits make blocking
+	// under the cell reentrancy-unsafe), and width 1 is also exactly the
+	// width the per-slot arenas used to scale at, so responses stay
+	// bit-for-bit. A parked waiter is not cancellable while it waits — the
+	// computing slot's own deadline bounds that wait, and a canceled
+	// computer hands the cell to the waiter, which then runs under its own
+	// cancel hook.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return c.sc, c.err
+	}
+	res, err := g.scaleRaw(e.slotOpt, nil, cancel)
+	if err != nil {
+		if errors.Is(err, scale.ErrCanceled) {
+			// The triggering request's deadline fired mid-scaling. That is
+			// the request's failure, not the graph's: leave done unset so
+			// the next request retries instead of inheriting a poisoned
+			// cell.
+			return nil, ErrCanceled
+		}
+		c.done, c.err = true, err
+		return nil, err
+	}
+	c.done = true
+	c.sc = &Scaling{DR: res.DR, DC: res.DC, Iterations: res.Iters, Error: res.Err,
+		History: res.History, RowSums: res.RSum, ColSums: res.CSum}
+	return c.sc, nil
 }
 
-// dropGraph evicts graph g's cached scaling (if any). A slot that already
-// holds the cell keeps using it — eviction only makes the next request of
-// the graph recompute — so the call is safe at any moment.
+// dropGraph evicts graph g's cached scaling (if any) and its service-time
+// classes. A slot that already holds the cell keeps using it — eviction
+// only makes the next request of the graph recompute — so the call is
+// safe at any moment.
 func (e *batchEngine) dropGraph(g *Graph) {
 	e.mu.Lock()
 	delete(e.scales, g)
 	e.mu.Unlock()
+	if e.svc != nil {
+		e.svc.dropGraph(g)
+	}
 }
 
 // arena returns slot w's Matcher for graph g from the slot's shape-keyed
@@ -363,9 +428,13 @@ func (e *batchEngine) run(reqs []Request, out []Response) {
 }
 
 // serve runs request i on slot w's arena: the effective Spec is resolved
-// and validated first, an expired context is answered before any kernel
-// runs, a live one is armed as the arena's cancellation hook, the scaling
-// comes from the shared per-graph cell, and the Spec engine does the rest.
+// and validated first, downgraded per the watchdog's shedding level (the
+// degradation ladder trades the sprank guarantee for the heuristic bound
+// before any work is refused), an expired context is answered before any
+// kernel runs, a live one is armed as the arena's cancellation hook, the
+// scaling comes from the shared per-graph cell, and the Spec engine does
+// the rest. Completed requests feed the service-time EWMAs behind the
+// Server's would-miss admission check.
 func (e *batchEngine) serve(w, i int) {
 	req := e.reqs[i]
 	if req.Graph == nil {
@@ -377,6 +446,15 @@ func (e *batchEngine) serve(w, i int) {
 		e.out[i] = Response{Err: err}
 		return
 	}
+	var degraded string
+	if e.shed != nil {
+		if lvl := e.shed(); lvl >= watchdog.Degraded {
+			spec, degraded = degradeSpec(spec, lvl)
+			if degraded != "" {
+				e.degraded.Add(1)
+			}
+		}
+	}
 	ctx := req.Ctx
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
@@ -384,15 +462,23 @@ func (e *batchEngine) serve(w, i int) {
 			return
 		}
 	}
+	start := time.Now()
 	a := e.arena(w, req.Graph)
+	var cancel func() bool
 	if ctx != nil {
-		a.setCancel(func() bool { return ctx.Err() != nil })
+		cancel = func() bool { return ctx.Err() != nil }
+		a.setCancel(cancel)
 		defer a.setCancel(nil)
 	}
 	var err error
 	if spec.Algorithm.scales() {
 		var sc *Scaling
-		if sc, err = e.sharedScaling(req.Graph); err != nil {
+		if sc, err = e.sharedScaling(req.Graph, cancel); err != nil {
+			if ctx != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					err = cerr
+				}
+			}
 			e.out[i] = Response{Err: err}
 			return
 		}
@@ -411,6 +497,13 @@ func (e *batchEngine) serve(w, i int) {
 		e.out[i] = Response{Err: err}
 		return
 	}
+	// The EWMA records the Spec that actually ran (the degraded one, when
+	// shedding): it estimates what the engine will spend, not what callers
+	// ask for.
+	if e.svc != nil {
+		e.svc.record(req.Graph, spec, time.Since(start))
+	}
+	res.Degraded = degraded
 	// Copy out of the arena: the response must survive the slot's next
 	// request. The provenance rides along so the serving layers can put
 	// it on the wire.
@@ -420,6 +513,7 @@ func (e *batchEngine) serve(w, i int) {
 		Candidates:    res.Candidates,
 		HeuristicSize: res.HeuristicSize,
 		Refined:       res.Refined,
+		Degraded:      degraded,
 	}
 }
 

@@ -7,6 +7,7 @@
 //	matchbench -exp table1,table2               # specific experiments
 //	matchbench -exp fig3,fig4 -threads 1,2,4,8  # custom thread sweep
 //	matchbench -exp table3 -scale paper         # paper-sized instances
+//	matchbench -exp serve -pool 1,2,4,8         # ensemble fan-out width sweep
 //
 // Experiments: qualityfi, table1, table2, table3, fig3, fig4, fig5,
 // conjecture, ablation, extension, perf, serve.
@@ -43,6 +44,7 @@ func run() int {
 		runs    = flag.Int("runs", 10, "randomized repetitions for min-quality tables")
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
 		threads = flag.String("threads", "1,2,4,8,16", "thread sweep for speedup experiments")
+		pool    = flag.String("pool", "", "comma-separated pool widths: sweep the serve experiment's candidate-parallel ensemble fan-out across these widths (empty disables)")
 		jsonOut = flag.String("json", "BENCH_matchbench.json", "write perf records to this JSON file (empty disables)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	)
@@ -70,6 +72,17 @@ func run() int {
 			return 2
 		}
 		tl = append(tl, v)
+	}
+	var poolWidths []int
+	if *pool != "" {
+		for _, tok := range strings.Split(*pool, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "matchbench: bad -pool element %q\n", tok)
+				return 2
+			}
+			poolWidths = append(poolWidths, v)
+		}
 	}
 	cfg := bench.Config{
 		Scale:   *scale,
@@ -116,7 +129,12 @@ func run() int {
 	})
 	var records []bench.PerfRecord
 	runExp("perf", func() { records = append(records, bench.Perf(cfg)...) })
-	runExp("serve", func() { records = append(records, serve(cfg)...) })
+	runExp("serve", func() {
+		records = append(records, serve(cfg)...)
+		if len(poolWidths) > 0 {
+			records = append(records, poolSweep(cfg, poolWidths)...)
+		}
+	})
 
 	if len(records) > 0 && *jsonOut != "" {
 		blob, err := json.MarshalIndent(struct {

@@ -198,3 +198,75 @@ func serve(cfg bench.Config) []bench.PerfRecord {
 	tbl.Write(cfg.Out)
 	return records
 }
+
+// poolSweep (the -pool flag) measures the candidate-parallel best-of-8
+// ensemble at each requested pool width against the sequential baseline,
+// isolating the fan-out schedule's scaling curve: where the curve
+// flattens is the width past which extra ensemble workers only burn
+// cores. Each width gets its own dedicated Pool (built and closed around
+// the timed runs), so the sweep reflects resident-worker fan-out, not
+// the process-default pool at whatever width it happens to have.
+func poolSweep(cfg bench.Config, widths []int) []bench.PerfRecord {
+	cfg = cfg.Defaults()
+	requests := 60 * cfg.Runs
+	var records []bench.PerfRecord
+	tbl := &bench.Table{
+		Title:   "serve: best-of-8 ensemble fan-out vs pool width (-pool)",
+		Headers: []string{"instance", "edges", "mode", "workers", "us/req", "req/s", "speedup"},
+	}
+	for _, inst := range serveInstances(cfg.Scale) {
+		g := inst.g
+		g.Sprank() // warm the cache so Quality inside the timed runs is free
+		var quality float64
+
+		ensembles := func(opt *bipartite.Options, sequential bool) func() {
+			return func() {
+				m := g.NewMatcher(opt)
+				for k := 0; k < requests/8; k++ {
+					res, err := m.Run(bipartite.Spec{
+						Algorithm:  bipartite.AlgTwoSided,
+						Seed:       cfg.Seed + uint64(8*k),
+						Ensemble:   8,
+						Sequential: sequential,
+					})
+					if err != nil {
+						panic(err)
+					}
+					quality = g.Quality(res.Matching)
+				}
+			}
+		}
+		var anchor time.Duration
+		emit := func(name string, workers int, best time.Duration) {
+			perReq := best / time.Duration(requests)
+			speedup := float64(anchor) / float64(best)
+			records = append(records, bench.PerfRecord{
+				Instance:  inst.name,
+				Edges:     g.Edges(),
+				Heuristic: name,
+				Workers:   workers,
+				NsOp:      perReq.Nanoseconds(),
+				Quality:   quality,
+				Speedup:   speedup,
+			})
+			tbl.AddRow(inst.name, fmt.Sprintf("%d", g.Edges()), name,
+				fmt.Sprintf("%d", workers),
+				fmt.Sprintf("%.1f", float64(perReq.Microseconds())),
+				fmt.Sprintf("%.0f", float64(requests)/best.Seconds()),
+				fmt.Sprintf("%.2f", speedup))
+		}
+
+		opt := &bipartite.Options{ScalingIterations: 5, Seed: cfg.Seed}
+		anchor = bench.TimeBest(3, ensembles(opt, true))
+		emit("serve/ensemble8/seq", 1, anchor)
+		for _, w := range widths {
+			pool := bipartite.NewPool(w)
+			wopt := &bipartite.Options{ScalingIterations: 5, Seed: cfg.Seed, Pool: pool}
+			best := bench.TimeBest(3, ensembles(wopt, false))
+			pool.Close()
+			emit(fmt.Sprintf("serve/ensemble8/pool%d", w), w, best)
+		}
+	}
+	tbl.Write(cfg.Out)
+	return records
+}

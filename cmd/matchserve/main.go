@@ -14,6 +14,20 @@
 // least recently used entry once -maxgraphs is reached, and per-op latency
 // histograms are exported on /metrics.
 //
+// The service also protects itself. A watchdog samples the process's own
+// CPU and RSS (-cpulimit, -rsslimit, -wdinterval) and drives a shedding
+// ladder: under mild pressure every admitted request runs a downgraded
+// Spec (exact refinement dropped, ensembles capped — the response then
+// carries a "degraded" provenance field and still satisfies the paper's
+// heuristic quality bound); under heavier pressure "priority":"low"
+// requests are shed with 503, then everything below "priority":"high".
+// Per-client token buckets (-rate, -burst, keyed by the X-Client header
+// or the remote host) answer greedy clients 429, and a queue-aware
+// admission check rejects requests whose deadline the backlog has already
+// doomed with 429 instead of burning kernels on them. Every 429/503
+// carries a Retry-After header with the admission layer's estimate of
+// when retrying can succeed.
+//
 // Endpoints:
 //
 //	POST /graph        register a graph: {"rows":R,"cols":C,"edges":[[i,j],...]}
@@ -24,22 +38,31 @@
 //	                   the engine's cached scaling of the graph)
 //	POST /match        match once: {"graph":"g1","algorithm":"twosided",
 //	                   "seed":7,"refine":"exact","best_of":8,"target":0.95,
-//	                   "sequential":false,"timeout_ms":50} or with an inline
-//	                   graph: {"rows":..,"cols":..,"edges":..,"algorithm":..}
+//	                   "sequential":false,"timeout_ms":50,"priority":"low"}
+//	                   or with an inline graph:
+//	                   {"rows":..,"cols":..,"edges":..,"algorithm":..}
 //	                   → {"size":S,"rows":R,"cols":C,"row_mate":[...],
 //	                      "winner_seed":9,"candidates_run":3,
-//	                      "heuristic_size":H,"refined":true,"ms":1.2}
+//	                      "heuristic_size":H,"refined":true,
+//	                      "degraded":"refine:exact->none","ms":1.2}
+//	                   ("degraded" appears only on responses the watchdog
+//	                   downgraded; the X-Client header names the caller
+//	                   for per-client rate limiting)
 //	POST /match/batch  {"requests":[<match request>, ...]}
 //	                   → {"responses":[<match response | error>, ...],"ms":batchMs}
 //	                   (request and response envelopes may be gzip-encoded:
 //	                   send Content-Encoding: gzip and/or Accept-Encoding: gzip)
 //	GET  /healthz      → {"status":"ok"}
-//	GET  /stats        → {"requests":N,"batches":B,"rejected":J,"graphs":G,"evictions":E}
+//	GET  /stats        → {"requests":N,"batches":B,"rejected":J,"shed":S,
+//	                      "would_miss":W,"rate_limited":L,"degraded":D,
+//	                      "graphs":G,"evictions":E}
 //	GET  /metrics      → {"ops":{"twosided":{"count":N,"p50_ms":..,"p99_ms":..},..},
+//	                      "watchdog":{"level":"nominal","cpu":..,
+//	                      "rss_bytes":..,"utilization":..},
 //	                      "requests":N,"batches":B,"rejected":J,...}
 //	                   with ?format=prom (or an Accept header asking for
-//	                   text/plain / OpenMetrics), the same counters and
-//	                   histograms in Prometheus text format
+//	                   text/plain / OpenMetrics), the same counters,
+//	                   gauges and histograms in Prometheus text format
 //
 // Match requests carry the library's declarative Spec on the wire:
 // "algorithm" selects the heuristic (twosided, onesided, karpsipser,
@@ -72,7 +95,8 @@
 // Usage:
 //
 //	matchserve -addr :8480 -batch 256 -queue 1024 -workers 0 -iters 5 \
-//	           -maxgraphs 1024 -maxbody 8388608 -timeout 0
+//	           -maxgraphs 1024 -maxbody 8388608 -timeout 0 \
+//	           -cpulimit 0.85 -rsslimit 0 -wdinterval 1s -rate 0 -burst 0
 package main
 
 import (
@@ -85,6 +109,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
@@ -107,19 +132,35 @@ func main() {
 		maxGraphs = flag.Int("maxgraphs", 1024, "max registered graphs before LRU eviction (0 = unlimited)")
 		maxBody   = flag.Int64("maxbody", 8<<20, "max request body bytes (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
+
+		cpuLimit   = flag.Float64("cpulimit", 0.85, "watchdog CPU limit as a fraction of all cores (0 = CPU dimension off)")
+		rssLimit   = flag.Int64("rsslimit", 0, "watchdog RSS limit in bytes (0 = RSS dimension off)")
+		wdInterval = flag.Duration("wdinterval", time.Second, "watchdog sampling interval")
+		rate       = flag.Float64("rate", 0, "per-client admission rate in requests/s (0 = unlimited)")
+		burst      = flag.Int("burst", 0, "per-client burst ceiling (0 = 2x rate)")
 	)
 	flag.Parse()
 
 	opt := &bipartite.Options{ScalingIterations: *iters, Workers: *workers}
-	srv := bipartite.NewServerConfig(opt, bipartite.ServerConfig{MaxBatch: *batch, Queue: *queue})
+	srv := bipartite.NewServerConfig(opt, bipartite.ServerConfig{
+		MaxBatch: *batch,
+		Queue:    *queue,
+		Watchdog: bipartite.WatchdogConfig{
+			CPULimit: *cpuLimit,
+			RSSLimit: uint64(max(*rssLimit, 0)),
+			Interval: *wdInterval,
+		},
+		RatePerClient: *rate,
+		RateBurst:     *burst,
+	})
 	h := newHandler(srv, serveConfig{
 		maxGraphs: *maxGraphs,
 		maxBody:   *maxBody,
 		timeout:   *timeout,
 	})
 
-	log.Printf("matchserve listening on %s (batch=%d queue=%d workers=%d iters=%d maxgraphs=%d maxbody=%d timeout=%v)",
-		*addr, *batch, *queue, *workers, *iters, *maxGraphs, *maxBody, *timeout)
+	log.Printf("matchserve listening on %s (batch=%d queue=%d workers=%d iters=%d maxgraphs=%d maxbody=%d timeout=%v cpulimit=%g rsslimit=%d rate=%g)",
+		*addr, *batch, *queue, *workers, *iters, *maxGraphs, *maxBody, *timeout, *cpuLimit, *rssLimit, *rate)
 	// log.Fatal would os.Exit past any deferred Close; shut the batching
 	// server down explicitly once the listener fails.
 	err := http.ListenAndServe(*addr, newMux(h))
@@ -231,6 +272,10 @@ type matchRequest struct {
 	Target     float64 `json:"target"`
 	Sequential bool    `json:"sequential"`
 	TimeoutMs  int64   `json:"timeout_ms"`
+	// Priority ranks the request for admission under load: "low" is shed
+	// first when the watchdog reports the process hot, "high" last; ""
+	// means "normal".
+	Priority string `json:"priority"`
 }
 
 // spec translates the wire fields into a validated bipartite.Spec.
@@ -279,6 +324,12 @@ type matchResponse struct {
 	CandidatesRun int    `json:"candidates_run"`
 	HeuristicSize int    `json:"heuristic_size"`
 	Refined       bool   `json:"refined"`
+	// Degraded, when present, records the self-protection downgrades the
+	// server applied before running the Spec (e.g.
+	// "refine:exact->none,best_of:8->2"): the matching still carries the
+	// paper's heuristic quality bound, but not whatever the full Spec
+	// guaranteed. Absent when the Spec ran exactly as requested.
+	Degraded string `json:"degraded,omitempty"`
 	// Ms is the wall-clock of a single /match; batch responses omit it
 	// and report one batch-wide "ms" in the envelope instead (the
 	// requests ran concurrently, so no per-request wall-clock exists).
@@ -299,11 +350,16 @@ func (h *handler) lookup(id string) *bipartite.Graph {
 }
 
 // resolve turns a wire request into a library request carrying ctx (plus
-// the request's own deadline, if any). It returns the context's cancel
-// (never nil) which the caller must invoke once the response is written.
-func (h *handler) resolve(ctx context.Context, mr *matchRequest) (bipartite.Request, context.CancelFunc, error) {
+// the request's own deadline, if any), the parsed priority and the
+// submitting client's identity. It returns the context's cancel (never
+// nil) which the caller must invoke once the response is written.
+func (h *handler) resolve(ctx context.Context, mr *matchRequest, client string) (bipartite.Request, context.CancelFunc, error) {
 	nop := context.CancelFunc(func() {})
 	spec, err := mr.spec()
+	if err != nil {
+		return bipartite.Request{}, nop, err
+	}
+	prio, err := bipartite.ParsePriority(mr.Priority)
 	if err != nil {
 		return bipartite.Request{}, nop, err
 	}
@@ -325,7 +381,22 @@ func (h *handler) resolve(ctx context.Context, mr *matchRequest) (bipartite.Requ
 	if timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 	}
-	return bipartite.Request{Graph: g, Spec: spec, Ctx: ctx}, cancel, nil
+	return bipartite.Request{Graph: g, Spec: spec, Ctx: ctx, Priority: prio, Client: client}, cancel, nil
+}
+
+// clientOf identifies the submitter for per-client rate limiting: the
+// X-Client header when the caller names itself, the connection's remote
+// host otherwise — so an anonymous flood from one address still lands in
+// one bucket instead of bypassing the limiter.
+func clientOf(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
 }
 
 func (h *handler) handleGraph(w http.ResponseWriter, r *http.Request) {
@@ -382,7 +453,7 @@ func (h *handler) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if !h.decodeBody(w, r, &mr) {
 		return
 	}
-	req, cancel, err := h.resolve(r.Context(), &mr)
+	req, cancel, err := h.resolve(r.Context(), &mr, clientOf(r))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -397,11 +468,12 @@ func (h *handler) handleMatch(w http.ResponseWriter, r *http.Request) {
 		// exactly when an operator reads /metrics to diagnose the
 		// incident. They get their own error series instead.
 		h.met.Histogram("errors").Observe(elapsed)
-		writeError(w, statusOf(resp.Err), resp.Err)
+		writeErrorRetry(w, statusOf(resp.Err), resp.Err, retryAfterOf(resp.Err))
 		return
 	}
 	h.met.Histogram(req.Spec.Algorithm.String()).Observe(elapsed)
-	writeJSON(w, http.StatusOK, toWire(resp, elapsed))
+	wire := toWire(resp, elapsed)
+	writeMatchStream(w, http.StatusOK, &wire)
 }
 
 // gzipBody reads decompressed bytes while Close releases both the gzip
@@ -483,8 +555,9 @@ func (h *handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	out := make([]matchResponse, len(body.Requests))
 	reqs := make([]bipartite.Request, 0, len(body.Requests))
 	slots := make([]int, 0, len(body.Requests))
+	client := clientOf(r)
 	for i := range body.Requests {
-		req, cancel, err := h.resolve(r.Context(), &body.Requests[i])
+		req, cancel, err := h.resolve(r.Context(), &body.Requests[i], client)
 		defer cancel()
 		if err != nil {
 			out[i] = toWire(bipartite.Response{Err: err}, 0)
@@ -500,34 +573,13 @@ func (h *handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for k, resp := range resps {
 		out[slots[k]] = toWire(resp, 0)
 	}
-	writeJSONEncoded(w, r, http.StatusOK, map[string]any{
-		"responses": out,
-		"ms":        float64(elapsed.Microseconds()) / 1000,
-	})
+	writeBatchStream(w, r, http.StatusOK, out, float64(elapsed.Microseconds())/1000)
 }
 
-// writeJSONEncoded is writeJSON honoring the client's Accept-Encoding:
-// batch response envelopes (thousands of row_mate entries of repetitive
-// JSON) compress an order of magnitude, so gzip is offered where the
-// payloads are large.
-func writeJSONEncoded(w http.ResponseWriter, r *http.Request, code int, v any) {
-	if !acceptsGzip(r.Header.Get("Accept-Encoding")) {
-		writeJSON(w, code, v)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Encoding", "gzip")
-	w.WriteHeader(code)
-	zw := gzip.NewWriter(w)
-	if err := json.NewEncoder(zw).Encode(v); err != nil {
-		log.Printf("matchserve: write: %v", err)
-	}
-	if err := zw.Close(); err != nil {
-		log.Printf("matchserve: gzip close: %v", err)
-	}
-}
-
-// statsMap assembles the counter set shared by /stats and /metrics.
+// statsMap assembles the counter set shared by /stats and /metrics. The
+// self-protection counters ride along: shed / would_miss / rate_limited
+// count typed admission rejections, degraded counts requests answered
+// with a downgraded Spec.
 func (h *handler) statsMap() map[string]any {
 	st := h.srv.Stats()
 	h.mu.Lock()
@@ -535,7 +587,23 @@ func (h *handler) statsMap() map[string]any {
 	h.mu.Unlock()
 	return map[string]any{
 		"requests": st.Requests, "batches": st.Batches, "rejected": st.Rejected,
-		"graphs": graphs, "evictions": h.evictions.Load(),
+		"shed": st.Shed, "would_miss": st.WouldMiss, "rate_limited": st.RateLimited,
+		"degraded": st.Degraded,
+		"graphs":   graphs, "evictions": h.evictions.Load(),
+	}
+}
+
+// watchdogMap is the /metrics JSON view of the watchdog's state: the
+// shedding level plus the raw CPU/RSS samples and the utilization score
+// the level thresholds apply to. An unprotected server reports nominal
+// with zero samples.
+func (h *handler) watchdogMap() map[string]any {
+	hs := h.srv.Health()
+	return map[string]any{
+		"level":       hs.Level.String(),
+		"cpu":         hs.CPU,
+		"rss_bytes":   hs.RSSBytes,
+		"utilization": hs.Utilization,
 	}
 }
 
@@ -571,6 +639,7 @@ func (h *handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	body := h.statsMap()
 	body["ops"] = ops
+	body["watchdog"] = h.watchdogMap()
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -607,8 +676,21 @@ func (h *handler) writePromMetrics(w http.ResponseWriter) {
 	counter("matchserve_requests_total", "Requests served by the batch engine.", st.Requests)
 	counter("matchserve_batches_total", "Pool-wide regions the requests were served in.", st.Batches)
 	counter("matchserve_rejected_total", "Submissions refused with 503 at admission.", st.Rejected)
+	counter("matchserve_shed_total", "Submissions refused by watchdog priority shedding.", st.Shed)
+	counter("matchserve_would_miss_total", "Submissions refused because their deadline could not be met.", st.WouldMiss)
+	counter("matchserve_rate_limited_total", "Submissions refused by the per-client rate limit.", st.RateLimited)
+	counter("matchserve_degraded_total", "Requests served with a downgraded Spec.", st.Degraded)
 	counter("matchserve_graph_evictions_total", "Graphs evicted from the LRU registry.", h.evictions.Load())
 	fmt.Fprintf(&b, "# HELP matchserve_graphs Registered graphs.\n# TYPE matchserve_graphs gauge\nmatchserve_graphs %d\n", graphs)
+
+	hs := h.srv.Health()
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("matchserve_watchdog_level", "Shedding level (0 nominal, 1 degraded, 2 shedding, 3 critical).", float64(hs.Level))
+	gauge("matchserve_watchdog_cpu", "Latest CPU sample as a fraction of total capacity.", hs.CPU)
+	gauge("matchserve_watchdog_rss_bytes", "Latest resident set size in bytes.", float64(hs.RSSBytes))
+	gauge("matchserve_watchdog_utilization", "Shedding score: max(cpu/limit, rss/limit).", hs.Utilization)
 
 	snaps := h.met.Snapshots()
 	names := make([]string, 0, len(snaps))
@@ -642,13 +724,19 @@ func (h *handler) writePromMetrics(w http.ResponseWriter) {
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
-// statusOf maps a serving error to its HTTP status: back-pressure is 503
-// (retry later), an expired deadline 504, a client-abandoned request 499
-// (the nginx convention), anything else 500.
+// statusOf maps a serving error to its HTTP status: back-pressure and
+// watchdog shedding are 503 (retry later — the *server* is the problem),
+// a doomed deadline or an exceeded per-client rate is 429 (the *request*
+// is the problem: resubmit later or with a looser deadline), an expired
+// deadline 504, a client-abandoned request 499 (the nginx convention),
+// anything else 500. retryAfterOf supplies the Retry-After the 429/503
+// responses carry.
 func statusOf(err error) int {
 	switch {
-	case errors.Is(err, bipartite.ErrOverloaded):
+	case errors.Is(err, bipartite.ErrOverloaded), errors.Is(err, bipartite.ErrShed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, bipartite.ErrWouldMiss), errors.Is(err, bipartite.ErrRateLimited):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -656,6 +744,37 @@ func statusOf(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// retryAfterOf extracts the admission layer's Retry-After hint: how long
+// until the shedding level can have decayed, the backlog drained, or one
+// rate-limit token accrued. Zero means the error carries no hint (no
+// Retry-After header is written).
+func retryAfterOf(err error) time.Duration {
+	var shed *bipartite.ShedError
+	if errors.As(err, &shed) {
+		return shed.RetryAfter
+	}
+	var miss *bipartite.WouldMissError
+	if errors.As(err, &miss) {
+		return miss.RetryAfter
+	}
+	var rate *bipartite.RateLimitError
+	if errors.As(err, &rate) {
+		return rate.RetryAfter
+	}
+	return 0
+}
+
+// writeErrorRetry is writeError plus the Retry-After header (in whole
+// seconds, rounded up so "250ms" does not truncate to an immediate
+// retry).
+func writeErrorRetry(w http.ResponseWriter, code int, err error, retry time.Duration) {
+	if retry > 0 {
+		secs := int64((retry + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeError(w, code, err)
 }
 
 func toWire(resp bipartite.Response, d time.Duration) matchResponse {
@@ -671,6 +790,7 @@ func toWire(resp bipartite.Response, d time.Duration) matchResponse {
 		CandidatesRun: resp.Candidates,
 		HeuristicSize: resp.HeuristicSize,
 		Refined:       resp.Refined,
+		Degraded:      resp.Degraded,
 		Ms:            float64(d.Microseconds()) / 1000,
 	}
 }

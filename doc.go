@@ -181,10 +181,58 @@
 //     same cell for every candidate. Server.DropGraph evicts a graph's
 //     cached scaling when an upstream registry evicts the graph, tying
 //     the two lifetimes together.
+//   - Retryable cold scaling: a cancellation that lands while a request
+//     is computing a cold graph's shared scaling does not poison the
+//     graph. The canceled request is answered with its context error and
+//     the scaling cell is left retryable — the next request on the graph
+//     computes the scaling under its own deadline (still exactly one
+//     scaling run on a successful retry).
 //   - Determinism unchanged: every response remains a function of
 //     (Graph, Spec, Options) only — bit-identical to the one-shot
 //     call at Workers: 1 — however requests are batched, canceled
-//     neighbors included.
+//     neighbors included. When self-protection rewrites a Spec (below),
+//     the response is that same deterministic function of the rewritten
+//     Spec, and the rewrite is stamped in the response.
+//
+// # Self-protection
+//
+// A Server can watch its own process and protect its latency instead of
+// degrading arbitrarily under overload. ServerConfig.Watchdog (CPU/RSS
+// limits, sampling interval) starts a watchdog that samples the process's
+// CPU fraction and resident set and drives a four-level shedding ladder —
+// nominal, degraded, shedding, critical — with hysteresis: levels rise
+// immediately when utilization crosses a threshold and decay one step per
+// settle period of calm samples, so the server does not flap at a
+// boundary. Server.Health exposes the current level and readings.
+//
+// Admission is priority-aware. Request.Priority (low, normal, high) feeds
+// the ladder: at shedding level, low-priority requests are refused; at
+// critical, everything below high is refused. Refusals fail fast with a
+// *ShedError wrapping ErrShed and carrying a RetryAfter hint (the time
+// the ladder needs to decay). Optional per-client token buckets
+// (ServerConfig.RatePerClient/RateBurst, keyed by Request.Client) answer
+// the greedy client with *RateLimitError/ErrRateLimited and its own
+// RetryAfter, before shedding has to punish everyone.
+//
+// Deadlines are checked against reality at admission: the engine keeps a
+// per-(graph, Spec-class) EWMA of observed service times, and a request
+// whose remaining context budget cannot cover the estimated queue wait
+// plus service time is refused immediately with *WouldMissError wrapping
+// ErrWouldMiss — the caller gets its rejection while the deadline is
+// still useful, instead of a 504 after burning a slot.
+//
+// Between serving everything and refusing, the engine degrades: from the
+// degraded level upward, admitted Specs are rewritten to their cheaper
+// shape — exact refinement is dropped first, then ensemble fan-out is
+// capped (K ≤ 2 when degraded, 1 when shedding). A degraded matching
+// still carries the paper's heuristic guarantee — OneSided ≥ (1−1/e)·
+// sprank, TwoSided ≈ 0.866·sprank in the mean — it only loses what the
+// full Spec would have added. Every rewrite is stamped into
+// MatchResult.Degraded / Response.Degraded (e.g.
+// "refine:exact->none,best_of:8->2"), so provenance survives end to end:
+// cmd/matchserve forwards it as the "degraded" response field, and
+// ServerStats counts shed, rate-limited, would-miss and degraded
+// requests.
 //
 // The quality guarantees themselves are enforced by the statistical test
 // suite (quality_test.go): OneSided ≥ (1−1/e)·sprank and TwoSided ≥

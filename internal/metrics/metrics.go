@@ -150,6 +150,35 @@ func (h *Histogram) Snapshot() Snapshot {
 	return s
 }
 
+// Counter is a monotone atomic event counter. The zero value is ready.
+// It is the exported-state primitive the serving stack's self-protection
+// layer publishes through: shed decisions, degraded responses, watchdog
+// level transitions — events whose totals a /metrics scrape reports as
+// Prometheus counters.
+type Counter struct{ n atomic.Uint64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Get returns the current total.
+func (c *Counter) Get() uint64 { return c.n.Load() }
+
+// Gauge is an atomic float64 gauge — a last-written-value cell for
+// continuously resampled quantities (CPU fraction, resident set size,
+// utilization). Set and Get are single atomic word operations, so a
+// sampler can publish at any rate without coordinating with scrapers.
+// The zero value is ready and reads 0.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Get returns the gauge's current value.
+func (g *Gauge) Get() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Registry is a named set of histograms, created on first use — one per
 // operation the server tracks. Safe for concurrent use; lookups after
 // creation are a read-locked map hit.

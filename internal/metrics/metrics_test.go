@@ -118,3 +118,44 @@ func TestRegistry(t *testing.T) {
 		t.Fatalf("onesided count %d, want 0", snaps["onesided"].Count)
 	}
 }
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Get() != 0 {
+		t.Fatalf("zero-value counter reads %d", c.Get())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Get() != 5 {
+		t.Fatalf("counter %d, want 5", c.Get())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get() != 5+8*1000 {
+		t.Fatalf("counter %d after concurrent adds, want %d", c.Get(), 5+8*1000)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Get() != 0 {
+		t.Fatalf("zero-value gauge reads %v", g.Get())
+	}
+	g.Set(0.875)
+	if g.Get() != 0.875 {
+		t.Fatalf("gauge %v, want 0.875", g.Get())
+	}
+	g.Set(-3.5)
+	if g.Get() != -3.5 {
+		t.Fatalf("gauge %v, want -3.5", g.Get())
+	}
+}

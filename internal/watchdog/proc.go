@@ -1,0 +1,78 @@
+package watchdog
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// userHZ is the kernel's clock-tick unit for the utime/stime fields of
+// /proc/self/stat. USER_HZ has been fixed at 100 on every Linux ABI the
+// Go toolchain targets (the kernel exposes jiffies to userspace scaled to
+// this constant regardless of CONFIG_HZ), so reading it via sysconf/cgo
+// buys nothing.
+const userHZ = 100
+
+// ProcCPU is the default CPU reader: the process's cumulative user+system
+// CPU time from /proc/self/stat. On platforms without procfs it returns
+// an error and the watchdog holds its last reading (see Tick).
+func ProcCPU() (time.Duration, error) {
+	raw, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0, err
+	}
+	return parseProcStatCPU(string(raw))
+}
+
+// parseProcStatCPU extracts utime+stime from a /proc/<pid>/stat line. The
+// comm field (2nd) may contain spaces and parentheses, so fields are
+// located relative to the *last* ')' — the only robust anchor.
+func parseProcStatCPU(stat string) (time.Duration, error) {
+	close := strings.LastIndexByte(stat, ')')
+	if close < 0 {
+		return 0, fmt.Errorf("watchdog: malformed /proc stat line")
+	}
+	fields := strings.Fields(stat[close+1:])
+	// After ')': state(0) ppid(1) pgrp(2) session(3) tty(4) tpgid(5)
+	// flags(6) minflt(7) cminflt(8) majflt(9) cmajflt(10) utime(11)
+	// stime(12).
+	if len(fields) < 13 {
+		return 0, fmt.Errorf("watchdog: /proc stat has %d fields after comm, want >= 13", len(fields))
+	}
+	utime, err := strconv.ParseUint(fields[11], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("watchdog: utime: %w", err)
+	}
+	stime, err := strconv.ParseUint(fields[12], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("watchdog: stime: %w", err)
+	}
+	ticks := utime + stime
+	return time.Duration(ticks) * time.Second / userHZ, nil
+}
+
+// ProcRSS is the default RSS reader: the resident set size from
+// /proc/self/statm (second field, in pages).
+func ProcRSS() (uint64, error) {
+	raw, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0, err
+	}
+	return parseProcStatmRSS(string(raw), uint64(os.Getpagesize()))
+}
+
+// parseProcStatmRSS extracts the resident page count from a statm line
+// and scales it to bytes.
+func parseProcStatmRSS(statm string, pageSize uint64) (uint64, error) {
+	fields := strings.Fields(statm)
+	if len(fields) < 2 {
+		return 0, fmt.Errorf("watchdog: /proc statm has %d fields, want >= 2", len(fields))
+	}
+	pages, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("watchdog: statm rss: %w", err)
+	}
+	return pages * pageSize, nil
+}

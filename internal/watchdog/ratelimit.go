@@ -1,0 +1,111 @@
+package watchdog
+
+import (
+	"sync"
+	"time"
+)
+
+// clientCap bounds how many per-client token buckets a RateLimiter
+// retains: beyond it the least recently touched bucket is evicted (that
+// client's next request starts a fresh, full bucket). It exists so a
+// front end fed a stream of never-repeating client identities cannot grow
+// the limiter without bound — the same containment discipline as the
+// batch engine's scaling cache.
+const clientCap = 4096
+
+// RateLimiter is a per-client token-bucket admission limiter: each client
+// earns rate tokens per second up to a burst ceiling, and every admitted
+// request spends one. It answers in O(1) with no background goroutine
+// (buckets refill lazily on access) and is safe for concurrent use.
+//
+// The limiter is the fairness half of priority admission: the watchdog
+// sheds by how hot the *process* is, the limiter by how greedy one
+// *client* is — so a single runaway caller saturating the queue cannot
+// starve everyone else into shed territory.
+type RateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time // last refill; doubles as the LRU recency stamp
+}
+
+// NewRateLimiter builds a limiter granting rate tokens per second with
+// the given burst ceiling (<= 0 means max(2·rate, 1)). now is the clock;
+// nil means time.Now. A rate <= 0 disables limiting: Allow always grants.
+func NewRateLimiter(rate float64, burst int, now func() time.Time) *RateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = 2 * rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &RateLimiter{rate: rate, burst: b, now: now, buckets: make(map[string]*bucket)}
+}
+
+// Allow spends one token from client's bucket. When the bucket is empty
+// it returns false and the wait until one token will have accrued — the
+// Retry-After a 429 response carries.
+func (l *RateLimiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= clientCap {
+			l.evictOldest()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens += l.rate * now.Sub(b.last).Seconds()
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// evictOldest drops the least recently touched bucket; called with mu
+// held. Linear scan — eviction only happens past clientCap distinct
+// clients, where one O(n) pass per new client is still trivial next to
+// the matching work each admitted request buys.
+func (l *RateLimiter) evictOldest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for c, b := range l.buckets {
+		if first || b.last.Before(oldest) {
+			victim, oldest, first = c, b.last, false
+		}
+	}
+	delete(l.buckets, victim)
+}
+
+// Clients returns how many per-client buckets are live (for metrics).
+func (l *RateLimiter) Clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,119 @@
+package watchdog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for limiter tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func TestRateLimitBurstThenRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := NewRateLimiter(2, 3, clk.now) // 2 tokens/s, burst 3
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("alice"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.Allow("alice")
+	if ok {
+		t.Fatal("4th request within burst window admitted")
+	}
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retry-after %v, want (0, 500ms] at 2 tokens/s", retry)
+	}
+	// Another client is unaffected — buckets are per client.
+	if ok, _ := l.Allow("bob"); !ok {
+		t.Fatal("independent client denied")
+	}
+	// After the advertised wait, exactly one token has accrued.
+	clk.t = clk.t.Add(retry)
+	if ok, _ := l.Allow("alice"); !ok {
+		t.Fatal("request denied after waiting the advertised retry-after")
+	}
+	if ok, _ := l.Allow("alice"); ok {
+		t.Fatal("second request admitted without waiting again")
+	}
+	// Tokens cap at the burst, however long the client is idle.
+	clk.t = clk.t.Add(time.Hour)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.Allow("alice"); ok {
+			granted++
+		}
+	}
+	if granted != 3 {
+		t.Fatalf("after long idle: %d granted, want burst=3", granted)
+	}
+}
+
+func TestRateLimitDisabled(t *testing.T) {
+	var nilL *RateLimiter
+	if ok, _ := nilL.Allow("x"); !ok {
+		t.Fatal("nil limiter denied")
+	}
+	l := NewRateLimiter(0, 0, nil)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("x"); !ok {
+			t.Fatal("zero-rate limiter denied")
+		}
+	}
+}
+
+func TestRateLimitDefaultBurst(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := NewRateLimiter(5, 0, clk.now) // default burst = 2·rate = 10
+	granted := 0
+	for i := 0; i < 20; i++ {
+		if ok, _ := l.Allow("c"); ok {
+			granted++
+		}
+	}
+	if granted != 10 {
+		t.Fatalf("default burst granted %d, want 10", granted)
+	}
+}
+
+func TestRateLimitClientEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := NewRateLimiter(1, 1, clk.now)
+	for i := 0; i < clientCap; i++ {
+		clk.t = clk.t.Add(time.Millisecond) // distinct recency stamps
+		l.Allow(fmt.Sprintf("client-%d", i))
+	}
+	if got := l.Clients(); got != clientCap {
+		t.Fatalf("%d buckets, want %d", got, clientCap)
+	}
+	// One more client evicts the oldest instead of growing.
+	clk.t = clk.t.Add(time.Millisecond)
+	l.Allow("newcomer")
+	if got := l.Clients(); got != clientCap {
+		t.Fatalf("%d buckets after eviction, want %d", got, clientCap)
+	}
+	// The evicted (oldest) client starts over with a fresh bucket: its
+	// request is admitted even though its old bucket was empty.
+	if ok, _ := l.Allow("client-0"); !ok {
+		t.Fatal("evicted client's fresh bucket denied")
+	}
+}
+
+func TestRateLimitConcurrent(t *testing.T) {
+	l := NewRateLimiter(1e6, 1e6, nil)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		w := w
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				l.Allow(fmt.Sprintf("w%d", w%3))
+			}
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,383 @@
+// Package watchdog is the serving stack's self-protection core: it
+// samples the process's own CPU and resident set size, folds them into a
+// utilization score against configured limits, and drives a hysteresis
+// shedding controller whose level the serving layers consult on every
+// admission and execution decision.
+//
+// The design splits mechanism from policy. This package only answers "how
+// hot is the process right now" as a four-step ladder —
+//
+//	Nominal  → full service
+//	Degraded → serve everything, but cheaper (the caller downgrades work)
+//	Shedding → reject low-priority work, degrade the rest
+//	Critical → reject all but high-priority work
+//
+// — while the serving layers decide what each step means for a request
+// (which Spec fields to drop, which priorities to shed, which HTTP status
+// to answer). Levels rise immediately when a sample crosses a threshold
+// (an overloaded process must react within one sample period) and decay
+// one step at a time only after Settle consecutive calm samples
+// (hysteresis: a single quiet sample between two spikes must not bounce
+// the service back to full price, which would re-trigger the overload).
+//
+// Every input is injectable — CPU reader, RSS reader, clock — so fault
+// injection tests drive the controller through arbitrary load histories
+// deterministically, without consuming actual CPU or memory.
+package watchdog
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Level is the shedding ladder's current step. Levels order: comparisons
+// like lvl >= Shedding express "at least this hot".
+type Level int32
+
+const (
+	// Nominal is full service: no shedding, no degradation.
+	Nominal Level = iota
+	// Degraded keeps serving every admitted request but signals the
+	// engine to downgrade expensive work (drop exact refinement, cap
+	// ensembles) — the paper's heuristic quality bounds still hold, so
+	// this step trades optimality, never correctness.
+	Degraded
+	// Shedding additionally rejects low-priority work at admission.
+	Shedding
+	// Critical rejects everything below high priority.
+	Critical
+)
+
+// String returns the level's wire name.
+func (l Level) String() string {
+	switch l {
+	case Nominal:
+		return "nominal"
+	case Degraded:
+		return "degraded"
+	case Shedding:
+		return "shedding"
+	case Critical:
+		return "critical"
+	default:
+		return "unknown"
+	}
+}
+
+// Utilization thresholds at which each level is entered, as fractions of
+// the configured limit: crossing 100% of a limit degrades, 115% sheds low
+// priority, 130% is critical. A level decays one step after Settle
+// consecutive samples below its entry threshold minus the hysteresis
+// margin.
+const (
+	enterDegraded = 1.00
+	enterShedding = 1.15
+	enterCritical = 1.30
+	hysteresis    = 0.10
+)
+
+// enterThreshold returns the utilization at which lvl is entered.
+func enterThreshold(lvl Level) float64 {
+	switch lvl {
+	case Critical:
+		return enterCritical
+	case Shedding:
+		return enterShedding
+	default:
+		return enterDegraded
+	}
+}
+
+// levelFor maps a utilization score to the level it calls for.
+func levelFor(util float64) Level {
+	switch {
+	case util >= enterCritical:
+		return Critical
+	case util >= enterShedding:
+		return Shedding
+	case util >= enterDegraded:
+		return Degraded
+	default:
+		return Nominal
+	}
+}
+
+// Config tunes a Watchdog. The zero value is not useful — at least one of
+// CPULimit and RSSLimit must be set for the watchdog to ever leave
+// Nominal.
+type Config struct {
+	// CPULimit is the tolerated CPU use as a fraction of total capacity
+	// (Cores full cores = 1.0). 0 disables CPU-based shedding.
+	CPULimit float64
+	// RSSLimit is the tolerated resident set size in bytes. 0 disables
+	// RSS-based shedding.
+	RSSLimit uint64
+	// Interval is the sampling period of Start's background loop;
+	// <= 0 means 1s.
+	Interval time.Duration
+	// Settle is how many consecutive calm samples a level decay requires;
+	// <= 0 means 3. Together with Interval it bounds how fast the service
+	// returns to full price after an overload clears (and is the basis of
+	// the Retry-After hint shed responses carry).
+	Settle int
+	// Cores normalizes the CPU fraction; <= 0 means runtime.NumCPU().
+	Cores int
+
+	// ReadCPU returns the process's cumulative CPU time (user+system).
+	// nil means the /proc/self/stat reader. The test seam of fault
+	// injection: a fake reader replays any load history.
+	ReadCPU func() (time.Duration, error)
+	// ReadRSS returns the process's resident set size in bytes; nil means
+	// the /proc/self/statm reader.
+	ReadRSS func() (uint64, error)
+	// Now is the clock; nil means time.Now. Injected by tests together
+	// with the readers so CPU fractions are exact.
+	Now func() time.Time
+}
+
+// withDefaults fills unset Config fields.
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Settle <= 0 {
+		c.Settle = 3
+	}
+	if c.Cores <= 0 {
+		c.Cores = runtime.NumCPU()
+	}
+	if c.ReadCPU == nil {
+		c.ReadCPU = ProcCPU
+	}
+	if c.ReadRSS == nil {
+		c.ReadRSS = ProcRSS
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Health is a snapshot of the watchdog's published state.
+type Health struct {
+	// Level is the current shedding level.
+	Level Level
+	// CPU is the latest CPU sample as a fraction of total capacity
+	// (1.0 = all Cores busy), 0 until two samples exist.
+	CPU float64
+	// RSS is the latest resident set size in bytes.
+	RSS uint64
+	// Utilization is the shedding score: the maximum of CPU/CPULimit and
+	// RSS/RSSLimit over the enabled dimensions. The level thresholds
+	// (1.00 / 1.15 / 1.30) apply to this number.
+	Utilization float64
+	// Raises and Drops count level transitions (one per step).
+	Raises, Drops uint64
+	// Samples counts controller steps; SampleErrs counts reader failures
+	// (a failed dimension is skipped for that step, never fabricated).
+	Samples, SampleErrs uint64
+}
+
+// Watchdog samples process health and maintains the shedding level.
+// Level and Health are safe to call from any goroutine at any rate; the
+// controller itself steps from one goroutine at a time (Start's loop, or
+// a test calling Tick directly).
+type Watchdog struct {
+	cfg Config
+
+	mu       sync.Mutex // guards the sampler state below
+	started  bool
+	haveBase bool
+	baseCPU  time.Duration
+	baseAt   time.Time
+	calm     int
+
+	level   metrics.Gauge // current Level, published for lock-free reads
+	cpu     metrics.Gauge
+	rss     metrics.Gauge
+	util    metrics.Gauge
+	raises  metrics.Counter
+	drops   metrics.Counter
+	samples metrics.Counter
+	errs    metrics.Counter
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// New builds a Watchdog from cfg (see Config for defaulting). The
+// controller starts at Nominal; nothing samples until Start or Tick.
+func New(cfg Config) *Watchdog {
+	return &Watchdog{
+		cfg:  cfg.withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Enabled reports whether any limit is configured — a watchdog with no
+// limits never leaves Nominal, so callers skip constructing one.
+func (c Config) Enabled() bool { return c.CPULimit > 0 || c.RSSLimit > 0 }
+
+// Interval returns the effective sampling period.
+func (w *Watchdog) Interval() time.Duration { return w.cfg.Interval }
+
+// Settle returns the effective calm-sample count a level decay requires.
+func (w *Watchdog) Settle() int { return w.cfg.Settle }
+
+// RecoveryHint is the minimum time a full level decay takes once pressure
+// clears — the Retry-After a shed response advertises: retrying sooner
+// than one settle window is guaranteed to find the server still hot.
+func (w *Watchdog) RecoveryHint() time.Duration {
+	return w.cfg.Interval * time.Duration(w.cfg.Settle)
+}
+
+// Start launches the background sampling loop. Stop terminates it; a
+// watchdog driven manually via Tick (tests) never needs Start.
+func (w *Watchdog) Start() {
+	w.mu.Lock()
+	if w.started {
+		w.mu.Unlock()
+		return
+	}
+	w.started = true
+	w.mu.Unlock()
+	go func() {
+		defer close(w.done)
+		ticker := time.NewTicker(w.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				w.Tick()
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the background loop and waits for it to exit.
+// Idempotent; safe without Start.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.mu.Lock()
+	started := w.started
+	w.mu.Unlock()
+	if started {
+		<-w.done
+	}
+}
+
+// Level returns the current shedding level. Lock-free: admission checks
+// sit on every request's hot path.
+func (w *Watchdog) Level() Level { return Level(w.level.Get()) }
+
+// Health returns a snapshot of the published state.
+func (w *Watchdog) Health() Health {
+	return Health{
+		Level:       Level(w.level.Get()),
+		CPU:         w.cpu.Get(),
+		RSS:         uint64(w.rss.Get()),
+		Utilization: w.util.Get(),
+		Raises:      w.raises.Get(),
+		Drops:       w.drops.Get(),
+		Samples:     w.samples.Get(),
+		SampleErrs:  w.errs.Get(),
+	}
+}
+
+// Tick performs one controller step: sample CPU and RSS, fold them into
+// the utilization score, and move the level. Exported so fault-injection
+// tests drive the controller deterministically; Start's loop calls it on
+// the sampling interval.
+func (w *Watchdog) Tick() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.samples.Inc()
+
+	util := 0.0
+	if w.cfg.CPULimit > 0 {
+		if frac, ok := w.sampleCPU(); ok {
+			w.cpu.Set(frac)
+			if u := frac / w.cfg.CPULimit; u > util {
+				util = u
+			}
+		} else if u := w.cpu.Get() / w.cfg.CPULimit; u > util {
+			// Reader failure or first sample: hold the last good reading
+			// rather than fabricating calm — a hot process whose reader
+			// hiccups must not be declared healthy by omission.
+			util = u
+		}
+	}
+	if w.cfg.RSSLimit > 0 {
+		if rss, err := w.cfg.ReadRSS(); err == nil {
+			w.rss.Set(float64(rss))
+			if u := float64(rss) / float64(w.cfg.RSSLimit); u > util {
+				util = u
+			}
+		} else {
+			w.errs.Inc()
+			if u := w.rss.Get() / float64(w.cfg.RSSLimit); u > util {
+				util = u
+			}
+		}
+	}
+	w.util.Set(util)
+	w.step(util)
+}
+
+// sampleCPU reads the cumulative CPU time and converts the delta since
+// the previous sample into a fraction of total capacity. The first
+// successful read only establishes the baseline (no fraction exists yet).
+func (w *Watchdog) sampleCPU() (float64, bool) {
+	cpu, err := w.cfg.ReadCPU()
+	if err != nil {
+		w.errs.Inc()
+		return 0, false
+	}
+	now := w.cfg.Now()
+	if !w.haveBase {
+		w.haveBase = true
+		w.baseCPU, w.baseAt = cpu, now
+		return 0, false
+	}
+	wall := now.Sub(w.baseAt)
+	dcpu := cpu - w.baseCPU
+	w.baseCPU, w.baseAt = cpu, now
+	if wall <= 0 {
+		return 0, false
+	}
+	frac := float64(dcpu) / float64(wall) / float64(w.cfg.Cores)
+	if frac < 0 {
+		frac = 0
+	}
+	return frac, true
+}
+
+// step moves the level for one utilization sample: rise immediately to
+// whatever the sample calls for, decay one step only after Settle
+// consecutive samples below the current level's exit threshold.
+func (w *Watchdog) step(util float64) {
+	cur := Level(w.level.Get())
+	target := levelFor(util)
+	switch {
+	case target > cur:
+		w.raises.Add(uint64(target - cur))
+		w.level.Set(float64(target))
+		w.calm = 0
+	case target < cur && util < enterThreshold(cur)-hysteresis:
+		w.calm++
+		if w.calm >= w.cfg.Settle {
+			w.drops.Inc()
+			w.level.Set(float64(cur - 1))
+			w.calm = 0
+		}
+	default:
+		w.calm = 0
+	}
+}

@@ -1,0 +1,298 @@
+package watchdog
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// rig is the fault-injection harness: a watchdog with a fake clock and
+// fake CPU/RSS readers. Each Tick advances the clock one interval, so a
+// test scripts a load history by setting cpuBusy (fraction of capacity
+// consumed since the previous tick) and rss before each step.
+type rig struct {
+	w       *Watchdog
+	now     time.Time
+	cpuTime time.Duration
+	cpuBusy float64 // capacity fraction to burn per tick
+	rss     uint64
+	cpuErr  error
+	rssErr  error
+	cores   int
+}
+
+func newRig(cfg Config) *rig {
+	r := &rig{now: time.Unix(1000, 0), cores: 4}
+	if cfg.Cores > 0 {
+		r.cores = cfg.Cores
+	}
+	cfg.Cores = r.cores
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	cfg.ReadCPU = func() (time.Duration, error) {
+		if r.cpuErr != nil {
+			return 0, r.cpuErr
+		}
+		return r.cpuTime, nil
+	}
+	cfg.ReadRSS = func() (uint64, error) {
+		if r.rssErr != nil {
+			return 0, r.rssErr
+		}
+		return r.rss, nil
+	}
+	cfg.Now = func() time.Time { return r.now }
+	r.w = New(cfg)
+	return r
+}
+
+// tick advances one sampling period with the rig's current load.
+func (r *rig) tick() {
+	r.now = r.now.Add(r.w.Interval())
+	r.cpuTime += time.Duration(r.cpuBusy * float64(r.cores) * float64(r.w.Interval()))
+	r.w.Tick()
+}
+
+func TestWatchdogCPUFraction(t *testing.T) {
+	r := newRig(Config{CPULimit: 0.8, Settle: 3})
+	r.cpuBusy = 0.4
+	r.tick() // baseline only: no fraction yet
+	if got := r.w.Health().CPU; got != 0 {
+		t.Fatalf("CPU after first sample = %v, want 0 (baseline)", got)
+	}
+	r.tick()
+	h := r.w.Health()
+	if h.CPU < 0.39 || h.CPU > 0.41 {
+		t.Fatalf("CPU fraction %v, want ~0.40", h.CPU)
+	}
+	// utilization = cpu/limit = 0.4/0.8 = 0.5 → Nominal
+	if h.Utilization < 0.49 || h.Utilization > 0.51 {
+		t.Fatalf("utilization %v, want ~0.5", h.Utilization)
+	}
+	if h.Level != Nominal {
+		t.Fatalf("level %v, want nominal", h.Level)
+	}
+}
+
+func TestWatchdogLevelsRiseImmediately(t *testing.T) {
+	r := newRig(Config{CPULimit: 0.5, Settle: 3})
+	r.tick() // baseline
+	steps := []struct {
+		busy float64
+		want Level
+	}{
+		{0.4, Nominal},   // util 0.8
+		{0.52, Degraded}, // util 1.04
+		{0.60, Shedding}, // util 1.20
+		{0.70, Critical}, // util 1.40
+	}
+	for _, s := range steps {
+		r.cpuBusy = s.busy
+		r.tick()
+		if got := r.w.Level(); got != s.want {
+			t.Fatalf("busy %v: level %v, want %v", s.busy, got, s.want)
+		}
+	}
+	// A spike from calm jumps multiple levels in one sample.
+	r2 := newRig(Config{CPULimit: 0.5, Settle: 3})
+	r2.tick()
+	r2.cpuBusy = 0.9 // util 1.8
+	r2.tick()
+	if got := r2.w.Level(); got != Critical {
+		t.Fatalf("spike: level %v, want critical in one step", got)
+	}
+	if raises := r2.w.Health().Raises; raises != 3 {
+		t.Fatalf("spike: %d raises recorded, want 3 (one per step)", raises)
+	}
+}
+
+func TestWatchdogHysteresisAndSettle(t *testing.T) {
+	r := newRig(Config{CPULimit: 0.5, Settle: 3})
+	r.tick()
+	r.cpuBusy = 0.7 // util 1.4 → Critical
+	r.tick()
+	if r.w.Level() != Critical {
+		t.Fatalf("setup: level %v, want critical", r.w.Level())
+	}
+	// Utilization just below the entry threshold but inside the
+	// hysteresis band: must NOT decay, however long it persists.
+	r.cpuBusy = 0.5 * (enterCritical - hysteresis/2) // util 1.25
+	for i := 0; i < 10; i++ {
+		r.tick()
+	}
+	if r.w.Level() != Critical {
+		t.Fatalf("inside hysteresis band: level %v, want critical", r.w.Level())
+	}
+	// Calm below the band: decays exactly one level per Settle samples.
+	r.cpuBusy = 0.1 // util 0.2
+	for step, want := range []Level{Critical, Critical, Critical, Shedding, Shedding, Shedding} {
+		if got := r.w.Level(); got != want {
+			t.Fatalf("calm step %d: level %v, want %v", step, got, want)
+		}
+		r.tick()
+	}
+	// One spike mid-recovery resets the calm counter.
+	r.cpuBusy = 0.52 // util 1.04 → Degraded entry, so stays Degraded, calm reset
+	r.tick()
+	r.cpuBusy = 0.1
+	r.tick()
+	r.tick()
+	if r.w.Level() != Degraded {
+		t.Fatalf("2 calm samples after spike: level %v, want still degraded", r.w.Level())
+	}
+	r.tick()
+	if r.w.Level() != Nominal {
+		t.Fatalf("3rd calm sample: level %v, want nominal", r.w.Level())
+	}
+	h := r.w.Health()
+	if h.Raises == 0 || h.Drops != 3 {
+		t.Fatalf("transitions raises=%d drops=%d, want raises>0 drops=3", h.Raises, h.Drops)
+	}
+}
+
+func TestWatchdogRSSDimension(t *testing.T) {
+	r := newRig(Config{RSSLimit: 1 << 30, Settle: 2})
+	r.rss = 512 << 20
+	r.tick()
+	if got := r.w.Level(); got != Nominal {
+		t.Fatalf("at half the RSS limit: level %v, want nominal", got)
+	}
+	r.rss = 1200 << 20 // 1.17× limit
+	r.tick()
+	if got := r.w.Level(); got != Shedding {
+		t.Fatalf("at 1.17x RSS limit: level %v, want shedding", got)
+	}
+	if h := r.w.Health(); h.RSS != 1200<<20 {
+		t.Fatalf("health RSS %d, want %d", h.RSS, uint64(1200<<20))
+	}
+}
+
+func TestWatchdogMaxOfDimensions(t *testing.T) {
+	// CPU calm, RSS hot: the hotter dimension wins.
+	r := newRig(Config{CPULimit: 0.5, RSSLimit: 1 << 30, Settle: 2})
+	r.cpuBusy = 0.1
+	r.rss = 1400 << 20 // 1.37× limit → Critical
+	r.tick()           // baseline CPU; RSS already counted
+	if got := r.w.Level(); got != Critical {
+		t.Fatalf("hot RSS, calm CPU: level %v, want critical", got)
+	}
+}
+
+func TestWatchdogReaderErrorHoldsLastReading(t *testing.T) {
+	r := newRig(Config{CPULimit: 0.5, Settle: 2})
+	r.tick()
+	r.cpuBusy = 0.7 // util 1.4 → Critical
+	r.tick()
+	if r.w.Level() != Critical {
+		t.Fatalf("setup: level %v, want critical", r.w.Level())
+	}
+	// Reader starts failing: the last (hot) reading must hold — a
+	// failing reader must not read as recovery.
+	r.cpuErr = errors.New("proc unreadable")
+	for i := 0; i < 5; i++ {
+		r.tick()
+	}
+	if got := r.w.Level(); got != Critical {
+		t.Fatalf("reader failing: level %v, want critical held", got)
+	}
+	if errs := r.w.Health().SampleErrs; errs != 5 {
+		t.Fatalf("sample errors %d, want 5", errs)
+	}
+	// Reader recovers with calm values: normal decay resumes.
+	r.cpuErr = nil
+	r.cpuBusy = 0.05
+	for i := 0; i < 7; i++ {
+		r.tick()
+	}
+	if got := r.w.Level(); got != Nominal {
+		t.Fatalf("after recovery: level %v, want nominal", got)
+	}
+}
+
+func TestWatchdogStartStopNoLeak(t *testing.T) {
+	r := newRig(Config{CPULimit: 0.5, Interval: time.Millisecond})
+	r.w.Start()
+	r.w.Start() // idempotent
+	time.Sleep(5 * time.Millisecond)
+	r.w.Stop()
+	r.w.Stop() // idempotent
+	// Stop without Start must not hang.
+	w2 := New(Config{CPULimit: 0.5})
+	w2.Stop()
+}
+
+func TestWatchdogRecoveryHint(t *testing.T) {
+	w := New(Config{CPULimit: 0.5, Interval: 2 * time.Second, Settle: 3})
+	if got := w.RecoveryHint(); got != 6*time.Second {
+		t.Fatalf("recovery hint %v, want 6s", got)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	for lvl, want := range map[Level]string{
+		Nominal: "nominal", Degraded: "degraded", Shedding: "shedding",
+		Critical: "critical", Level(42): "unknown",
+	} {
+		if lvl.String() != want {
+			t.Fatalf("Level(%d).String() = %q, want %q", lvl, lvl.String(), want)
+		}
+	}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if !(Config{CPULimit: 0.5}).Enabled() || !(Config{RSSLimit: 1}).Enabled() {
+		t.Fatal("configured limit not reported enabled")
+	}
+}
+
+func TestProcStatParsers(t *testing.T) {
+	// A comm with spaces and a ')' — the adversarial case for stat
+	// parsing; utime=150 stime=50 ticks → 2s at USER_HZ=100.
+	stat := "1234 (my (weird) proc) S 1 1 1 0 -1 4194304 100 0 0 0 150 50 0 0 20 0 8 0 12345 1000000 500 18446744073709551615"
+	d, err := parseProcStatCPU(stat)
+	if err != nil {
+		t.Fatalf("parse stat: %v", err)
+	}
+	if d != 2*time.Second {
+		t.Fatalf("cpu time %v, want 2s", d)
+	}
+	if _, err := parseProcStatCPU("garbage"); err == nil {
+		t.Fatal("malformed stat accepted")
+	}
+	if _, err := parseProcStatCPU("1 (x) S 1 2 3"); err == nil {
+		t.Fatal("short stat accepted")
+	}
+
+	rss, err := parseProcStatmRSS("9999 250 30 40 0 60 0", 4096)
+	if err != nil {
+		t.Fatalf("parse statm: %v", err)
+	}
+	if rss != 250*4096 {
+		t.Fatalf("rss %d, want %d", rss, 250*4096)
+	}
+	if _, err := parseProcStatmRSS("1", 4096); err == nil {
+		t.Fatal("short statm accepted")
+	}
+}
+
+func TestProcReadersLive(t *testing.T) {
+	// Smoke test against the real /proc on Linux; skip where absent.
+	cpu, err := ProcCPU()
+	if err != nil {
+		t.Skipf("no procfs: %v", err)
+	}
+	if cpu < 0 {
+		t.Fatalf("negative cpu time %v", cpu)
+	}
+	rss, err := ProcRSS()
+	if err != nil {
+		t.Fatalf("ProcRSS after ProcCPU worked: %v", err)
+	}
+	if rss == 0 {
+		t.Fatal("zero RSS for a running process")
+	}
+}

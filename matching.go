@@ -195,6 +195,12 @@ type MatchResult struct {
 	// RefineNone); it is the wire-level provenance bit cmd/matchserve
 	// surfaces as "refined".
 	Refined bool
+	// Degraded, when non-empty, records the self-protection downgrades a
+	// serving layer applied to the Spec before this run (see
+	// Response.Degraded for the marker grammar). Direct Matcher.Run and
+	// Graph.Match calls execute exactly the Spec given and always leave it
+	// empty.
+	Degraded string
 }
 
 // OneSidedMatch runs the OneSidedMatch heuristic (Algorithm 2):

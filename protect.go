@@ -1,0 +1,378 @@
+package bipartite
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/watchdog"
+)
+
+// This file is the Server's self-protection layer: priority admission,
+// per-client rate limits, queue-aware deadline rejection, and graceful
+// quality degradation, all driven by the internal watchdog's shedding
+// level. The design principle is that the paper's quality guarantees form
+// a degradation *ladder* no generic service has: under pressure the
+// engine can drop the exact refinement stage and still return a matching
+// with a provable bound (OneSided ≥ (1−1/e)·sprank, TwoSided ≈
+// 0.866·sprank), so load shedding trades optimality before it ever
+// refuses work — and refuses doomed or low-priority work before it
+// queues.
+
+// Priority ranks a request for admission under load: when the watchdog
+// reports the process hot, lower priorities are shed first. The zero
+// value is PriorityNormal, so existing callers are unaffected.
+type Priority int
+
+const (
+	// PriorityLow marks work to shed first (bulk sweeps, prefetch,
+	// best-effort analytics). Rejected at ShedShedding and above.
+	PriorityLow Priority = -1
+	// PriorityNormal is the default. Rejected at ShedCritical.
+	PriorityNormal Priority = 0
+	// PriorityHigh marks work that is never shed by the watchdog — it
+	// still fails with ErrOverloaded when the bounded queue is full.
+	PriorityHigh Priority = 1
+)
+
+// String returns the wire name of the priority.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityHigh:
+		return "high"
+	case PriorityNormal:
+		return "normal"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePriority converts a wire name back into a Priority. The empty
+// string means PriorityNormal.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "normal", "":
+		return PriorityNormal, nil
+	case "low":
+		return PriorityLow, nil
+	case "high":
+		return PriorityHigh, nil
+	default:
+		return 0, fmt.Errorf("bipartite: unknown priority %q", s)
+	}
+}
+
+// ShedLevel is the watchdog's shedding ladder as the public API exposes
+// it; see WatchdogConfig for how levels are entered and left.
+type ShedLevel int
+
+const (
+	// ShedNominal is full service.
+	ShedNominal ShedLevel = ShedLevel(watchdog.Nominal)
+	// ShedDegraded serves every admitted request with a downgraded Spec:
+	// refinement dropped, ensembles capped at 2 — the heuristic quality
+	// bounds still hold, the sprank guarantee is given up.
+	ShedDegraded ShedLevel = ShedLevel(watchdog.Degraded)
+	// ShedShedding additionally rejects PriorityLow requests and caps
+	// ensembles at 1.
+	ShedShedding ShedLevel = ShedLevel(watchdog.Shedding)
+	// ShedCritical rejects everything below PriorityHigh.
+	ShedCritical ShedLevel = ShedLevel(watchdog.Critical)
+)
+
+// String returns the wire name of the level.
+func (l ShedLevel) String() string { return watchdog.Level(l).String() }
+
+// ErrShed reports a request rejected at admission because the watchdog
+// found the process too hot for the request's priority. The concrete
+// error is a *ShedError carrying the level and a Retry-After hint.
+var ErrShed = errors.New("bipartite: request shed (server hot)")
+
+// ErrWouldMiss reports a request rejected at admission because its
+// context deadline cannot be met: the remaining budget is smaller than
+// the estimated queue wait plus the estimated service time, so running it
+// would burn kernel work on an answer the caller has already abandoned.
+// The concrete error is a *WouldMissError.
+var ErrWouldMiss = errors.New("bipartite: deadline would be missed (queue wait exceeds remaining budget)")
+
+// ErrRateLimited reports a request rejected by the per-client token
+// bucket. The concrete error is a *RateLimitError.
+var ErrRateLimited = errors.New("bipartite: client rate limit exceeded")
+
+// ShedError is the concrete ErrShed: which level shed the request and how
+// long a caller should wait before retrying (one watchdog settle window —
+// retrying sooner is guaranteed to find the server still hot).
+type ShedError struct {
+	Level      ShedLevel
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("bipartite: request shed at level %s (retry after %v)", e.Level, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrShed) work.
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// WouldMissError is the concrete ErrWouldMiss: the estimated total time
+// to an answer (queue wait + service time), the remaining context budget
+// it exceeds, and the retry hint (the estimated queue wait — by then the
+// backlog in front of the caller has drained).
+type WouldMissError struct {
+	Estimated  time.Duration
+	Remaining  time.Duration
+	RetryAfter time.Duration
+}
+
+func (e *WouldMissError) Error() string {
+	return fmt.Sprintf("bipartite: deadline would be missed: estimated %v exceeds remaining %v", e.Estimated, e.Remaining)
+}
+
+// Unwrap makes errors.Is(err, ErrWouldMiss) work.
+func (e *WouldMissError) Unwrap() error { return ErrWouldMiss }
+
+// RateLimitError is the concrete ErrRateLimited: which client exceeded
+// its bucket and when one token will have accrued.
+type RateLimitError struct {
+	Client     string
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("bipartite: client %q rate limited (retry after %v)", e.Client, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrRateLimited) work.
+func (e *RateLimitError) Unwrap() error { return ErrRateLimited }
+
+// WatchdogConfig enables a Server's self-protection watchdog: a sampler
+// of the process's own CPU and RSS whose shedding level drives priority
+// admission and Spec degradation. Protection is off unless at least one
+// limit is set (Enabled).
+//
+// Utilization is max(cpu/CPULimit, rss/RSSLimit); the level enters
+// Degraded at 100% of a limit, Shedding at 115%, Critical at 130%, and
+// decays one step per Settle consecutive samples a hysteresis margin
+// below the entry threshold — so one calm sample between two spikes never
+// bounces the service back to full price.
+type WatchdogConfig struct {
+	// CPULimit is the tolerated CPU use as a fraction of total capacity
+	// (1.0 = all cores busy). 0 disables the CPU dimension.
+	CPULimit float64
+	// RSSLimit is the tolerated resident set size in bytes. 0 disables
+	// the RSS dimension.
+	RSSLimit uint64
+	// Interval is the sampling period; <= 0 means 1s.
+	Interval time.Duration
+	// Settle is how many consecutive calm samples one level decay
+	// requires; <= 0 means 3. Interval×Settle is the Retry-After hint
+	// shed responses carry.
+	Settle int
+
+	// ReadCPU, ReadRSS and Now are test seams: fault-injection suites
+	// inject fake readers and a fake clock to replay arbitrary load
+	// histories deterministically. nil means the real /proc readers and
+	// time.Now.
+	ReadCPU func() (time.Duration, error)
+	ReadRSS func() (uint64, error)
+	Now     func() time.Time
+}
+
+// Enabled reports whether any limit is configured.
+func (c WatchdogConfig) Enabled() bool { return c.CPULimit > 0 || c.RSSLimit > 0 }
+
+// build converts the public config into the internal watchdog's.
+func (c WatchdogConfig) build() *watchdog.Watchdog {
+	return watchdog.New(watchdog.Config{
+		CPULimit: c.CPULimit,
+		RSSLimit: c.RSSLimit,
+		Interval: c.Interval,
+		Settle:   c.Settle,
+		ReadCPU:  c.ReadCPU,
+		ReadRSS:  c.ReadRSS,
+		Now:      c.Now,
+	})
+}
+
+// ServerHealth is a snapshot of a Server's watchdog state; zero-valued
+// when protection is disabled.
+type ServerHealth struct {
+	// Level is the current shedding level.
+	Level ShedLevel
+	// CPU is the latest CPU sample as a fraction of total capacity.
+	CPU float64
+	// RSSBytes is the latest resident set size.
+	RSSBytes uint64
+	// Utilization is the shedding score the level thresholds apply to:
+	// max(cpu/CPULimit, rss/RSSLimit).
+	Utilization float64
+}
+
+// degradeSpec downgrades a Spec for the given shedding level and returns
+// the marker string stamped into the response's Degraded provenance. The
+// ladder gives up guarantees most-expensive-first while every surviving
+// answer keeps a provable bound:
+//
+//	Nominal  — full Spec; refined results reach sprank.
+//	Degraded — Refine dropped (heuristic bound only), Ensemble capped
+//	           at 2 (one scaling, at most two sampling kernels).
+//	Shedding — additionally Ensemble capped at 1: one heuristic run,
+//	           still carrying the paper's one-/two-sided bound.
+//	Critical — as Shedding (admission has already shed everything below
+//	           PriorityHigh).
+//
+// The empty marker means the Spec ran exactly as requested.
+func degradeSpec(s Spec, lvl watchdog.Level) (Spec, string) {
+	if lvl < watchdog.Degraded {
+		return s, ""
+	}
+	var marks []string
+	if s.Refine != RefineNone {
+		marks = append(marks, "refine:"+s.Refine.String()+"->none")
+		s.Refine = RefineNone
+	}
+	capK := 2
+	if lvl >= watchdog.Shedding {
+		capK = 1
+	}
+	if s.Ensemble > capK {
+		marks = append(marks, "best_of:"+strconv.Itoa(s.Ensemble)+"->"+strconv.Itoa(capK))
+		s.Ensemble = capK
+	}
+	if s.Target != 0 && s.Ensemble <= 1 {
+		// Target only shapes ensembles; a capped-to-single run ignores it,
+		// so record that the quality target is no longer being chased.
+		marks = append(marks, "target:dropped")
+		s.Target = 0
+	}
+	return s, strings.Join(marks, ",")
+}
+
+// svcClassCap bounds the service-time tracker's keyed EWMA map, the same
+// containment discipline as the engine's scaling cache: a stream of
+// never-repeating graphs cannot grow it without bound.
+const svcClassCap = 1024
+
+// svcEWMAAlpha is the smoothing factor of the service-time estimates:
+// 0.2 reaches ~90% of a level shift within ten observations while riding
+// out single-request noise.
+const svcEWMAAlpha = 0.2
+
+// svcKey classifies requests whose service times are comparable: same
+// graph, same algorithm and refinement family, same ensemble width. The
+// Seed and Target fields are deliberately excluded — they move the cost
+// far less than the key fields do.
+type svcKey struct {
+	g   *Graph
+	alg Algorithm
+	ref Refinement
+	k   int
+}
+
+// svcStats estimates per-class service times with exponentially weighted
+// moving averages, plus one global mean that seeds estimates for classes
+// never seen before. It backs the would-miss admission check: reject now,
+// with a Retry-After, rather than queue work whose deadline the backlog
+// has already doomed.
+type svcStats struct {
+	mu     sync.Mutex
+	tick   uint64
+	keyed  map[svcKey]*svcEWMA
+	global time.Duration // EWMA over every request; 0 until first record
+}
+
+type svcEWMA struct {
+	mean time.Duration
+	last uint64 // LRU recency stamp
+}
+
+func newSvcStats() *svcStats {
+	return &svcStats{keyed: make(map[svcKey]*svcEWMA)}
+}
+
+// classOf collapses a request's spec into its service-time class.
+func classOf(g *Graph, spec Spec) svcKey {
+	k := spec.Ensemble
+	if k < 1 {
+		k = 1
+	}
+	return svcKey{g: g, alg: spec.Algorithm, ref: spec.Refine, k: k}
+}
+
+// record folds one observed service time into the class and global EWMAs.
+func (s *svcStats) record(g *Graph, spec Spec, d time.Duration) {
+	key := classOf(g, spec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	e := s.keyed[key]
+	if e == nil {
+		if len(s.keyed) >= svcClassCap {
+			var victim svcKey
+			oldest := ^uint64(0)
+			for k, v := range s.keyed {
+				if v.last < oldest {
+					oldest, victim = v.last, k
+				}
+			}
+			delete(s.keyed, victim)
+		}
+		e = &svcEWMA{mean: d}
+		s.keyed[key] = e
+	} else {
+		e.mean = ewma(e.mean, d)
+	}
+	e.last = s.tick
+	if s.global == 0 {
+		s.global = d
+	} else {
+		s.global = ewma(s.global, d)
+	}
+}
+
+func ewma(prev, obs time.Duration) time.Duration {
+	return time.Duration(svcEWMAAlpha*float64(obs) + (1-svcEWMAAlpha)*float64(prev))
+}
+
+// estimate returns the expected service time of a request: the class EWMA
+// when the class has history, the global mean otherwise. ok is false only
+// before any request has completed at all — with no data there is nothing
+// defensible to reject on.
+func (s *svcStats) estimate(g *Graph, spec Spec) (time.Duration, bool) {
+	key := classOf(g, spec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.keyed[key]; e != nil {
+		e.last = s.tick
+		return e.mean, true
+	}
+	if s.global > 0 {
+		return s.global, true
+	}
+	return 0, false
+}
+
+// globalMean returns the all-requests EWMA (0 before any completion) —
+// the per-slot drain rate estimate behind the queue-wait term.
+func (s *svcStats) globalMean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.global
+}
+
+// dropGraph forgets every class of graph g (the graph registry evicted
+// it; its estimates must not pin the map).
+func (s *svcStats) dropGraph(g *Graph) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.keyed {
+		if k.g == g {
+			delete(s.keyed, k)
+		}
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/watchdog"
 )
 
 // ErrOverloaded reports a request rejected at admission because the
@@ -36,10 +39,28 @@ var ErrServerClosed = errors.New("bipartite: server closed")
 // Responses are as deterministic as MatchBatch's: a function of
 // (Graph, Spec, Options) only — ensemble provenance included — however
 // requests are interleaved or batched.
+//
+// A server with ServerConfig.Watchdog enabled additionally protects
+// itself: a sampler of the process's own CPU and RSS drives a shedding
+// ladder that first degrades Specs (dropping exact refinement and capping
+// ensembles — every answer still carries the paper's heuristic quality
+// bound), then sheds PriorityLow and finally everything below
+// PriorityHigh, each rejection typed and carrying a Retry-After hint.
+// Degraded responses stamp what was given up into Response.Degraded, so
+// determinism weakens only in an observable way: responses become a
+// function of (Graph, Spec, Options, shedding level), and the level rode
+// along with the answer. Per-client rate limits (RatePerClient) and the
+// queue-aware would-miss check extend the same admission ladder.
 type Server struct {
 	engine   *batchEngine
 	maxBatch int
 	jobs     chan serverJob
+
+	// wd is the self-protection watchdog (nil when WatchdogConfig is not
+	// Enabled); limiter is the per-client token bucket (nil when
+	// RatePerClient is 0). Both nil = exactly the pre-protection server.
+	wd      *watchdog.Watchdog
+	limiter *watchdog.RateLimiter
 
 	wg sync.WaitGroup
 	// mu gates the jobs channel's lifecycle: submitters hold the read
@@ -50,9 +71,12 @@ type Server struct {
 	closed    bool
 	closeOnce sync.Once
 
-	requests atomic.Int64
-	batches  atomic.Int64
-	rejected atomic.Int64
+	requests    atomic.Int64
+	batches     atomic.Int64
+	rejected    atomic.Int64
+	shed        atomic.Int64
+	wouldMiss   atomic.Int64
+	rateLimited atomic.Int64
 
 	// testHookBatch, when non-nil, runs on the collector goroutine before
 	// each batch executes — the test seam that stalls the collector to
@@ -74,6 +98,18 @@ type ServerConfig struct {
 	// waiting to be drained into a batch. Submissions beyond it fail with
 	// ErrOverloaded. <= 0 means 4×MaxBatch.
 	Queue int
+	// Watchdog enables the self-protection layer: when Enabled, a sampler
+	// of the process's own CPU and RSS drives priority shedding and Spec
+	// degradation (see WatchdogConfig). The zero value keeps protection
+	// off — the server behaves exactly as before.
+	Watchdog WatchdogConfig
+	// RatePerClient, when > 0, enables per-client token-bucket admission:
+	// each distinct Request.Client earns this many tokens per second.
+	// Requests with an empty Client bypass the limiter.
+	RatePerClient float64
+	// RateBurst is the per-client bucket ceiling; <= 0 means
+	// max(2×RatePerClient, 1).
+	RateBurst int
 }
 
 // NewServer starts a serving loop with the given options (nil follows the
@@ -97,6 +133,14 @@ func NewServerConfig(opt *Options, cfg ServerConfig) *Server {
 		engine:   newBatchEngine(opt),
 		maxBatch: cfg.MaxBatch,
 		jobs:     make(chan serverJob, cfg.Queue),
+	}
+	if cfg.Watchdog.Enabled() {
+		s.wd = cfg.Watchdog.build()
+		s.engine.shed = s.wd.Level
+		s.wd.Start()
+	}
+	if cfg.RatePerClient > 0 {
+		s.limiter = watchdog.NewRateLimiter(cfg.RatePerClient, cfg.RateBurst, cfg.Watchdog.Now)
 	}
 	s.wg.Add(1)
 	go s.loop()
@@ -128,14 +172,38 @@ func (s *Server) Match(req Request) Response {
 }
 
 // submit tries to enqueue one request. When it fails, the returned
-// Response carries the admission error and nothing was enqueued. The read
-// lock is held only across the closed check and a non-blocking send, so
-// it never delays other submitters and cannot deadlock against Close.
+// Response carries the admission error and nothing was enqueued. The
+// admission ladder runs cheapest-first and strictest-first: expired
+// context, closed server, watchdog priority shedding, per-client rate
+// limit, the queue-aware would-miss check, and finally the bounded queue
+// itself. Every rejection is typed (ErrShed / ErrRateLimited /
+// ErrWouldMiss / ErrOverloaded) and — where a wait helps — carries a
+// Retry-After hint for the HTTP layer. The read lock is held only across
+// the closed check and a non-blocking send, so it never delays other
+// submitters and cannot deadlock against Close.
 func (s *Server) submit(req Request, out chan Response) (Response, bool) {
 	if req.Ctx != nil {
 		if err := req.Ctx.Err(); err != nil {
 			return Response{Err: err}, false
 		}
+	}
+	if s.wd != nil {
+		lvl := s.wd.Level()
+		if (lvl >= watchdog.Shedding && req.Priority <= PriorityLow) ||
+			(lvl >= watchdog.Critical && req.Priority < PriorityHigh) {
+			s.shed.Add(1)
+			return Response{Err: &ShedError{Level: ShedLevel(lvl), RetryAfter: s.wd.RecoveryHint()}}, false
+		}
+	}
+	if req.Client != "" && s.limiter != nil {
+		if ok, retry := s.limiter.Allow(req.Client); !ok {
+			s.rateLimited.Add(1)
+			return Response{Err: &RateLimitError{Client: req.Client, RetryAfter: retry}}, false
+		}
+	}
+	if err := s.wouldMissDeadline(req); err != nil {
+		s.wouldMiss.Add(1)
+		return Response{Err: err}, false
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -149,6 +217,39 @@ func (s *Server) submit(req Request, out chan Response) (Response, bool) {
 		s.rejected.Add(1)
 		return Response{Err: ErrOverloaded}, false
 	}
+}
+
+// wouldMissDeadline is the queue-aware admission check: when the request
+// carries a deadline and the service-time history predicts the answer
+// cannot arrive before it — estimated queue wait plus the class's EWMA
+// service time exceeds the remaining budget — the request is rejected now
+// with a *WouldMissError, instead of burning kernel work on an answer the
+// caller will have abandoned. With no history (cold server, unknown
+// class before any completion) it admits: there is nothing defensible to
+// reject on. nil means admit.
+func (s *Server) wouldMissDeadline(req Request) error {
+	if req.Ctx == nil || req.Graph == nil {
+		return nil
+	}
+	dl, ok := req.Ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	est, ok := s.engine.svc.estimate(req.Graph, req.effectiveSpec())
+	if !ok {
+		return nil
+	}
+	// Queue wait: the backlog ahead of this request drains at roughly one
+	// global-mean service time per pool slot.
+	var wait time.Duration
+	if gm := s.engine.svc.globalMean(); gm > 0 {
+		wait = gm * time.Duration(len(s.jobs)) / time.Duration(s.engine.width)
+	}
+	remaining := time.Until(dl)
+	if total := wait + est; remaining < total {
+		return &WouldMissError{Estimated: total, Remaining: remaining, RetryAfter: wait}
+	}
+	return nil
 }
 
 // MatchBatch submits many requests at once and blocks until all admitted
@@ -199,6 +300,9 @@ func (s *Server) Close() {
 		s.mu.Unlock()
 		close(s.jobs)
 		s.wg.Wait()
+		if s.wd != nil {
+			s.wd.Stop()
+		}
 	})
 }
 
@@ -215,14 +319,47 @@ type ServerStats struct {
 	// admission. A growing Rejected under steady traffic means the queue
 	// (or the pool behind it) is undersized for the offered load.
 	Rejected int64
+	// Shed is the number of submissions refused by the watchdog's priority
+	// shedding (ErrShed).
+	Shed int64
+	// WouldMiss is the number of submissions refused because their
+	// deadline could not be met (ErrWouldMiss).
+	WouldMiss int64
+	// RateLimited is the number of submissions refused by the per-client
+	// token bucket (ErrRateLimited).
+	RateLimited int64
+	// Degraded is the number of requests served with a downgraded Spec
+	// (Response.Degraded non-empty): answered, but with the heuristic
+	// quality bound instead of the full Spec's guarantee.
+	Degraded int64
 }
 
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Requests: s.requests.Load(),
-		Batches:  s.batches.Load(),
-		Rejected: s.rejected.Load(),
+		Requests:    s.requests.Load(),
+		Batches:     s.batches.Load(),
+		Rejected:    s.rejected.Load(),
+		Shed:        s.shed.Load(),
+		WouldMiss:   s.wouldMiss.Load(),
+		RateLimited: s.rateLimited.Load(),
+		Degraded:    s.engine.degraded.Load(),
+	}
+}
+
+// Health returns a snapshot of the watchdog's state: shedding level and
+// the latest CPU/RSS samples. Zero-valued (Level ShedNominal) when no
+// watchdog is configured — an unprotected server always reports nominal.
+func (s *Server) Health() ServerHealth {
+	if s.wd == nil {
+		return ServerHealth{}
+	}
+	h := s.wd.Health()
+	return ServerHealth{
+		Level:       ShedLevel(h.Level),
+		CPU:         h.CPU,
+		RSSBytes:    h.RSS,
+		Utilization: h.Utilization,
 	}
 }
 
