@@ -150,6 +150,10 @@ type Response struct {
 	// Refined reports whether a refinement stage ran (Spec.Refine was not
 	// RefineNone).
 	Refined bool
+	// RefinedWith is the refinement engine that actually ran (RefineExact
+	// auto-selects the graft engine on large instances); RefineNone when no
+	// refinement ran.
+	RefinedWith Refinement
 	// Degraded, when non-empty, records the self-protection downgrades
 	// the engine applied before running the Spec (e.g.
 	// "refine:exact->none,best_of:8->2"): the response was computed under
@@ -513,6 +517,7 @@ func (e *batchEngine) serve(w, i int) {
 		Candidates:    res.Candidates,
 		HeuristicSize: res.HeuristicSize,
 		Refined:       res.Refined,
+		RefinedWith:   res.RefinedWith,
 		Degraded:      degraded,
 	}
 }

@@ -10,9 +10,13 @@
 //	matchbench -exp serve -pool 1,2,4,8         # ensemble fan-out width sweep
 //
 // Experiments: qualityfi, table1, table2, table3, fig3, fig4, fig5,
-// conjecture, ablation, extension, perf, serve.
+// conjecture, ablation, extension, perf, refine, serve.
 //
-// The perf and serve experiments additionally write their records to a
+// refine measures the exact-refinement engines (Hopcroft-Karp,
+// push-relabel, and the parallel MS-BFS-Graft engine at 1/2/4 workers)
+// completing one shared cheap warm start on adversarial instances.
+//
+// The perf, refine and serve experiments additionally write their records to a
 // machine-readable JSON file (-json, default BENCH_matchbench.json) so
 // the performance trajectory can be tracked across commits, and any run
 // can capture a CPU profile with -cpuprofile. serve measures per-request
@@ -39,7 +43,7 @@ func main() { os.Exit(run()) }
 // stop and file close instead of truncating the profile via os.Exit.
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension,perf,serve")
+		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension,perf,refine,serve")
 		scale   = flag.String("scale", "small", "instance scale: tiny | small | paper")
 		runs    = flag.Int("runs", 10, "randomized repetitions for min-quality tables")
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
@@ -129,6 +133,7 @@ func run() int {
 	})
 	var records []bench.PerfRecord
 	runExp("perf", func() { records = append(records, bench.Perf(cfg)...) })
+	runExp("refine", func() { records = append(records, bench.Refine(cfg)...) })
 	runExp("serve", func() {
 		records = append(records, serve(cfg)...)
 		if len(poolWidths) > 0 {

@@ -44,6 +44,7 @@
 //	                   → {"size":S,"rows":R,"cols":C,"row_mate":[...],
 //	                      "winner_seed":9,"candidates_run":3,
 //	                      "heuristic_size":H,"refined":true,
+//	                      "refined_with":"graft",
 //	                      "degraded":"refine:exact->none","ms":1.2}
 //	                   ("degraded" appears only on responses the watchdog
 //	                   downgraded; the X-Client header names the caller
@@ -81,9 +82,11 @@
 // "winner_seed" (the ensemble seed that produced the matching),
 // "candidates_run" (how many candidates were consumed — a target or the
 // ensemble-aware refinement may stop the sweep before best_of),
-// "heuristic_size" (the winner's cardinality before refinement) and
-// "refined" (whether a refinement stage ran). size − heuristic_size is
-// exactly the work the exact solver added on top of the jump-start.
+// "heuristic_size" (the winner's cardinality before refinement),
+// "refined" (whether a refinement stage ran) and "refined_with" (the
+// engine that ran — reports the auto-selection outcome when the request
+// asked for "exact"). size − heuristic_size is exactly the work the
+// exact solver added on top of the jump-start.
 //
 // Registering a graph once and matching it by id is the warm path: the
 // server computes one scaling per graph (shared by every batch slot), so a
@@ -96,7 +99,10 @@
 //
 //	matchserve -addr :8480 -batch 256 -queue 1024 -workers 0 -iters 5 \
 //	           -maxgraphs 1024 -maxbody 8388608 -timeout 0 \
-//	           -cpulimit 0.85 -rsslimit 0 -wdinterval 1s -rate 0 -burst 0
+//	           -cpulimit -1 -rsslimit 0 -wdinterval 1s -rate 0 -burst 0
+//
+// -cpulimit defaults to -1 (automatic): 0.85 of the cgroup v2 CPU quota
+// when one throttles the process, 0.85 of the whole machine otherwise.
 package main
 
 import (
@@ -133,7 +139,7 @@ func main() {
 		maxBody   = flag.Int64("maxbody", 8<<20, "max request body bytes (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
 
-		cpuLimit   = flag.Float64("cpulimit", 0.85, "watchdog CPU limit as a fraction of all cores (0 = CPU dimension off)")
+		cpuLimit   = flag.Float64("cpulimit", -1, "watchdog CPU limit as a fraction of all cores (0 = CPU dimension off; negative = auto: 0.85 of the cgroup v2 CPU quota when one throttles the process, of the whole machine otherwise)")
 		rssLimit   = flag.Int64("rsslimit", 0, "watchdog RSS limit in bytes (0 = RSS dimension off)")
 		wdInterval = flag.Duration("wdinterval", time.Second, "watchdog sampling interval")
 		rate       = flag.Float64("rate", 0, "per-client admission rate in requests/s (0 = unlimited)")
@@ -141,12 +147,16 @@ func main() {
 	)
 	flag.Parse()
 
+	cpu := *cpuLimit
+	if cpu < 0 {
+		cpu = bipartite.AutoCPULimit(0.85)
+	}
 	opt := &bipartite.Options{ScalingIterations: *iters, Workers: *workers}
 	srv := bipartite.NewServerConfig(opt, bipartite.ServerConfig{
 		MaxBatch: *batch,
 		Queue:    *queue,
 		Watchdog: bipartite.WatchdogConfig{
-			CPULimit: *cpuLimit,
+			CPULimit: cpu,
 			RSSLimit: uint64(max(*rssLimit, 0)),
 			Interval: *wdInterval,
 		},
@@ -160,7 +170,7 @@ func main() {
 	})
 
 	log.Printf("matchserve listening on %s (batch=%d queue=%d workers=%d iters=%d maxgraphs=%d maxbody=%d timeout=%v cpulimit=%g rsslimit=%d rate=%g)",
-		*addr, *batch, *queue, *workers, *iters, *maxGraphs, *maxBody, *timeout, *cpuLimit, *rssLimit, *rate)
+		*addr, *batch, *queue, *workers, *iters, *maxGraphs, *maxBody, *timeout, cpu, *rssLimit, *rate)
 	// log.Fatal would os.Exit past any deferred Close; shut the batching
 	// server down explicitly once the listener fails.
 	err := http.ListenAndServe(*addr, newMux(h))
@@ -324,6 +334,10 @@ type matchResponse struct {
 	CandidatesRun int    `json:"candidates_run"`
 	HeuristicSize int    `json:"heuristic_size"`
 	Refined       bool   `json:"refined"`
+	// RefinedWith names the refinement engine that actually ran ("exact",
+	// "pushrelabel" or "graft" — "refine":"exact" auto-selects the parallel
+	// graft engine on large instances). Absent when no refinement ran.
+	RefinedWith string `json:"refined_with,omitempty"`
 	// Degraded, when present, records the self-protection downgrades the
 	// server applied before running the Spec (e.g.
 	// "refine:exact->none,best_of:8->2"): the matching still carries the
@@ -781,7 +795,7 @@ func toWire(resp bipartite.Response, d time.Duration) matchResponse {
 	if resp.Err != nil {
 		return matchResponse{Error: resp.Err.Error()}
 	}
-	return matchResponse{
+	out := matchResponse{
 		Size:          resp.Matching.Size,
 		Rows:          len(resp.Matching.RowMate),
 		Cols:          len(resp.Matching.ColMate),
@@ -793,6 +807,10 @@ func toWire(resp bipartite.Response, d time.Duration) matchResponse {
 		Degraded:      resp.Degraded,
 		Ms:            float64(d.Microseconds()) / 1000,
 	}
+	if resp.Refined {
+		out.RefinedWith = resp.RefinedWith.String()
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -113,6 +113,10 @@ func (e *streamEnc) matchResponse(mr *matchResponse) {
 	e.int(int64(mr.HeuristicSize))
 	e.raw(`,"refined":`)
 	e.bool(mr.Refined)
+	if mr.RefinedWith != "" {
+		e.raw(`,"refined_with":`)
+		e.value(mr.RefinedWith)
+	}
 	if mr.Degraded != "" {
 		e.raw(`,"degraded":`)
 		e.value(mr.Degraded)

@@ -21,7 +21,12 @@ func streamCases() map[string]matchResponse {
 		"full": {
 			Size: 3, Rows: 4, Cols: 5, RowMate: []int32{0, -1, 2, 4},
 			WinnerSeed: 18446744073709551615, CandidatesRun: 8, HeuristicSize: 2,
-			Refined: true, Ms: 1.234567,
+			Refined: true, RefinedWith: "graft", Ms: 1.234567,
+		},
+		"refined-exact": {
+			Size: 3, Rows: 3, Cols: 3, RowMate: []int32{0, 1, 2},
+			WinnerSeed: 1, CandidatesRun: 1, HeuristicSize: 2,
+			Refined: true, RefinedWith: "exact", Ms: 0.5,
 		},
 		"degraded": {
 			Size: 2, Rows: 2, Cols: 2, RowMate: []int32{1, 0},

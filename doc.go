@@ -99,18 +99,25 @@
 // best candidate reaches Target·SprankUpperBound().
 //
 // Refine: RefineExact is the paper's central application (§4): the
-// heuristic matching jump-starts Hopcroft–Karp, which only pays for the
-// rows the heuristic left free, and a refined single run always satisfies
-// size == Sprank(). RefinePushRelabel is the second augmentation family
-// under the same contract — the push-relabel/auction scheme of the GPU
-// and multicore maximum-transversal codes the paper cites — so both
-// families compare under one API and wire format. Inside an ensemble the
-// refinement is ensemble-aware: it advances incrementally (one
-// Hopcroft–Karp phase, or one push-relabel bid budget, per consumed
-// candidate), warm-starts from the best heuristic so far, and stops the
-// ensemble the moment the refined size reaches the Target or structural
-// sprank bound — jump-start workloads stop paying for candidates the
-// refinement has already made redundant:
+// heuristic matching jump-starts an exact augmenting-path engine, which
+// only pays for the rows the heuristic left free, and a refined single
+// run always satisfies size == Sprank(). Three engines share that
+// contract. Hopcroft–Karp is the sequential reference. RefinePushRelabel
+// is the push-relabel/auction scheme of the GPU and multicore
+// maximum-transversal codes the paper cites. RefineGraft is the parallel
+// engine — a multi-source BFS with tree grafting in the style of Azad et
+// al.'s MS-BFS-Graft, which grows one alternating forest per exposed row
+// across the Matcher's pool and commits augmenting paths in a fixed
+// deterministic order, so its result is bit-identical at every pool
+// width (gated under the race detector in CI). RefineExact auto-selects
+// the graft engine on large instances (where refinement dominates
+// end-to-end time) and MatchResult.RefinedWith reports the engine that
+// actually ran. Inside an ensemble the refinement is ensemble-aware: it
+// advances incrementally (one engine phase, or one push-relabel bid
+// budget, per consumed candidate), warm-starts from the best heuristic so
+// far, and stops the ensemble the moment the refined size reaches the
+// Target or structural sprank bound — jump-start workloads stop paying
+// for candidates the refinement has already made redundant:
 //
 //	res, _ := g.Match(bipartite.Spec{
 //		Algorithm: bipartite.AlgTwoSided,

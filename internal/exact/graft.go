@@ -1,0 +1,618 @@
+package exact
+
+import (
+	"sync/atomic"
+
+	"repro/internal/par"
+	"repro/internal/sparse"
+)
+
+// GraftRefiner is the parallel augmenting-path engine: a multi-source BFS
+// in the style of Azad et al.'s MS-BFS-Graft, reshaped so that its result
+// is a deterministic function of (graph, warm start) at any pool width.
+//
+// Each exposed (unmatched) row roots an alternating-search tree. A Phase
+// grows all trees together, level-synchronously, over the frontier arrays
+// QF/QFnext: every frontier row scans its columns, matched columns are
+// claimed for exactly one tree, and the claimed column's mate row joins
+// that tree and enters the next frontier. Unmatched columns are not
+// claimed — they are recorded as augmenting-leaf candidates of every tree
+// that reaches them, which is what makes commit-time conflicts possible
+// and keeps trees from starving each other of free columns.
+//
+// Determinism at any width comes from three rules:
+//
+//  1. Claims are resolved by atomic minimum on the claiming row index, so
+//     the owner of every column is the smallest frontier row that reaches
+//     it in that level — independent of worker schedule.
+//  2. Leaf candidates are resolved by atomic minimum on the packed
+//     (column, row) pair, so each tree's candidate augmenting edge is the
+//     lexicographically smallest one its frontier level saw.
+//  3. The reconciliation pass commits the discovered augmenting paths
+//     serially, in fixed root-row-index order. A root whose leaf column
+//     was taken by an earlier commit is a conflict loser and is re-queued;
+//     the losers then resolve in batched rounds — one shared row sweep
+//     recomputes every loser tree's smallest remaining candidate by the
+//     same atomic minima, and the losers commit in root order again.
+//
+// Between phases the forests are recycled rather than rebuilt — the tree
+// grafting. Augmented trees release their vertices; trees that found no
+// path keep their entire alternating structure, and the released vertices
+// are grafted onto the survivors instead of re-running BFS from the roots.
+// With a transpose installed (SetTranspose) the next phase's frontier is
+// seeded from exactly the surviving-tree rows adjacent to the columns the
+// last reconciliation released — the proper graft step, whose per-phase
+// cost is proportional to the released neighborhood. Without one the
+// frontier conservatively re-seeds from all surviving tree rows. Either
+// way each phase restores the invariant that every forest covers all
+// vertices alternating-reachable from its root, so a phase that augments
+// nothing proves no free column is reachable from any exposed row, i.e.
+// the matching is maximum.
+//
+// The held matching is valid between phases and its size is monotone, so
+// GraftRefiner composes with the ensemble engine exactly like HKRefiner.
+type GraftRefiner struct {
+	a  *sparse.CSR
+	at *sparse.CSR // optional transpose; enables released-column frontier seeding
+	mt *Matching
+
+	pool   *par.Pool
+	width  int
+	cancel func() bool
+
+	rowRoot []int32  // tree of each row; NIL = in no tree
+	colRoot []int32  // tree of each (claimed, matched) column; NIL = unclaimed
+	parent  []int32  // parent[j] = tree row that claimed column j
+	claim   []int32  // per-level claim staging; claimFree when idle
+	leaf    []uint64 // leaf[r] = packed (col, row) candidate of root r; leafNone unset
+
+	qf, qfNext []int32   // current and next row frontier
+	bufRows    [][]int32 // per-worker staging for qfNext
+	bufCols    [][]int32 // per-worker staging of newly claimed columns
+	bufPend    [][]int32 // per-worker staging for pending
+	newCols    []int32   // concatenated bufCols of the current level
+
+	// expand, adopt and the relook variants are the parallel passes as
+	// prebuilt loop bodies (they read qf/newCols through the receiver), so
+	// a phase dispatches them without allocating per-level closures — the
+	// refiner stays inside the Matcher's steady-state allocation budget.
+	expand, adopt, relook, relookC func(w, lo, hi int)
+
+	exposed  []int32 // still-unmatched roots, ascending row order
+	requeue  []int32 // conflict losers of the current commit pass
+	reqMark  []bool  // requeue membership, live only inside reconcile
+	dead     []int32 // roots augmented this phase (trees to release)
+	deadMark []bool
+
+	released []int32 // columns freed for re-claiming by the last reconcile
+	pending  []int32 // adopted rows not yet expanded (their tree held a candidate)
+	seedMark []bool  // row dedup for the seeded frontier build
+	first    bool    // next Phase is the first (frontier = the exposed roots)
+
+	done bool
+}
+
+const (
+	// claimFree marks an unclaimed slot in the claim array; it compares
+	// greater than every row index, so the atomic-minimum claim never has
+	// to special-case it.
+	claimFree = int32(inf)
+	// leafNone marks a root without a leaf candidate; it compares greater
+	// than every packed (col, row) pair.
+	leafNone = ^uint64(0)
+	// graftChunk is the scheduling grain of the BFS passes: small enough
+	// to balance skewed row degrees, large enough to amortize the claim
+	// polling.
+	graftChunk = 64
+	// graftParMin is the smallest per-level work that fans out across the
+	// pool; below it the dispatch overhead exceeds the scan.
+	graftParMin = 512
+)
+
+func packLeaf(col, row int32) uint64 { return uint64(uint32(col))<<32 | uint64(uint32(row)) }
+
+// NewGraftRefiner prepares a graft run on a, warm-started from init (nil
+// means the empty matching; init is copied, not mutated, and not
+// retained). The refiner runs sequentially until SetParallel is called.
+func NewGraftRefiner(a *sparse.CSR, init *Matching) *GraftRefiner {
+	return NewGraftRefinerWs(a, init, &Workspace{})
+}
+
+// NewGraftRefinerWs is NewGraftRefiner on a reusable Workspace: all search
+// arrays and the held matching live in ws, so repeated constructions on
+// same-shaped graphs allocate nothing. The returned refiner (and its
+// Matching) are valid until the workspace's next construction.
+func NewGraftRefinerWs(a *sparse.CSR, init *Matching, ws *Workspace) *GraftRefiner {
+	n, m := a.RowsN, a.ColsN
+	r := &ws.graft
+	r.a = a
+	r.at = nil
+	r.mt = ws.matching(n, m, init)
+	r.pool, r.width, r.cancel = nil, 1, nil
+	r.rowRoot = growInt32(r.rowRoot, n)
+	r.colRoot = growInt32(r.colRoot, m)
+	r.parent = growInt32(r.parent, m)
+	r.claim = growInt32(r.claim, m)
+	r.leaf = growUint64(r.leaf, n)
+	r.reqMark = growBool(r.reqMark, n)
+	r.deadMark = growBool(r.deadMark, n)
+	r.seedMark = growBool(r.seedMark, n)
+	r.released = r.released[:0]
+	r.pending = r.pending[:0]
+	r.first = true
+	for i := range r.rowRoot {
+		r.rowRoot[i] = NIL
+	}
+	for j := range r.colRoot {
+		r.colRoot[j] = NIL
+		r.claim[j] = claimFree
+	}
+	r.exposed = r.exposed[:0]
+	for i := 0; i < n; i++ {
+		if r.mt.RowMate[i] == NIL && a.Degree(i) > 0 {
+			r.exposed = append(r.exposed, int32(i))
+			r.rowRoot[i] = int32(i)
+		}
+	}
+	r.done = false
+	if r.expand == nil {
+		r.expand = r.expandLevel
+		r.adopt = r.adoptLevel
+		r.relook = r.relookRows
+		r.relookC = r.relookCols
+	}
+	return r
+}
+
+// SetParallel hands the refiner a pool to fan its BFS passes across. The
+// result is bit-identical at every width (including the sequential width
+// 1), so the width can change between phases — the ensemble engine runs
+// consume-time phases at width 1 inside its own parallel region and
+// re-widens for the completion sweep.
+func (r *GraftRefiner) SetParallel(pool *par.Pool, width int) {
+	r.pool, r.width = pool, width
+}
+
+// SetTranspose hands the refiner Aᵀ, switching the phases after the first
+// to released-column frontier seeding: only surviving-tree rows adjacent
+// to a column the previous reconciliation freed re-enter the BFS, instead
+// of the whole surviving forest. The matching found with a transpose may
+// differ from the one found without (both are maximum), but for a fixed
+// configuration the result is still bit-identical at every pool width.
+func (r *GraftRefiner) SetTranspose(at *sparse.CSR) { r.at = at }
+
+// SetCancel installs a cooperative cancellation hook, polled between BFS
+// chunks and levels like the heuristic kernels' hooks. After a cancel the
+// held matching is still valid (possibly not maximum) but Phase makes no
+// further progress; callers discard the run, as with every canceled
+// kernel.
+func (r *GraftRefiner) SetCancel(cancel func() bool) { r.cancel = cancel }
+
+// Matching returns the refiner's current matching. It is owned by the
+// refiner until Phase can no longer improve it; callers that mutate it
+// must not call Phase again.
+func (r *GraftRefiner) Matching() *Matching { return r.mt }
+
+// Size returns the current matching cardinality.
+func (r *GraftRefiner) Size() int { return r.mt.Size }
+
+// Done reports whether the matching is provably maximum (a phase found no
+// augmenting path).
+func (r *GraftRefiner) Done() bool { return r.done }
+
+func (r *GraftRefiner) stop() bool { return r.cancel != nil && r.cancel() }
+
+// parFor runs body over [0, n) — across the pool when one is installed
+// and the level is large enough, inline otherwise. Bodies only use
+// order-independent writes (atomic minima, per-worker buffers, exclusive
+// slots), so the two paths produce identical state.
+func (r *GraftRefiner) parFor(n int, body func(w, lo, hi int)) {
+	if r.pool == nil || r.width <= 1 || n < graftParMin {
+		body(0, 0, n)
+		return
+	}
+	r.pool.ForCancel(n, r.width, par.Dynamic, graftChunk, r.cancel, body)
+}
+
+// Phase runs one graft round — frontier construction over the surviving
+// forests, the level-synchronous multi-source BFS, and the deterministic
+// reconciliation pass — and reports whether the matching may still be
+// improvable. A false return means the matching is maximum; the refiner
+// stays in that state.
+func (r *GraftRefiner) Phase() bool {
+	if r.done {
+		return false
+	}
+	if len(r.exposed) == 0 {
+		r.done = true
+		return false
+	}
+	if r.stop() {
+		return true
+	}
+	r.growBufs()
+
+	// Frontier. With a transpose, phases after the first seed from
+	// exactly the surviving-tree rows adjacent to a released column —
+	// everything else a survivor neighbors was already claimed or ruled
+	// out by an earlier phase. Otherwise every row of a surviving tree
+	// re-expands (on the first phase that is just the exposed roots);
+	// owned columns short-circuit, so the rescan is cheap per edge.
+	for _, root := range r.exposed {
+		r.leaf[root] = leafNone
+	}
+	qf := r.qf[:0]
+	if r.first || r.at == nil {
+		for i, root := range r.rowRoot {
+			if root != NIL {
+				qf = append(qf, int32(i))
+			}
+		}
+	} else {
+		at := r.at
+		for _, j := range r.released {
+			for p := at.Ptr[j]; p < at.Ptr[j+1]; p++ {
+				if i := at.Idx[p]; r.rowRoot[i] != NIL && !r.seedMark[i] {
+					r.seedMark[i] = true
+					qf = append(qf, i)
+				}
+			}
+		}
+		// Pending growth points of surviving trees re-enter the frontier:
+		// a tree that held a leaf candidate stopped enqueueing adopted
+		// mates, so if it lost the commit it is not yet closed under
+		// alternating reachability — these rows are where it resumes.
+		for _, i := range r.pending {
+			if r.rowRoot[i] != NIL && !r.seedMark[i] {
+				r.seedMark[i] = true
+				qf = append(qf, i)
+			}
+		}
+		for _, i := range qf {
+			r.seedMark[i] = false
+		}
+	}
+	r.qf = qf
+	r.released = r.released[:0]
+	r.pending = r.pending[:0]
+	r.first = false
+
+	for len(r.qf) > 0 && !r.stop() {
+		// Pass 1 — expand: every frontier row scans its columns, claiming
+		// matched unclaimed columns by atomic row minimum and folding
+		// unmatched columns into its tree's leaf candidate.
+		r.parFor(len(r.qf), r.expand)
+		// Pass 2 — adopt: each newly claimed column joins its winner's
+		// tree together with its mate row; the mate enters the next
+		// frontier unless the tree already holds a leaf candidate (it is
+		// about to augment — or lose and regrow next phase).
+		newCols := r.newCols[:0]
+		for w := range r.bufCols {
+			newCols = append(newCols, r.bufCols[w]...)
+			r.bufCols[w] = r.bufCols[w][:0]
+		}
+		r.newCols = newCols
+		r.parFor(len(newCols), r.adopt)
+		qfNext := r.qfNext[:0]
+		for w := range r.bufRows {
+			qfNext = append(qfNext, r.bufRows[w]...)
+			r.bufRows[w] = r.bufRows[w][:0]
+		}
+		for w := range r.bufPend {
+			r.pending = append(r.pending, r.bufPend[w]...)
+			r.bufPend[w] = r.bufPend[w][:0]
+		}
+		r.qf, r.qfNext = qfNext, r.qf[:0]
+	}
+	if r.stop() {
+		return true // partial forests are valid; the caller discards the run
+	}
+
+	aug := r.reconcile()
+	r.releaseDead()
+	if aug == 0 {
+		// A phase without augmentations found no leaf candidate, which
+		// also means no tree stopped early — so no new pending rows. If
+		// older pending rows of surviving trees remain, those trees are
+		// not yet closed and must keep growing; otherwise the forests
+		// jointly cover everything alternating-reachable from the exposed
+		// rows and the matching is maximum.
+		if r.at != nil {
+			for _, i := range r.pending {
+				if r.rowRoot[i] != NIL {
+					return true
+				}
+			}
+		}
+		r.done = true
+		return false
+	}
+	return true
+}
+
+// expandLevel is the first pass of one BFS level, over r.qf: frontier
+// rows claim their matched, unclaimed neighbor columns by atomic row
+// minimum (the first claimer stages the column for the adopt pass) and
+// fold unmatched neighbors into their tree's leaf candidate by atomic
+// (column, row) minimum. Both resolutions are order-free, which is what
+// makes the level's outcome independent of worker schedule.
+func (r *GraftRefiner) expandLevel(w, lo, hi int) {
+	a, mt, qf := r.a, r.mt, r.qf
+	buf := r.bufCols[w]
+	for idx := lo; idx < hi; idx++ {
+		i := qf[idx]
+		root := r.rowRoot[i]
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			j := a.Idx[p]
+			if r.colRoot[j] != NIL {
+				continue // claimed this level or owned by a surviving tree
+			}
+			if mt.ColMate[j] == NIL {
+				leafMin(&r.leaf[root], packLeaf(j, i))
+				continue
+			}
+			if claimMin(&r.claim[j], i) {
+				buf = append(buf, j)
+			}
+		}
+	}
+	r.bufCols[w] = buf
+}
+
+// adoptLevel is the second pass of one BFS level, over r.newCols: each
+// claimed column joins its winning row's tree together with its mate row,
+// and the mate enters the next frontier unless the tree already holds a
+// leaf candidate (it is about to augment — or lose and regrow next
+// phase). A skipped mate is recorded as a pending growth point: if its
+// tree survives reconciliation, the tree is not closed under alternating
+// reachability until that row expands, so a later phase must re-seed it.
+// Every column here is touched by exactly one iteration, so the writes
+// are exclusive.
+func (r *GraftRefiner) adoptLevel(w, lo, hi int) {
+	mt, newCols := r.mt, r.newCols
+	buf := r.bufRows[w]
+	pend := r.bufPend[w]
+	for idx := lo; idx < hi; idx++ {
+		j := newCols[idx]
+		i := r.claim[j]
+		r.claim[j] = claimFree
+		root := r.rowRoot[i]
+		r.parent[j] = i
+		r.colRoot[j] = root
+		i2 := mt.ColMate[j]
+		r.rowRoot[i2] = root
+		if atomic.LoadUint64(&r.leaf[root]) == leafNone {
+			buf = append(buf, i2)
+		} else {
+			pend = append(pend, i2)
+		}
+	}
+	r.bufRows[w] = buf
+	r.bufPend[w] = pend
+}
+
+// reconcile commits the concurrently discovered augmenting paths in fixed
+// root-row-index order. Winners augment along their parent chain; a root
+// whose candidate column an earlier commit already matched is a conflict
+// loser and is re-queued. Losers resolve in batched rounds: one joint
+// sweep over the rows recomputes every re-queued tree's smallest
+// remaining (column, row) candidate — atomic minima, so the sweep is
+// order-free and parallel — then the losers commit in root order again.
+// Each round either augments at least one loser (the first re-queued
+// root holding a candidate always finds its column still free) or ends
+// the loop, so the rounds terminate. Roots left without a candidate keep
+// their tree for the next phase. Returns the number of augmentations.
+func (r *GraftRefiner) reconcile() int {
+	aug := 0
+	requeue := r.requeue[:0]
+	r.dead = r.dead[:0]
+	for _, root := range r.exposed {
+		lp := r.leaf[root]
+		if lp == leafNone {
+			continue
+		}
+		j, i := int32(lp>>32), int32(uint32(lp))
+		if r.mt.ColMate[j] != NIL {
+			requeue = append(requeue, root)
+			continue
+		}
+		r.augment(i, j)
+		r.dead = append(r.dead, root)
+		aug++
+	}
+	for len(requeue) > 0 {
+		for _, root := range requeue {
+			r.leaf[root] = leafNone
+			r.reqMark[root] = true
+		}
+		if r.at != nil {
+			r.parFor(r.a.ColsN, r.relookC)
+		} else {
+			r.parFor(r.a.RowsN, r.relook)
+		}
+		for _, root := range requeue {
+			r.reqMark[root] = false
+		}
+		// In-place filter: next reuses requeue's backing array, writing
+		// only positions already read.
+		next := requeue[:0]
+		for _, root := range requeue {
+			lp := r.leaf[root]
+			if lp == leafNone {
+				continue // no reachable free column left; regrow next phase
+			}
+			j, i := int32(lp>>32), int32(uint32(lp))
+			if r.mt.ColMate[j] != NIL {
+				next = append(next, root)
+				continue
+			}
+			r.augment(i, j)
+			r.dead = append(r.dead, root)
+			aug++
+		}
+		requeue = next
+	}
+	r.requeue = requeue
+	return aug
+}
+
+// augment flips the alternating path that runs from tree row i — taking
+// free column j — up to i's root: every tree row entered through its
+// matched column, so RowMate links walk toward the root and parent links
+// recover the claiming rows. The terminal column j turns matched and
+// unowned, so it joins the released list for the next phase's seeding.
+func (r *GraftRefiner) augment(i, j int32) {
+	mt := r.mt
+	r.released = append(r.released, j)
+	for {
+		next := mt.RowMate[i]
+		mt.RowMate[i] = j
+		mt.ColMate[j] = i
+		if next == NIL {
+			break // reached the exposed root
+		}
+		j = next
+		i = r.parent[j]
+	}
+	mt.Size++
+}
+
+// relookRows is one loser-round sweep as a prebuilt parallel loop body:
+// every row belonging to a re-queued tree re-offers its free-column edges
+// as leaf candidates via atomic minima. One shared pass serves all losers
+// at once — the per-loser tree walk this replaces cost a full row scan
+// per conflict, which dominated dense-conflict phases.
+func (r *GraftRefiner) relookRows(w, lo, hi int) {
+	a, mt := r.a, r.mt
+	for i := lo; i < hi; i++ {
+		root := r.rowRoot[i]
+		if root == NIL || !r.reqMark[root] {
+			continue
+		}
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			if j := a.Idx[p]; mt.ColMate[j] == NIL {
+				leafMin(&r.leaf[root], packLeaf(j, int32(i)))
+			}
+		}
+	}
+}
+
+// relookCols is relookRows from the column side, used when a transpose is
+// installed: only the free columns scan their rows, which bounds the
+// sweep by the free-column neighborhood instead of the whole row set. The
+// edge set visited — every (re-queued tree row, free column) edge — and
+// therefore every atomic minimum is identical to relookRows'.
+func (r *GraftRefiner) relookCols(w, lo, hi int) {
+	at, mt := r.at, r.mt
+	for j := lo; j < hi; j++ {
+		if mt.ColMate[j] != NIL {
+			continue
+		}
+		for p := at.Ptr[j]; p < at.Ptr[j+1]; p++ {
+			i := at.Idx[p]
+			if root := r.rowRoot[i]; root != NIL && r.reqMark[root] {
+				leafMin(&r.leaf[root], packLeaf(int32(j), i))
+			}
+		}
+	}
+}
+
+// releaseDead frees the vertices of augmented trees (their alternating
+// structure is stale once the matching flipped inside them) and drops the
+// augmented roots from the exposed list. Surviving trees keep everything —
+// that is the graft.
+func (r *GraftRefiner) releaseDead() {
+	if len(r.dead) == 0 {
+		return
+	}
+	for _, root := range r.dead {
+		r.deadMark[root] = true
+	}
+	for i, root := range r.rowRoot {
+		if root != NIL && r.deadMark[root] {
+			r.rowRoot[i] = NIL
+		}
+	}
+	for j, root := range r.colRoot {
+		if root != NIL && r.deadMark[root] {
+			r.colRoot[j] = NIL
+			r.released = append(r.released, int32(j))
+		}
+	}
+	exposed := r.exposed[:0]
+	for _, root := range r.exposed {
+		if !r.deadMark[root] {
+			exposed = append(exposed, root)
+		}
+	}
+	r.exposed = exposed
+	for _, root := range r.dead {
+		r.deadMark[root] = false
+	}
+}
+
+// growBufs sizes the per-worker staging buffers to the current width.
+func (r *GraftRefiner) growBufs() {
+	w := r.width
+	if w < 1 {
+		w = 1
+	}
+	for len(r.bufRows) < w {
+		r.bufRows = append(r.bufRows, nil)
+	}
+	for len(r.bufCols) < w {
+		r.bufCols = append(r.bufCols, nil)
+	}
+	for len(r.bufPend) < w {
+		r.bufPend = append(r.bufPend, nil)
+	}
+}
+
+// Run advances the refiner to the maximum matching (or until canceled)
+// and returns the held matching.
+func (r *GraftRefiner) Run() *Matching {
+	for !r.stop() && r.Phase() {
+	}
+	return r.mt
+}
+
+// MSBFSGraft computes a maximum matching with the multi-source BFS +
+// grafting engine, fanned out across pool at the given width (nil pool or
+// width <= 1 runs sequentially; the result is bit-identical either way).
+// init may be nil or a warm-start matching (copied, not mutated). It is
+// the one-shot form of GraftRefiner.
+func MSBFSGraft(a *sparse.CSR, init *Matching, pool *par.Pool, width int, cancel func() bool) *Matching {
+	r := NewGraftRefiner(a, init)
+	r.SetParallel(pool, width)
+	r.SetCancel(cancel)
+	return r.Run()
+}
+
+// claimMin lowers *p to row i by atomic minimum and reports whether this
+// call was the first claim (the transition away from claimFree) — the
+// caller that sees true stages the column for the adopt pass, exactly
+// once.
+func claimMin(p *int32, i int32) bool {
+	for {
+		cur := atomic.LoadInt32(p)
+		if cur <= i {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(p, cur, i) {
+			return cur == claimFree
+		}
+	}
+}
+
+// leafMin lowers *p to v by atomic minimum.
+func leafMin(p *uint64, v uint64) {
+	for {
+		cur := atomic.LoadUint64(p)
+		if cur <= v {
+			return
+		}
+		if atomic.CompareAndSwapUint64(p, cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/par"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// randomInit builds a valid greedy partial matching of a, seeded — the
+// warm-start shape the refiners see in production.
+func randomInit(a *sparse.CSR, seed uint64) *Matching {
+	rng := xrand.New(seed)
+	mt := NewMatching(a.RowsN, a.ColsN)
+	for i := 0; i < a.RowsN; i++ {
+		if rng.Float64() < 0.3 || a.Degree(i) == 0 {
+			continue
+		}
+		p := a.Ptr[i] + rng.Intn(a.Degree(i))
+		j := a.Idx[p]
+		if mt.ColMate[j] == NIL {
+			mt.RowMate[i] = j
+			mt.ColMate[j] = int32(i)
+			mt.Size++
+		}
+	}
+	return mt
+}
+
+func TestGraftMatchesOracleSmall(t *testing.T) {
+	f := func(seed uint64, r8, c8, d uint8) bool {
+		rows := int(r8)%10 + 1
+		cols := int(c8)%10 + 1
+		nnz := int(d) % (rows*cols + 1)
+		a := gen.ER(rows, cols, nnz, seed)
+		want := bruteForce(a)
+		mt := MSBFSGraft(a, nil, nil, 1, nil)
+		checkMatching(t, a, mt)
+		if mt.Size != want {
+			t.Logf("graft wrong on seed=%d %dx%d nnz=%d: got %d want %d", seed, rows, cols, nnz, mt.Size, want)
+			return false
+		}
+		mt = MSBFSGraft(a, randomInit(a, seed), nil, 1, nil)
+		checkMatching(t, a, mt)
+		if mt.Size != want {
+			t.Logf("warm graft wrong on seed=%d %dx%d nnz=%d: got %d want %d", seed, rows, cols, nnz, mt.Size, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// adversarialFamilies are the instance families the oracle cross-check
+// sweeps: the ones built to stress augmenting-path engines (rank
+// deficiency, long thin augmenting paths, degree skew) plus the existing
+// stress generators.
+func adversarialFamilies(seed uint64) map[string]*sparse.CSR {
+	return map[string]*sparse.CSR{
+		"rankdef":  gen.RankDeficient(600, 60, 4, seed),
+		"longthin": gen.LongThinPath(1200),
+		"skew":     gen.SkewedDegree(700, 500, 5, 3, seed),
+		"badks":    gen.BadKS(256, 8),
+		"er":       gen.ERAvgDeg(800, 800, 3, seed),
+		"powerlaw": gen.PowerLaw(600, 1, 2.3, 64, seed),
+	}
+}
+
+// TestGraftOracleCrossCheck is the satellite oracle gate: on every
+// adversarial family × seed, the graft engine, Hopcroft–Karp and the
+// structural rank all agree — cold and warm-started.
+func TestGraftOracleCrossCheck(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for name, a := range adversarialFamilies(seed) {
+			sprank := Sprank(a)
+			cold := MSBFSGraft(a, nil, nil, 1, nil)
+			checkMatching(t, a, cold)
+			if cold.Size != sprank {
+				t.Fatalf("%s seed %d: graft %d != sprank %d", name, seed, cold.Size, sprank)
+			}
+			warm := MSBFSGraft(a, randomInit(a, seed), nil, 1, nil)
+			checkMatching(t, a, warm)
+			if warm.Size != sprank {
+				t.Fatalf("%s seed %d: warm graft %d != sprank %d", name, seed, warm.Size, sprank)
+			}
+		}
+	}
+}
+
+// TestGraftBitIdenticalAcrossWidths is the determinism gate of the
+// engine: the refined matching — not just its size — is the same at
+// width 1 (the sequential reference) and at every pool width, for cold
+// and warm starts across families and seeds.
+func TestGraftBitIdenticalAcrossWidths(t *testing.T) {
+	pools := map[int]*par.Pool{2: par.NewPool(2), 3: par.NewPool(3), 8: par.NewPool(8)}
+	defer func() {
+		for _, p := range pools {
+			p.Close()
+		}
+	}()
+	for seed := uint64(1); seed <= 3; seed++ {
+		for name, a := range adversarialFamilies(seed) {
+			for _, init := range []*Matching{nil, randomInit(a, seed)} {
+				ref := MSBFSGraft(a, init, nil, 1, nil)
+				for width, pool := range pools {
+					got := MSBFSGraft(a, init, pool, width, nil)
+					if got.Size != ref.Size {
+						t.Fatalf("%s seed %d width %d: size %d != sequential %d", name, seed, width, got.Size, ref.Size)
+					}
+					for i := range ref.RowMate {
+						if got.RowMate[i] != ref.RowMate[i] {
+							t.Fatalf("%s seed %d width %d: RowMate[%d] = %d != sequential %d",
+								name, seed, width, i, got.RowMate[i], ref.RowMate[i])
+						}
+					}
+					for j := range ref.ColMate {
+						if got.ColMate[j] != ref.ColMate[j] {
+							t.Fatalf("%s seed %d width %d: ColMate[%d] = %d != sequential %d",
+								name, seed, width, j, got.ColMate[j], ref.ColMate[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGraftIncremental verifies the Phase-at-a-time contract the ensemble
+// engine relies on: the held matching is valid between phases, its size
+// is monotone, and Done flips exactly when Phase reports no progress.
+func TestGraftIncremental(t *testing.T) {
+	a := gen.RankDeficient(400, 40, 3, 7)
+	r := NewGraftRefiner(a, nil)
+	prev := 0
+	for phases := 0; ; phases++ {
+		more := r.Phase()
+		validRefinerMatching(t, a, r.Matching())
+		if r.Size() < prev {
+			t.Fatalf("size shrank: %d -> %d", prev, r.Size())
+		}
+		prev = r.Size()
+		if !more {
+			if !r.Done() {
+				t.Fatal("Phase returned false but Done is false")
+			}
+			break
+		}
+		if phases > a.RowsN {
+			t.Fatal("phase loop did not terminate")
+		}
+	}
+	if want := Sprank(a); r.Size() != want {
+		t.Fatalf("final size %d != sprank %d", r.Size(), want)
+	}
+	if r.Phase() {
+		t.Fatal("Phase after Done reported progress")
+	}
+}
+
+func TestGraftWarmStartNotMutated(t *testing.T) {
+	a := gen.FullyIndecomposable(300, 2, 5)
+	init := NewMatching(300, 300)
+	for i := 0; i < 150; i++ {
+		init.RowMate[i] = int32(i)
+		init.ColMate[i] = int32(i)
+		init.Size++
+	}
+	mt := MSBFSGraft(a, init, nil, 1, nil)
+	checkMatching(t, a, mt)
+	if mt.Size != 300 {
+		t.Fatalf("warm-started graft size %d want 300", mt.Size)
+	}
+	if init.Size != 150 {
+		t.Fatal("warm start mutated")
+	}
+}
+
+func TestGraftRectangularAndDegenerate(t *testing.T) {
+	cases := []*sparse.CSR{
+		gen.ER(40, 90, 200, 3),
+		gen.ER(90, 40, 200, 3),
+		gen.Identity(50),
+		gen.LongThinPath(3),
+		sparse.FromDense([][]int{{0, 0}, {0, 0}}), // empty
+		{RowsN: 0, ColsN: 0, Ptr: []int{0}},
+	}
+	for k, a := range cases {
+		mt := MSBFSGraft(a, nil, nil, 1, nil)
+		checkMatching(t, a, mt)
+		if want := Sprank(a); mt.Size != want {
+			t.Fatalf("case %d: graft %d != sprank %d", k, mt.Size, want)
+		}
+	}
+}
+
+// TestGraftWorkspaceReuse runs the refiner repeatedly on one Workspace —
+// the Matcher session pattern — and checks the runs stay identical to a
+// fresh construction.
+func TestGraftWorkspaceReuse(t *testing.T) {
+	ws := &Workspace{}
+	for seed := uint64(1); seed <= 4; seed++ {
+		a := gen.RankDeficient(300, 30, 3, seed)
+		init := randomInit(a, seed)
+		got := NewGraftRefinerWs(a, init, ws).Run()
+		want := MSBFSGraft(a, init, nil, 1, nil)
+		if got.Size != want.Size {
+			t.Fatalf("seed %d: ws size %d != fresh %d", seed, got.Size, want.Size)
+		}
+		for i := range want.RowMate {
+			if got.RowMate[i] != want.RowMate[i] {
+				t.Fatalf("seed %d: ws RowMate[%d] differs", seed, i)
+			}
+		}
+	}
+}
+
+func TestGraftCancel(t *testing.T) {
+	a := gen.ERAvgDeg(2000, 2000, 4, 9)
+	r := NewGraftRefiner(a, nil)
+	r.SetCancel(func() bool { return true })
+	mt := r.Run()
+	validRefinerMatching(t, a, mt)
+	if r.Done() {
+		t.Fatal("canceled run claims a proven-maximum matching")
+	}
+	// A canceled-then-resumed refiner is not a supported state, but the
+	// held matching must still be a valid (partial) matching.
+	if mt.Size != 0 {
+		t.Fatalf("cancel-before-first-phase grew the matching to %d", mt.Size)
+	}
+}
+
+// TestGraftTransposeSeeding covers the released-column frontier mode: with
+// Aᵀ installed the engine must still reach the structural rank on every
+// adversarial family, stay bit-identical across pool widths, and reuse a
+// workspace cleanly after a transpose-mode run (SetTranspose must not
+// leak into the next construction).
+func TestGraftTransposeSeeding(t *testing.T) {
+	pools := map[int]*par.Pool{2: par.NewPool(2), 5: par.NewPool(5)}
+	defer func() {
+		for _, p := range pools {
+			p.Close()
+		}
+	}()
+	ws := &Workspace{}
+	for seed := uint64(1); seed <= 3; seed++ {
+		for name, a := range adversarialFamilies(seed) {
+			at := a.Transpose()
+			sprank := Sprank(a)
+			for _, init := range []*Matching{nil, randomInit(a, seed)} {
+				r := NewGraftRefinerWs(a, init, ws)
+				r.SetTranspose(at)
+				ref := r.Run()
+				checkMatching(t, a, ref)
+				if ref.Size != sprank {
+					t.Fatalf("%s seed %d: transpose graft %d != sprank %d", name, seed, ref.Size, sprank)
+				}
+				refRow := append([]int32(nil), ref.RowMate...)
+				refCol := append([]int32(nil), ref.ColMate...)
+				for width, pool := range pools {
+					r := NewGraftRefinerWs(a, init, ws)
+					r.SetTranspose(at)
+					r.SetParallel(pool, width)
+					got := r.Run()
+					for i := range refRow {
+						if got.RowMate[i] != refRow[i] {
+							t.Fatalf("%s seed %d width %d: RowMate[%d] = %d != sequential %d",
+								name, seed, width, i, got.RowMate[i], refRow[i])
+						}
+					}
+					for j := range refCol {
+						if got.ColMate[j] != refCol[j] {
+							t.Fatalf("%s seed %d width %d: ColMate[%d] = %d != sequential %d",
+								name, seed, width, j, got.ColMate[j], refCol[j])
+						}
+					}
+				}
+				// A follow-up construction on the same workspace without a
+				// transpose must behave exactly like a fresh full-rescan run.
+				plain := NewGraftRefinerWs(a, init, ws).Run()
+				want := MSBFSGraft(a, init, nil, 1, nil)
+				if plain.Size != want.Size {
+					t.Fatalf("%s seed %d: post-transpose ws run %d != fresh %d", name, seed, plain.Size, want.Size)
+				}
+				for i := range want.RowMate {
+					if plain.RowMate[i] != want.RowMate[i] {
+						t.Fatalf("%s seed %d: post-transpose ws RowMate[%d] differs", name, seed, i)
+					}
+				}
+			}
+		}
+	}
+}

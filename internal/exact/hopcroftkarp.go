@@ -79,21 +79,7 @@ type HKRefiner struct {
 // from init (nil means the empty matching; init is copied, not mutated, and
 // not retained).
 func NewHKRefiner(a *sparse.CSR, init *Matching) *HKRefiner {
-	n, m := a.RowsN, a.ColsN
-	mt := NewMatching(n, m)
-	if init != nil {
-		copy(mt.RowMate, init.RowMate)
-		copy(mt.ColMate, init.ColMate)
-		mt.Size = init.Size
-	}
-	return &HKRefiner{
-		a:     a,
-		mt:    mt,
-		dist:  make([]int32, n),
-		queue: make([]int32, 0, n),
-		arc:   make([]int, n),
-		stack: make([]int32, 0, 64),
-	}
+	return NewHKRefinerWs(a, init, &Workspace{})
 }
 
 // Matching returns the refiner's current matching. It is owned by the

@@ -26,26 +26,7 @@ type PRRefiner struct {
 // from init (nil means the empty matching; init is copied, not mutated, and
 // not retained).
 func NewPRRefiner(a *sparse.CSR, init *Matching) *PRRefiner {
-	n, m := a.RowsN, a.ColsN
-	mt := NewMatching(n, m)
-	if init != nil {
-		copy(mt.RowMate, init.RowMate)
-		copy(mt.ColMate, init.ColMate)
-		mt.Size = init.Size
-	}
-	r := &PRRefiner{
-		a:     a,
-		mt:    mt,
-		limit: int32(n + m + 1),
-		psi:   make([]int32, m),
-		stack: make([]int32, 0, n),
-	}
-	for i := n - 1; i >= 0; i-- {
-		if mt.RowMate[i] == NIL && a.Degree(i) > 0 {
-			r.stack = append(r.stack, int32(i))
-		}
-	}
-	return r
+	return NewPRRefinerWs(a, init, &Workspace{})
 }
 
 // Matching returns the refiner's current matching. It is owned by the

@@ -435,3 +435,85 @@ func KKTLike(nA, nB int, extra int, seed uint64) *sparse.CSR {
 	}
 	return a
 }
+
+// RankDeficient returns an n×n pattern whose nonzeros all fall in the
+// first n−def columns, so sprank(A) ≤ n−def and at least def rows stay
+// unmatched in every maximum matching. With avgDeg well above 1 the
+// deficiency is exactly def w.h.p., which makes the family the standard
+// stress test for exact refinement: every heuristic leaves many exposed
+// rows whose augmenting searches jointly sweep most of the graph before
+// proving them unmatchable.
+func RankDeficient(n, def int, avgDeg float64, seed uint64) *sparse.CSR {
+	if def < 0 || def >= n {
+		panic("gen: RankDeficient needs 0 <= def < n")
+	}
+	rng := xrand.New(seed)
+	cols := n - def
+	entries := make([]sparse.Coord, 0, int(float64(n)*avgDeg))
+	for i := 0; i < n; i++ {
+		d := 1 + rng.Intn(int(2*avgDeg))
+		for k := 0; k < d; k++ {
+			entries = append(entries, sparse.Coord{I: int32(i), J: int32(rng.Intn(cols))})
+		}
+	}
+	a, err := sparse.FromCOO(n, n, entries, false)
+	if err != nil {
+		panic("gen: RankDeficient produced invalid matrix: " + err.Error())
+	}
+	return a
+}
+
+// LongThinPath returns the n×n two-diagonal pattern (row i ~ cols i and
+// i+1): the whole graph is one alternating chain, so a warm start that
+// matches rows off-diagonal forces augmenting paths of length Θ(n) — the
+// worst case for search engines that pay per path rather than per phase.
+func LongThinPath(n int) *sparse.CSR {
+	entries := make([]sparse.Coord, 0, 2*n)
+	for i := 0; i < n; i++ {
+		entries = append(entries, sparse.Coord{I: int32(i), J: int32(i)})
+		if i+1 < n {
+			entries = append(entries, sparse.Coord{I: int32(i), J: int32(i + 1)})
+		}
+	}
+	a, err := sparse.FromCOO(n, n, entries, false)
+	if err != nil {
+		panic("gen: LongThinPath produced invalid matrix: " + err.Error())
+	}
+	return a
+}
+
+// SkewedDegree returns a rows×cols pattern with skewed degree mass on
+// both sides: column picks concentrate on the low indices (u^skew
+// mapping, so column j's expected degree falls off polynomially) and a
+// small head of hub rows carries a large share of the edges. It is the
+// load-imbalance adversary for parallel matching kernels — a few frontier
+// vertices hold most of the work.
+func SkewedDegree(rows, cols int, avgDeg, skew float64, seed uint64) *sparse.CSR {
+	rng := xrand.New(seed)
+	entries := make([]sparse.Coord, 0, int(float64(rows)*avgDeg))
+	hubs := rows / 64
+	if hubs < 1 {
+		hubs = 1
+	}
+	for i := 0; i < rows; i++ {
+		d := 1 + rng.Intn(int(2*avgDeg))
+		if i < hubs {
+			d = 16 * int(avgDeg)
+			if d > cols {
+				d = cols
+			}
+		}
+		for k := 0; k < d; k++ {
+			j := int(math.Pow(rng.Float64Open(), skew) * float64(cols))
+			if j >= cols {
+				j = cols - 1
+			}
+			entries = append(entries, sparse.Coord{I: int32(i), J: int32(j)})
+		}
+	}
+	a, err := sparse.FromCOO(rows, cols, entries, false)
+	if err != nil {
+		panic("gen: SkewedDegree produced invalid matrix: " + err.Error())
+	}
+	return a
+}

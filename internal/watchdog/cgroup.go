@@ -1,0 +1,89 @@
+package watchdog
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// cpuMaxPath is the cgroup v2 CPU quota file of the process's own cgroup.
+// Containers (and systemd slices with CPUQuota=) mount the unified
+// hierarchy at /sys/fs/cgroup and bind the process's controllers at the
+// root of its namespace, so the relative path resolves to the limit that
+// actually throttles this process.
+const cpuMaxPath = "/sys/fs/cgroup/cpu.max"
+
+// CPUQuota returns the effective CPU quota of the process in cores, read
+// from the cgroup v2 cpu.max file: 2.0 means the kernel throttles the
+// process at two full cores regardless of how many the machine has. The
+// second result is false when no quota applies — no cgroup v2 hierarchy
+// (cgroup v1 hosts, non-Linux), or an explicit "max" (unlimited) quota.
+func CPUQuota() (float64, bool) {
+	raw, err := os.ReadFile(cpuMaxPath)
+	if err != nil {
+		return 0, false
+	}
+	q, ok, err := parseCPUMax(string(raw))
+	if err != nil {
+		return 0, false
+	}
+	return q, ok
+}
+
+// parseCPUMax parses a cgroup v2 cpu.max payload: "$MAX $PERIOD\n" where
+// MAX is a quota in microseconds per period or the literal "max"
+// (unlimited). The quota in cores is MAX/PERIOD. Pure parse — the seam the
+// unit tests drive with fabricated payloads.
+func parseCPUMax(s string) (float64, bool, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 1 || len(fields) > 2 {
+		return 0, false, fmt.Errorf("watchdog: cpu.max has %d fields, want 1 or 2", len(fields))
+	}
+	if fields[0] == "max" {
+		return 0, false, nil
+	}
+	quota, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("watchdog: cpu.max quota: %w", err)
+	}
+	period := uint64(100000) // the kernel default when the field is absent
+	if len(fields) == 2 {
+		if period, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+			return 0, false, fmt.Errorf("watchdog: cpu.max period: %w", err)
+		}
+	}
+	if quota == 0 || period == 0 {
+		return 0, false, fmt.Errorf("watchdog: cpu.max quota %d / period %d", quota, period)
+	}
+	return float64(quota) / float64(period), true, nil
+}
+
+// AutoCPULimit derives a watchdog CPU limit from the environment: the
+// cgroup v2 quota when one throttles the process, the full machine
+// otherwise, scaled by headroom (the fraction of the budget the service
+// may spend before the shedding ladder engages; 0.85 is the serving
+// default) and normalized to Config.CPULimit's unit — a fraction of all
+// cores. A container quotaed at 2 cores on a 16-core host with headroom
+// 0.85 gets 2/16·0.85 ≈ 0.106: the watchdog then degrades as the process
+// approaches its *throttle* point, not the (unreachable) machine capacity.
+func AutoCPULimit(headroom float64) float64 {
+	return autoCPULimit(headroom, CPUQuota, runtime.NumCPU())
+}
+
+// autoCPULimit is AutoCPULimit with the quota reader and core count
+// injected for the unit tests.
+func autoCPULimit(headroom float64, quota func() (float64, bool), cores int) float64 {
+	if headroom <= 0 || headroom > 1 {
+		headroom = 0.85
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	budget := float64(cores)
+	if q, ok := quota(); ok && q < budget {
+		budget = q
+	}
+	return headroom * budget / float64(cores)
+}

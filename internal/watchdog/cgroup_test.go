@@ -1,0 +1,78 @@
+package watchdog
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseCPUMax(t *testing.T) {
+	cases := []struct {
+		in    string
+		quota float64
+		ok    bool
+		err   bool
+	}{
+		{"max 100000\n", 0, false, false}, // unlimited
+		{"max\n", 0, false, false},        // unlimited, period omitted
+		{"200000 100000\n", 2.0, true, false},
+		{"50000 100000\n", 0.5, true, false},
+		{"150000 100000", 1.5, true, false}, // no trailing newline
+		{"250000\n", 2.5, true, false},      // default period
+		{"", 0, false, true},
+		{"banana 100000\n", 0, false, true},
+		{"100000 banana\n", 0, false, true},
+		{"0 100000\n", 0, false, true},
+		{"100000 0\n", 0, false, true},
+		{"1 2 3\n", 0, false, true},
+	}
+	for _, tc := range cases {
+		q, ok, err := parseCPUMax(tc.in)
+		if (err != nil) != tc.err {
+			t.Errorf("parseCPUMax(%q): err %v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if ok != tc.ok || math.Abs(q-tc.quota) > 1e-12 {
+			t.Errorf("parseCPUMax(%q) = (%v, %v), want (%v, %v)", tc.in, q, ok, tc.quota, tc.ok)
+		}
+	}
+}
+
+func TestAutoCPULimit(t *testing.T) {
+	quotaOf := func(q float64, ok bool) func() (float64, bool) {
+		return func() (float64, bool) { return q, ok }
+	}
+	cases := []struct {
+		name     string
+		headroom float64
+		quota    func() (float64, bool)
+		cores    int
+		want     float64
+	}{
+		// Quotaed at 2 of 16 cores: the limit tracks the throttle point.
+		{"quota-2-of-16", 0.85, quotaOf(2, true), 16, 0.85 * 2.0 / 16},
+		// No cgroup quota: the full machine scaled by headroom.
+		{"no-quota", 0.85, quotaOf(0, false), 8, 0.85},
+		// A quota above the machine's cores cannot raise the budget.
+		{"quota-above-cores", 0.85, quotaOf(32, true), 4, 0.85},
+		// Fractional quota (half a core on a 4-core host).
+		{"fractional", 0.8, quotaOf(0.5, true), 4, 0.8 * 0.5 / 4},
+		// Out-of-range headroom falls back to the serving default.
+		{"bad-headroom", -1, quotaOf(0, false), 8, 0.85},
+		{"headroom-above-1", 1.5, quotaOf(0, false), 8, 0.85},
+	}
+	for _, tc := range cases {
+		if got := autoCPULimit(tc.headroom, tc.quota, tc.cores); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: autoCPULimit = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCPUQuotaDoesNotPanic exercises the real reader on whatever host runs
+// the suite: any (value, ok) answer is acceptable, but a present quota
+// must be positive.
+func TestCPUQuotaDoesNotPanic(t *testing.T) {
+	q, ok := CPUQuota()
+	if ok && q <= 0 {
+		t.Fatalf("CPUQuota reported a non-positive quota %v", q)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"errors"
 
 	"repro/internal/core"
+	"repro/internal/exact"
 	"repro/internal/ks"
+	"repro/internal/par"
 	"repro/internal/scale"
 )
 
@@ -45,6 +47,7 @@ type Matcher struct {
 	scaleWs  *scale.Workspace
 	ksWs     *ks.Workspace     // lazily created by KarpSipser
 	ksApprox *ks.ApproxSession // lazily created by KarpSipserParallel
+	refWs    *exact.Workspace  // lazily created by refining Specs
 
 	sc      *Scaling // cached scaling of the bound graph; nil until computed
 	scErr   error
@@ -143,6 +146,35 @@ func (m *Matcher) installScaling(sc *Scaling) {
 	if m.sess != nil {
 		m.sess.SetScaling(sc.DR, sc.DC, sc.RowSums, sc.ColSums)
 	}
+}
+
+// refineWs returns the session's refinement workspace, building it on
+// first use: the Hopcroft–Karp, push-relabel and graft refiners all run on
+// it, so a session issuing repeated refining Specs (the ensemble+refine
+// serving pattern) reuses one set of refinement buffers and stays
+// allocation-free in steady state. One refiner is live on it at a time —
+// exactly the Spec engine's shape, which never interleaves two refiners.
+func (m *Matcher) refineWs() *exact.Workspace {
+	if m.refWs == nil {
+		m.refWs = &exact.Workspace{}
+	}
+	return m.refWs
+}
+
+// refineWidth resolves the pool and width a graft refinement fans out
+// across: the session's pool at the session's parallel width — the
+// ensemble fan-out width without its candidate-count cap, since graft
+// phases parallelize over the frontier, not over candidates.
+func (m *Matcher) refineWidth() (*par.Pool, int) {
+	pool := m.opt.Pool.inner()
+	if pool == nil {
+		pool = par.Default()
+	}
+	width := pool.Workers(m.opt.Workers)
+	if width > pool.Width() {
+		width = pool.Width()
+	}
+	return pool, width
 }
 
 // growEnsembleSlots sizes the per-worker arena caches of parallel

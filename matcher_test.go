@@ -247,6 +247,31 @@ func TestMatcherSteadyStateAllocs(t *testing.T) {
 		seed++
 		m.KarpSipserParallel(seed)
 	})
+
+	// Refining Specs ride the session's refinement workspace (refineWs), so
+	// repeated jump-start runs — including the ensemble+refine serving
+	// pattern — meet the same budget once the workspace is warm.
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"RefineExact", Spec{Refine: RefineExact}},
+		{"RefineGraft", Spec{Refine: RefineGraft}},
+		{"EnsembleRefineGraft", Spec{Ensemble: 4, Refine: RefineGraft, Sequential: true}},
+	} {
+		spec := tc.spec
+		spec.Seed = 1
+		if _, err := m.Run(spec); err != nil { // warm the refinement workspace
+			t.Fatal(err)
+		}
+		gate(tc.name, func() {
+			seed++
+			spec.Seed = seed
+			if _, err := m.Run(spec); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
 }
 
 // TestMatcherSteadyStateAllocsParallel gates the parallel path too: with

@@ -195,6 +195,11 @@ type MatchResult struct {
 	// RefineNone); it is the wire-level provenance bit cmd/matchserve
 	// surfaces as "refined".
 	Refined bool
+	// RefinedWith is the refinement engine that actually ran — it differs
+	// from Spec.Refine when RefineExact auto-selected the parallel graft
+	// engine on a large instance. RefineNone when no refinement ran;
+	// cmd/matchserve surfaces it as "refined_with".
+	RefinedWith Refinement
 	// Degraded, when non-empty, records the self-protection downgrades a
 	// serving layer applied to the Spec before this run (see
 	// Response.Degraded for the marker grammar). Direct Matcher.Run and

@@ -186,6 +186,18 @@ type WatchdogConfig struct {
 // Enabled reports whether any limit is configured.
 func (c WatchdogConfig) Enabled() bool { return c.CPULimit > 0 || c.RSSLimit > 0 }
 
+// AutoCPULimit derives a WatchdogConfig.CPULimit from the environment the
+// process actually runs in: when a cgroup v2 CPU quota throttles the
+// process (containers, systemd CPUQuota= slices), the limit tracks that
+// quota instead of the machine's core count — so the shedding ladder
+// engages as the process approaches its real throttle point rather than a
+// capacity it can never use. headroom is the fraction of the budget to
+// tolerate before degrading (out-of-range values fall back to the 0.85
+// serving default). Without a quota it returns headroom itself (the
+// full-machine limit); cmd/matchserve calls this when -cpulimit is left
+// at its automatic default.
+func AutoCPULimit(headroom float64) float64 { return watchdog.AutoCPULimit(headroom) }
+
 // build converts the public config into the internal watchdog's.
 func (c WatchdogConfig) build() *watchdog.Watchdog {
 	return watchdog.New(watchdog.Config{

@@ -11,7 +11,6 @@ import (
 	"repro/internal/exact"
 	"repro/internal/ks"
 	"repro/internal/par"
-	"repro/internal/sparse"
 )
 
 // Algorithm selects the matching heuristic a Spec runs. The zero value is
@@ -110,9 +109,26 @@ const (
 	// two produce matchings of identical (maximum) size but generally
 	// different mates.
 	RefinePushRelabel
+	// RefineGraft augments with the parallel multi-source BFS +
+	// tree-grafting engine (the MS-BFS-Graft family of Azad et al.): all
+	// exposed rows grow alternating forests together across the session's
+	// pool, and a deterministic reconciliation commits the discovered
+	// augmenting paths in fixed row order — so the refined matching is
+	// bit-identical at every pool width, including the sequential width 1.
+	// Same size-== -sprank contract as RefineExact; it is the engine
+	// RefineExact auto-selects on large instances, and the one to request
+	// explicitly when refinement dominates end-to-end time.
+	RefineGraft
 
 	refineCount // sentinel; keep last
 )
+
+// graftAutoEdges is the edge count at which RefineExact auto-selects the
+// parallel graft engine: below it the sequential Hopcroft–Karp tail is
+// cheaper than any fan-out, above it refinement dominates end-to-end time
+// and the graft engine's pool-wide search wins. A variable so the
+// threshold tests don't need multi-million-edge instances.
+var graftAutoEdges = 2 << 20
 
 // String returns the wire name of the refinement.
 func (r Refinement) String() string {
@@ -123,6 +139,8 @@ func (r Refinement) String() string {
 		return "exact"
 	case RefinePushRelabel:
 		return "pushrelabel"
+	case RefineGraft:
+		return "graft"
 	default:
 		return "unknown"
 	}
@@ -138,6 +156,8 @@ func ParseRefinement(s string) (Refinement, error) {
 		return RefineExact, nil
 	case "pushrelabel", "push-relabel":
 		return RefinePushRelabel, nil
+	case "graft", "msbfs-graft":
+		return RefineGraft, nil
 	default:
 		return 0, fmt.Errorf("bipartite: unknown refinement %q", s)
 	}
@@ -236,21 +256,25 @@ func (s Spec) Validate() error {
 // AlgKarpSipser, the winner's phase statistics.
 //
 // Refinement completes the winner toward maximum cardinality with
-// Hopcroft–Karp (RefineExact) or push-relabel (RefinePushRelabel). For
+// Hopcroft–Karp (RefineExact), push-relabel (RefinePushRelabel) or the
+// parallel MS-BFS-Graft engine (RefineGraft; RefineExact auto-selects it
+// on instances with at least graftAutoEdges nonzeros, and
+// MatchResult.RefinedWith reports the engine that actually ran). For
 // single runs the refined matching always satisfies size == Sprank().
 // Inside an ensemble the refinement is ensemble-aware: it advances one
 // bounded unit per consumed candidate, warm-starting from the best
 // heuristic so far, and the ensemble stops the moment the refined size
 // reaches the Target or structural sprank bound — jump-start workloads
-// stop paying for candidates they no longer need. Refined matchings are
-// freshly allocated (they do not alias the session), while unrefined
-// results follow the usual Matcher aliasing contract.
+// stop paying for candidates they no longer need. Refined matchings live
+// on the session's refinement workspace — like unrefined results they
+// alias the session and are overwritten by its next Run (the batch layer
+// hands callers owned copies).
 //
 // Cancellation (the batch layer's per-request deadlines) is honored
-// between and inside candidate runs at the kernels' usual checkpoints;
-// like the shared scaling, the refinement stage itself is not
-// interruptible — it is bounded warm-start work — so a deadline expiring
-// mid-refinement is reported right after it.
+// between and inside candidate runs at the kernels' usual checkpoints,
+// and inside graft refinement between frontier chunks; the sequential
+// refiners are not interruptible — they are bounded warm-start work — so
+// a deadline expiring mid-refinement is reported right after them.
 func (m *Matcher) Run(spec Spec) (*MatchResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -277,11 +301,21 @@ func (m *Matcher) runSingle(spec Spec, seed uint64, sc *Scaling) (*MatchResult, 
 		return nil, err
 	}
 	heuristic := best.Size
-	switch spec.Refine {
+	ref := m.resolveRefine(spec.Refine)
+	switch ref {
 	case RefineExact:
-		best = exact.HopcroftKarp(m.g.a, best)
+		best = exact.NewHKRefinerWs(m.g.a, best, m.refineWs()).Run()
 	case RefinePushRelabel:
-		best = exact.PushRelabel(m.g.a, best)
+		best = exact.NewPRRefinerWs(m.g.a, best, m.refineWs()).Run()
+	case RefineGraft:
+		gr := exact.NewGraftRefinerWs(m.g.a, best, m.refineWs())
+		gr.SetTranspose(m.g.transpose())
+		gr.SetParallel(m.refineWidth())
+		gr.SetCancel(m.cancel)
+		best = gr.Run()
+		if m.cancel != nil && m.cancel() {
+			return nil, ErrCanceled
+		}
 	}
 	m.result = MatchResult{
 		Matching:      best,
@@ -289,7 +323,8 @@ func (m *Matcher) runSingle(spec Spec, seed uint64, sc *Scaling) (*MatchResult, 
 		Candidates:    1,
 		WinnerSeed:    seed,
 		HeuristicSize: heuristic,
-		Refined:       spec.Refine != RefineNone,
+		Refined:       ref != RefineNone,
+		RefinedWith:   ref,
 	}
 	if spec.Algorithm == AlgKarpSipser {
 		m.result.KSStats = &m.ksStats
@@ -302,7 +337,7 @@ func (m *Matcher) runSingle(spec Spec, seed uint64, sc *Scaling) (*MatchResult, 
 // results are consumed strictly in seed order by one ensembleRun state
 // machine — which is what makes the two schedules agree bit for bit.
 func (m *Matcher) runEnsemble(spec Spec, base uint64, sc *Scaling) (*MatchResult, error) {
-	e := ensembleRun{m: m, spec: spec, base: base, k: spec.Ensemble}
+	e := ensembleRun{m: m, spec: spec, base: base, k: spec.Ensemble, ref: m.resolveRefine(spec.Refine)}
 	if spec.Refine != RefineNone || spec.Target > 0 {
 		e.ub = m.g.SprankUpperBound()
 		if spec.Target > 0 {
@@ -325,8 +360,16 @@ func (m *Matcher) runEnsemble(spec Spec, base uint64, sc *Scaling) (*MatchResult
 	}
 
 	final := &m.best
-	if spec.Refine != RefineNone {
+	if e.ref != RefineNone {
 		if !e.hitTarget {
+			// The completion loop runs outside any pool region, so a graft
+			// refiner — kept at width 1 while candidates held the pool — can
+			// fan its remaining phases out across the session pool now.
+			// Bit-identity at every width is the engine's contract, so this
+			// re-widening cannot change the result.
+			if gr, ok := e.refiner.(graftSpecRefiner); ok {
+				gr.r.SetParallel(m.refineWidth())
+			}
 			// Complete the refinement — up to the target when one is set,
 			// to the maximum otherwise (the RefineExact guarantee). A size
 			// already at the structural bound is provably maximum, so the
@@ -345,7 +388,8 @@ func (m *Matcher) runEnsemble(spec Spec, base uint64, sc *Scaling) (*MatchResult
 		Candidates:    e.consumed,
 		WinnerSeed:    e.winner,
 		HeuristicSize: e.heuristic,
-		Refined:       spec.Refine != RefineNone,
+		Refined:       e.ref != RefineNone,
+		RefinedWith:   e.ref,
 	}
 	if spec.Algorithm == AlgKarpSipser {
 		m.result.KSStats = &m.ksStats
@@ -396,6 +440,7 @@ type ensembleRun struct {
 	spec Spec
 	base uint64
 	k    int
+	ref  Refinement // spec.Refine after auto-selection (resolveRefine)
 
 	ub      int // structural sprank upper bound (refine or target runs)
 	targetH int // heuristic early-stop bound (Refine: None)
@@ -443,7 +488,7 @@ func (e *ensembleRun) consume(res candResult) {
 		e.bestSet = true
 		e.bestSize = res.mt.Size
 	}
-	if e.spec.Refine == RefineNone {
+	if e.ref == RefineNone {
 		if improved {
 			m.copyBest(res.mt)
 			e.winner = e.base + uint64(c)
@@ -466,7 +511,7 @@ func (e *ensembleRun) consume(res candResult) {
 	// the structural bound — or the refiner reports the matching maximum,
 	// after which further candidates cannot improve the final size.
 	if e.refiner == nil || (improved && e.bestSize > e.refiner.Size()) {
-		e.refiner = newSpecRefiner(e.spec.Refine, m.g.a, res.mt)
+		e.refiner = m.newSpecRefiner(e.ref, res.mt)
 		e.refDone = false
 		e.winner = e.base + uint64(c)
 		e.heuristic = res.mt.Size
@@ -563,19 +608,49 @@ func (r prSpecRefiner) Advance() bool     { return r.r.Step(r.budget) }
 func (r prSpecRefiner) Size() int         { return r.r.Size() }
 func (r prSpecRefiner) Result() *Matching { return r.r.Matching() }
 
-// newSpecRefiner builds the incremental refiner of the given family,
-// warm-started from a copy of init. The push-relabel advance budget is one
-// bid per row — roughly one sweep of work per unit, the granularity a
-// Hopcroft–Karp phase has naturally.
-func newSpecRefiner(ref Refinement, a *sparse.CSR, init *Matching) specRefiner {
-	if ref == RefinePushRelabel {
+type graftSpecRefiner struct{ r *exact.GraftRefiner }
+
+func (g graftSpecRefiner) Advance() bool     { return g.r.Phase() }
+func (g graftSpecRefiner) Size() int         { return g.r.Size() }
+func (g graftSpecRefiner) Result() *Matching { return g.r.Matching() }
+
+// resolveRefine maps the requested refinement to the engine that runs:
+// RefineExact auto-selects the parallel graft engine once the instance is
+// large enough (graftAutoEdges nonzeros) that refinement dominates
+// end-to-end time. Both engines share the size == sprank contract, so the
+// substitution only changes which maximum matching comes back — and
+// MatchResult.RefinedWith records which engine it was.
+func (m *Matcher) resolveRefine(ref Refinement) Refinement {
+	if ref == RefineExact && len(m.g.a.Idx) >= graftAutoEdges {
+		return RefineGraft
+	}
+	return ref
+}
+
+// newSpecRefiner builds the incremental refiner of the given (resolved)
+// family on the session's refinement workspace, warm-started from a copy of
+// init. The push-relabel advance budget is one bid per row — roughly one
+// sweep of work per unit, the granularity a Hopcroft–Karp phase has
+// naturally. A graft refiner built here starts at width 1: consume runs
+// inside the parallel schedule's pool region, where nested pool dispatch
+// would deadlock; runEnsemble re-widens it for the completion loop, which
+// the engine's any-width bit-identity makes safe.
+func (m *Matcher) newSpecRefiner(ref Refinement, init *Matching) specRefiner {
+	a, ws := m.g.a, m.refineWs()
+	switch ref {
+	case RefinePushRelabel:
 		budget := a.RowsN
 		if budget < 1 {
 			budget = 1
 		}
-		return prSpecRefiner{r: exact.NewPRRefiner(a, init), budget: budget}
+		return prSpecRefiner{r: exact.NewPRRefinerWs(a, init, ws), budget: budget}
+	case RefineGraft:
+		gr := exact.NewGraftRefinerWs(a, init, ws)
+		gr.SetTranspose(m.g.transpose())
+		return graftSpecRefiner{r: gr}
+	default:
+		return hkSpecRefiner{exact.NewHKRefinerWs(a, init, ws)}
 	}
-	return hkSpecRefiner{exact.NewHKRefiner(a, init)}
 }
 
 // runOnce dispatches a single candidate run of the given algorithm. The

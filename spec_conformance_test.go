@@ -271,7 +271,7 @@ func TestSpecValidate(t *testing.T) {
 			t.Fatalf("algorithm %v does not round-trip: %v %v", alg, back, err)
 		}
 	}
-	for _, ref := range []Refinement{RefineNone, RefineExact} {
+	for _, ref := range []Refinement{RefineNone, RefineExact, RefinePushRelabel, RefineGraft} {
 		back, err := ParseRefinement(ref.String())
 		if err != nil || back != ref {
 			t.Fatalf("refinement %v does not round-trip: %v %v", ref, back, err)
@@ -414,6 +414,7 @@ func TestSpecEnsembleParallelBitIdentical(t *testing.T) {
 		{Algorithm: AlgTwoSided, Seed: 3, Ensemble: 8, Target: 0.9},
 		{Algorithm: AlgTwoSided, Seed: 5, Ensemble: 6, Refine: RefineExact},
 		{Algorithm: AlgOneSided, Seed: 2, Ensemble: 8, Refine: RefinePushRelabel},
+		{Algorithm: AlgOneSided, Seed: 6, Ensemble: 6, Refine: RefineGraft},
 		{Algorithm: AlgOneSided, Seed: 4, Ensemble: 8, Refine: RefineExact, Target: 0.97},
 		{Algorithm: AlgKarpSipser, Seed: 1, Ensemble: 5},
 		{Algorithm: AlgKarpSipserParallel, Seed: 7, Ensemble: 4},
