@@ -1,0 +1,149 @@
+package bipartite
+
+import (
+	"sync"
+
+	"repro/internal/watchdog"
+)
+
+// BatcherConfig configures a Batcher. The zero value is a plain batching
+// engine with no self-protection — exactly the package-level MatchBatch,
+// minus the per-call engine construction.
+type BatcherConfig struct {
+	// Watchdog enables self-protection: when its Enabled() reports true a
+	// resource watchdog samples the process and the Batcher applies the
+	// Server's admission rules (shed by priority) and quality ladder
+	// (degrade Specs) to every batch. The zero value disables it.
+	Watchdog WatchdogConfig
+}
+
+// Batcher is the watchdog-protected form of MatchBatch for callers that
+// batch without a Server: it keeps one engine (and so the per-graph
+// shared-scaling cache and the per-slot arenas) warm across calls, and —
+// when a watchdog is configured — sheds and degrades exactly like a
+// Server's admission stage. Package-level MatchBatch has no admission
+// stage at all (it documents Priority as ignored); a Batcher is the way
+// to get the self-protection contract without paying for the Server's
+// queueing collector.
+//
+// MatchBatch calls are serialized internally (the engine's parallel
+// region must not overlap itself), so a Batcher is safe for concurrent
+// use; concurrent callers simply queue on the mutex.
+type Batcher struct {
+	mu     sync.Mutex
+	engine *batchEngine
+	wd     *watchdog.Watchdog
+
+	shed      int64 // requests answered ErrShed in place (guarded by mu)
+	served    int64 // requests handed to the engine (guarded by mu)
+	closeOnce sync.Once
+}
+
+// NewBatcher builds a Batcher over opt (interpreted exactly as by
+// MatchBatch) and starts the configured watchdog, if any. Close releases
+// it.
+func NewBatcher(opt *Options, cfg BatcherConfig) *Batcher {
+	b := &Batcher{engine: newBatchEngine(opt)}
+	if cfg.Watchdog.Enabled() {
+		b.wd = cfg.Watchdog.build()
+		b.engine.shed = b.wd.Level
+		b.wd.Start()
+	}
+	return b
+}
+
+// MatchBatch executes the batch like the package-level MatchBatch, after
+// one admission pass: when the watchdog reports the process hot, requests
+// are shed in place by priority with the Server's exact rules — at
+// Shedding and above PriorityLow work is refused, at Critical everything
+// below PriorityHigh — and the shed responses carry the typed ShedError
+// (errors.Is(err, ErrShed)) with a recovery hint. Admitted requests may
+// still be degraded by the engine's quality ladder; the response's
+// Degraded field records what ran. Without a watchdog every request is
+// admitted and Priority is ignored, like MatchBatch.
+//
+// The returned slice maps one-to-one onto reqs.
+func (b *Batcher) MatchBatch(reqs []Request) []Response {
+	out := make([]Response, len(reqs))
+	run := reqs
+	var lvl watchdog.Level
+	if b.wd != nil {
+		lvl = b.wd.Level()
+	}
+	if lvl >= watchdog.Shedding {
+		kept := make([]Request, 0, len(reqs))
+		idx := make([]int, 0, len(reqs))
+		for i, req := range reqs {
+			if (lvl >= watchdog.Shedding && req.Priority <= PriorityLow) ||
+				(lvl >= watchdog.Critical && req.Priority < PriorityHigh) {
+				out[i] = Response{Err: &ShedError{Level: ShedLevel(lvl), RetryAfter: b.wd.RecoveryHint()}}
+				continue
+			}
+			kept = append(kept, req)
+			idx = append(idx, i)
+		}
+		if len(kept) < len(reqs) {
+			sub := make([]Response, len(kept))
+			b.mu.Lock()
+			b.shed += int64(len(reqs) - len(kept))
+			b.served += int64(len(kept))
+			b.engine.run(kept, sub)
+			b.mu.Unlock()
+			for k, i := range idx {
+				out[i] = sub[k]
+			}
+			return out
+		}
+	}
+	b.mu.Lock()
+	b.served += int64(len(run))
+	b.engine.run(run, out)
+	b.mu.Unlock()
+	return out
+}
+
+// DropGraph evicts the cached per-graph scaling for g, exactly like
+// Server.DropGraph — callers swapping mutated DynSession snapshots in
+// front of a Batcher call this on the stale snapshot.
+func (b *Batcher) DropGraph(g *Graph) { b.engine.dropGraph(g) }
+
+// Health reports the watchdog's view of the process; the zero value when
+// no watchdog is configured.
+func (b *Batcher) Health() ServerHealth {
+	if b.wd == nil {
+		return ServerHealth{}
+	}
+	h := b.wd.Health()
+	return ServerHealth{
+		Level:       ShedLevel(h.Level),
+		CPU:         h.CPU,
+		RSSBytes:    h.RSS,
+		Utilization: h.Utilization,
+	}
+}
+
+// BatcherStats counts a Batcher's admission outcomes.
+type BatcherStats struct {
+	Served   int64 // requests handed to the engine
+	Shed     int64 // requests refused in place with ErrShed
+	Degraded int64 // requests the engine ran with a downgraded Spec
+}
+
+// Stats returns a snapshot of the admission counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BatcherStats{Served: b.served, Shed: b.shed, Degraded: b.engine.degraded.Load()}
+}
+
+// Close stops the watchdog's sampling loop. The engine itself holds no
+// goroutines, so a closed Batcher can still serve batches — but the shed
+// level is frozen at its last observed value, so callers should stop
+// submitting after Close. Idempotent.
+func (b *Batcher) Close() {
+	b.closeOnce.Do(func() {
+		if b.wd != nil {
+			b.wd.Stop()
+		}
+	})
+}

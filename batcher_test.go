@@ -1,0 +1,153 @@
+package bipartite
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tickB advances one sampling period at the current load and steps the
+// batcher's watchdog — fakeLoad.tick for Batcher.
+func (f *fakeLoad) tickB(b *Batcher) {
+	f.mu.Lock()
+	f.now = f.now.Add(f.iv)
+	f.cpu += time.Duration(f.busy * float64(f.cores) * float64(f.iv))
+	f.mu.Unlock()
+	b.wd.Tick()
+}
+
+// heatB ticks until the batcher's watchdog reports the wanted level.
+func (f *fakeLoad) heatB(t *testing.T, b *Batcher, busy float64, want ShedLevel) {
+	t.Helper()
+	f.setBusy(busy)
+	for i := 0; i < 4; i++ {
+		f.tickB(b)
+		if b.Health().Level == want {
+			return
+		}
+	}
+	t.Fatalf("level %v after heating at busy=%v, want %v", b.Health().Level, busy, want)
+}
+
+// TestProtectBatcherShedUnderMutationLoad gates the watchdog wiring for
+// MatchBatch-without-Server callers: a Batcher serving mixed-priority
+// batches against a DynSession's evolving snapshots must, under injected
+// overload, shed low/normal priority in place with the typed ShedError
+// while still serving high priority (degraded) — and recover to full
+// undegraded service once the load clears. The mutation workload churns
+// snapshots (DropGraph on each stale one) concurrently with serving, so
+// under -race this also gates the snapshot-swap pattern itself.
+func TestProtectBatcherShedUnderMutationLoad(t *testing.T) {
+	g := RandomER(200, 200, 3, 1)
+	sess, err := g.NewDynSession(Spec{Algorithm: AlgTwoSided, Refine: RefineExact}, &Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := newFakeLoad()
+	b := NewBatcher(&Options{ScalingIterations: 2, Workers: 1},
+		BatcherConfig{Watchdog: f.config(0.5)})
+	defer b.Close()
+
+	// The mutation workload: a background goroutine folds batches into the
+	// session and republishes the snapshot, evicting the stale one from the
+	// batcher's scale cache — the registry pattern serving layers use.
+	var snap atomic.Pointer[Graph]
+	snap.Store(sess.Snapshot())
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		row, col := 0, 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			old := snap.Load()
+			if _, err := sess.Apply([][2]int{{row % sess.Rows(), col % sess.Cols()}},
+				[][2]int{{(row + 7) % sess.Rows(), (col + 3) % sess.Cols()}}); err != nil {
+				t.Error(err)
+				return
+			}
+			row += 13
+			col += 11
+			snap.Store(sess.Snapshot())
+			b.DropGraph(old)
+		}
+	}()
+
+	batch := func(prio Priority) []Response {
+		cur := snap.Load()
+		return b.MatchBatch([]Request{
+			{Graph: cur, Spec: Spec{Seed: 1, Refine: RefineExact}, Priority: prio},
+			{Graph: cur, Spec: Spec{Seed: 2}, Priority: prio},
+		})
+	}
+
+	// Nominal: everything served, nothing degraded.
+	for _, r := range batch(PriorityLow) {
+		if r.Err != nil || r.Degraded != "" {
+			t.Fatalf("nominal: err=%v degraded=%q, want full service", r.Err, r.Degraded)
+		}
+	}
+
+	// Overload to Critical: low and normal are shed in place with the
+	// typed error; high is served but degraded (exact refine dropped).
+	f.heatB(t, b, 0.7, ShedCritical)
+	for _, prio := range []Priority{PriorityLow, PriorityNormal} {
+		for _, r := range batch(prio) {
+			if !errors.Is(r.Err, ErrShed) {
+				t.Fatalf("priority %v under critical: err=%v, want ErrShed", prio, r.Err)
+			}
+			var shed *ShedError
+			if !errors.As(r.Err, &shed) || shed.Level != ShedCritical || shed.RetryAfter <= 0 {
+				t.Fatalf("priority %v shed error %v, want ShedError{Critical, >0}", prio, r.Err)
+			}
+		}
+	}
+	high := batch(PriorityHigh)
+	for _, r := range high {
+		if r.Err != nil {
+			t.Fatalf("high priority under critical: %v, want served", r.Err)
+		}
+	}
+	if high[0].Degraded == "" || high[0].Refined {
+		t.Fatalf("critical high-priority exact request: degraded=%q refined=%v, want degraded heuristic",
+			high[0].Degraded, high[0].Refined)
+	}
+
+	// Recovery: load clears, level decays, full service resumes.
+	f.setBusy(0.0)
+	for i := 0; i < 10 && b.Health().Level != ShedNominal; i++ {
+		f.tickB(b)
+	}
+	if lvl := b.Health().Level; lvl != ShedNominal {
+		t.Fatalf("level %v after cooldown, want nominal", lvl)
+	}
+	for _, r := range batch(PriorityLow) {
+		if r.Err != nil || r.Degraded != "" {
+			t.Fatalf("post-recovery: err=%v degraded=%q, want full service", r.Err, r.Degraded)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+
+	st := b.Stats()
+	if st.Shed < 4 || st.Served == 0 || st.Degraded == 0 {
+		t.Fatalf("stats %+v, want shed>=4, served>0, degraded>0", st)
+	}
+
+	// The maintained matching stayed coherent under the concurrent churn.
+	if err := sess.Snapshot().ValidateMatching(sess.Matching()); err != nil {
+		t.Fatal(err)
+	}
+	if want := sess.Snapshot().Sprank(); sess.Size() != want {
+		t.Fatalf("maintained size %d, want sprank %d", sess.Size(), want)
+	}
+}

@@ -1,23 +1,38 @@
-// Command benchdiff compares two matchbench perf JSON files
-// (BENCH_matchbench.json) and fails when the new run regressed: any record
-// whose ns_op grew beyond the tolerated ratio of its baseline fails the
-// diff. It is the CI perf-regression gate — a PR runs
-// `matchbench -exp perf -scale tiny` and diffs the fresh records against
-// the committed baseline.
+// Command benchdiff compares a fresh matchbench perf JSON file against a
+// baseline and fails when the new run regressed: any record whose ns_op
+// grew beyond the tolerated ratio of its baseline fails the diff. It is
+// the CI perf-regression gate — a PR runs `matchbench -exp perf -scale
+// tiny` and diffs the fresh records against the baseline.
+//
+// The baseline comes from two sources, layered:
+//
+//   - With -history DIR, the primary baseline is the per-key *median*
+//     ns_op over the perf JSONs in DIR — the rolling window of recent
+//     green CI runs on the same runner class. A median over same-class
+//     runs absorbs runner noise far better than any single file, so the
+//     -tolerance applied to it can be much tighter than a committed-file
+//     gate could afford.
+//   - Keys absent from the history (a cold cache, or a brand-new
+//     experiment tier) fall back to the committed -old file under the
+//     looser -fallback-tolerance, because the committed numbers may come
+//     from different hardware.
+//
+// Without -history, every record diffs against -old at
+// -fallback-tolerance — the original committed-file behaviour.
+//
+// -save (with -history) appends the fresh file to the history after a
+// clean diff and prunes it to the -keep most recent files; CI runs it
+// only on green, so the window holds green runs by construction.
 //
 // Records are matched by (instance, heuristic, workers); records present
-// in only one file are reported and skipped, so a baseline that carries
+// in only one side are reported and skipped, so a baseline that carries
 // more experiments than the fresh run (for example the serve tiers) still
 // diffs cleanly against a perf-only run.
-//
-// Wall-clock numbers only travel between comparable machines: the
-// committed baseline should be refreshed from the CI artifact of a green
-// run (same runner class), not from a developer laptop, and the tolerance
-// exists to absorb the residual runner-to-runner noise.
 //
 // Usage:
 //
 //	benchdiff -old BENCH_matchbench.json -new fresh.json -tolerance 1.6
+//	benchdiff -history .bench-history -new fresh.json -tolerance 1.5 -save
 //
 // Exit status: 0 clean, 1 regression found, 2 usage or input error
 // (unreadable file, wrong schema, or no overlapping records).
@@ -28,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -71,23 +87,84 @@ func key(r perfRecord) string {
 	return fmt.Sprintf("%s|%s|%d", r.Instance, r.Heuristic, r.Workers)
 }
 
+// baseRec is one baseline entry: the ns_op to diff against and whether it
+// is a rolling median (tight tolerance) or a committed-file fallback
+// (loose tolerance).
+type baseRec struct {
+	ns     int64
+	median bool
+}
+
 // diffLine is one compared record pair.
 type diffLine struct {
 	key        string
 	oldNs      int64
 	newNs      int64
 	ratio      float64
+	median     bool
 	regression bool
 }
 
-// diff matches records by key and flags every new ns_op beyond
-// tolerance × its baseline. Ratios below 1 are improvements; they never
-// fail the diff.
-func diff(oldF, newF *benchFile, tolerance float64) (lines []diffLine, onlyOld, onlyNew []string) {
-	base := make(map[string]perfRecord, len(oldF.Records))
-	for _, r := range oldF.Records {
-		base[key(r)] = r
+// loadHistory reads every *.json perf file in dir and collects per-key
+// ns_op samples. Unreadable or wrong-schema files are skipped with a
+// warning rather than failing the gate — a corrupt cache entry must not
+// block every future PR. The returned names list the files that parsed,
+// sorted (oldest first by the run-NNNN naming convention saveHistory
+// uses).
+func loadHistory(dir string) (map[string][]int64, []string) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(paths) == 0 {
+		return nil, nil
 	}
+	sort.Strings(paths)
+	hist := make(map[string][]int64)
+	var names []string
+	for _, p := range paths {
+		f, err := readBench(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: skipping history file: %v\n", err)
+			continue
+		}
+		names = append(names, p)
+		for _, r := range f.Records {
+			hist[key(r)] = append(hist[key(r)], r.NsOp)
+		}
+	}
+	return hist, names
+}
+
+// median returns the middle sample (mean of the middle two on even
+// counts); samples is sorted in place.
+func median(samples []int64) int64 {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	n := len(samples)
+	if n%2 == 1 {
+		return samples[n/2]
+	}
+	return (samples[n/2-1] + samples[n/2]) / 2
+}
+
+// buildBaseline layers the rolling-median history over the committed
+// file: history medians win, committed records fill keys the window has
+// not seen yet. Either source may be nil.
+func buildBaseline(hist map[string][]int64, oldF *benchFile) map[string]baseRec {
+	base := make(map[string]baseRec)
+	if oldF != nil {
+		for _, r := range oldF.Records {
+			base[key(r)] = baseRec{ns: r.NsOp}
+		}
+	}
+	for k, samples := range hist {
+		base[k] = baseRec{ns: median(samples), median: true}
+	}
+	return base
+}
+
+// diffBase matches fresh records against the baseline and flags every new
+// ns_op beyond its tolerance — the tight one for rolling-median entries,
+// the loose fallback for committed-file entries. Ratios below 1 are
+// improvements; they never fail the diff.
+func diffBase(base map[string]baseRec, newF *benchFile, tolerance, fallbackTolerance float64) (lines []diffLine, onlyOld, onlyNew []string) {
 	seen := make(map[string]bool, len(newF.Records))
 	for _, r := range newF.Records {
 		k := key(r)
@@ -97,17 +174,22 @@ func diff(oldF, newF *benchFile, tolerance float64) (lines []diffLine, onlyOld, 
 			onlyNew = append(onlyNew, k)
 			continue
 		}
-		ratio := float64(r.NsOp) / float64(b.NsOp)
+		tol := fallbackTolerance
+		if b.median {
+			tol = tolerance
+		}
+		ratio := float64(r.NsOp) / float64(b.ns)
 		lines = append(lines, diffLine{
 			key:        k,
-			oldNs:      b.NsOp,
+			oldNs:      b.ns,
 			newNs:      r.NsOp,
 			ratio:      ratio,
-			regression: ratio > tolerance,
+			median:     b.median,
+			regression: ratio > tol,
 		})
 	}
-	for _, r := range oldF.Records {
-		if k := key(r); !seen[k] {
+	for k := range base {
+		if !seen[k] {
 			onlyOld = append(onlyOld, k)
 		}
 	}
@@ -117,25 +199,93 @@ func diff(oldF, newF *benchFile, tolerance float64) (lines []diffLine, onlyOld, 
 	return lines, onlyOld, onlyNew
 }
 
+// diff is the single-baseline form (no history): every record diffs
+// against oldF at one tolerance.
+func diff(oldF, newF *benchFile, tolerance float64) (lines []diffLine, onlyOld, onlyNew []string) {
+	return diffBase(buildBaseline(nil, oldF), newF, tolerance, tolerance)
+}
+
+// saveHistory appends newPath's contents to dir as the next run-NNNN.json
+// and prunes the oldest files beyond keep.
+func saveHistory(dir, newPath string, keep int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	existing, err := filepath.Glob(filepath.Join(dir, "run-*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(existing)
+	next := 1
+	if n := len(existing); n > 0 {
+		var last int
+		if _, err := fmt.Sscanf(filepath.Base(existing[n-1]), "run-%d.json", &last); err == nil {
+			next = last + 1
+		}
+	}
+	blob, err := os.ReadFile(newPath)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("run-%06d.json", next)), blob, 0o644); err != nil {
+		return err
+	}
+	existing = append(existing, filepath.Join(dir, fmt.Sprintf("run-%06d.json", next)))
+	for len(existing) > keep {
+		if err := os.Remove(existing[0]); err != nil {
+			return err
+		}
+		existing = existing[1:]
+	}
+	return nil
+}
+
 func run(args []string, out *os.File) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		oldPath   = fs.String("old", "BENCH_matchbench.json", "baseline perf JSON (the committed file)")
-		newPath   = fs.String("new", "", "fresh perf JSON to compare (required)")
-		tolerance = fs.Float64("tolerance", 1.5, "max tolerated ns_op ratio new/old before a record counts as a regression")
+		oldPath    = fs.String("old", "BENCH_matchbench.json", "committed-fallback perf JSON; with -history it only covers keys the window has not seen")
+		newPath    = fs.String("new", "", "fresh perf JSON to compare (required)")
+		tolerance  = fs.Float64("tolerance", 1.5, "max tolerated ns_op ratio against a rolling-median baseline (and against -old when no -history is given)")
+		historyDir = fs.String("history", "", "directory of recent green-run perf JSONs; their per-key median ns_op becomes the primary baseline")
+		fallback   = fs.Float64("fallback-tolerance", 2.0, "tolerance for keys diffed against -old instead of the history median (committed numbers may come from different hardware)")
+		save       = fs.Bool("save", false, "after a clean diff, append -new to -history and prune to -keep files")
+		keep       = fs.Int("keep", 5, "history files retained by -save")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *newPath == "" || *tolerance <= 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: -new is required and -tolerance must be positive")
+	if *newPath == "" || *tolerance <= 0 || *fallback <= 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required and tolerances must be positive")
 		fs.Usage()
 		return 2
 	}
+	if *save && *historyDir == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -save needs -history")
+		fs.Usage()
+		return 2
+	}
+	if *keep < 1 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -keep must be at least 1")
+		fs.Usage()
+		return 2
+	}
+
+	var hist map[string][]int64
+	var histFiles []string
+	if *historyDir != "" {
+		hist, histFiles = loadHistory(*historyDir)
+	}
+	// Without a history window the committed file is the whole baseline and
+	// must be readable; with one it is only the fallback layer, so a
+	// missing file just narrows coverage to the window.
 	oldF, err := readBench(*oldPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		return 2
+		if len(hist) == 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: no committed fallback: %v\n", err)
+		oldF = nil
 	}
 	newF, err := readBench(*newPath)
 	if err != nil {
@@ -143,22 +293,39 @@ func run(args []string, out *os.File) int {
 		return 2
 	}
 
-	lines, onlyOld, onlyNew := diff(oldF, newF, *tolerance)
+	// Tolerance selection: with a populated history window, median keys get
+	// the tight -tolerance and committed-fallback keys the loose
+	// -fallback-tolerance. A cold cache (-history given but empty) loosens
+	// everything to the fallback — the committed numbers may come from
+	// different hardware. Without -history at all, -tolerance governs the
+	// whole diff, exactly the original single-baseline behaviour.
+	tol, fb := *tolerance, *fallback
+	if *historyDir == "" {
+		fb = *tolerance
+	} else if len(hist) == 0 {
+		tol = *fallback
+	}
+	lines, onlyOld, onlyNew := diffBase(buildBaseline(hist, oldF), newF, tol, fb)
 	if len(lines) == 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: no overlapping records between %s and %s\n", *oldPath, *newPath)
+		fmt.Fprintf(os.Stderr, "benchdiff: no overlapping records between the baseline and %s\n", *newPath)
 		return 2
 	}
 
 	regressions := 0
-	fmt.Fprintf(out, "benchdiff: %d records compared (tolerance %.2fx)\n", len(lines), *tolerance)
-	fmt.Fprintf(out, "%-44s %12s %12s %8s\n", "record", "old ns_op", "new ns_op", "ratio")
+	fmt.Fprintf(out, "benchdiff: %d records compared (tolerance %.2fx median / %.2fx fallback, %d history files)\n",
+		len(lines), tol, fb, len(histFiles))
+	fmt.Fprintf(out, "%-44s %12s %12s %8s %s\n", "record", "base ns_op", "new ns_op", "ratio", "base")
 	for _, l := range lines {
+		src := "old"
+		if l.median {
+			src = "median"
+		}
 		mark := ""
 		if l.regression {
 			mark = "  << REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(out, "%-44s %12d %12d %7.2fx%s\n", l.key, l.oldNs, l.newNs, l.ratio, mark)
+		fmt.Fprintf(out, "%-44s %12d %12d %7.2fx %-6s%s\n", l.key, l.oldNs, l.newNs, l.ratio, src, mark)
 	}
 	for _, k := range onlyOld {
 		fmt.Fprintf(out, "only in baseline (skipped): %s\n", k)
@@ -167,9 +334,16 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintf(out, "only in fresh run (skipped): %s\n", k)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(out, "benchdiff: %d regression(s) beyond %.2fx\n", regressions, *tolerance)
+		fmt.Fprintf(out, "benchdiff: %d regression(s)\n", regressions)
 		return 1
 	}
 	fmt.Fprintln(out, "benchdiff: no regressions")
+	if *save {
+		if err := saveHistory(*historyDir, *newPath, *keep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -save: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(out, "benchdiff: saved %s into %s (keep %d)\n", *newPath, *historyDir, *keep)
+	}
 	return 0
 }

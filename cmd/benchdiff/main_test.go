@@ -130,3 +130,105 @@ func TestRunExitCodes(t *testing.T) {
 		}
 	}
 }
+
+// TestMedianBaseline: history medians beat the committed file, outlier
+// runs in the window don't poison the gate, and committed records only
+// cover keys the window lacks.
+func TestMedianBaseline(t *testing.T) {
+	hist := map[string][]int64{
+		"er|twosided|1": {1000, 5000, 1100}, // median 1100: the 5000 outlier is ignored
+		"er|onesided|1": {800, 900},         // even count: median 850
+	}
+	oldF := &benchFile{Schema: wantSchema, Records: []perfRecord{
+		{Instance: "er", Heuristic: "twosided", Workers: 1, NsOp: 9999}, // shadowed by history
+		{Instance: "er", Heuristic: "cheap", Workers: 1, NsOp: 700},     // fallback-only key
+	}}
+	base := buildBaseline(hist, oldF)
+	if b := base["er|twosided|1"]; b.ns != 1100 || !b.median {
+		t.Fatalf("er|twosided|1 baseline %+v, want median 1100", b)
+	}
+	if b := base["er|onesided|1"]; b.ns != 850 || !b.median {
+		t.Fatalf("er|onesided|1 baseline %+v, want median 850", b)
+	}
+	if b := base["er|cheap|1"]; b.ns != 700 || b.median {
+		t.Fatalf("er|cheap|1 baseline %+v, want committed 700", b)
+	}
+
+	// Per-source tolerances: 1.5x vs the median fails a 2000ns run
+	// (ratio 1.82), while the same ratio against a fallback key passes
+	// under the 2.0x fallback tolerance.
+	newF := &benchFile{Schema: wantSchema, Records: []perfRecord{
+		{Instance: "er", Heuristic: "twosided", Workers: 1, NsOp: 2000},
+		{Instance: "er", Heuristic: "cheap", Workers: 1, NsOp: 1300}, // 1.86x vs 700
+	}}
+	lines, _, _ := diffBase(base, newF, 1.5, 2.0)
+	got := map[string]bool{}
+	for _, l := range lines {
+		got[l.key] = l.regression
+	}
+	if !got["er|twosided|1"] {
+		t.Fatal("1.82x vs median must regress at 1.5x")
+	}
+	if got["er|cheap|1"] {
+		t.Fatal("1.86x vs committed fallback must pass at 2.0x")
+	}
+}
+
+// TestRunWithHistory drives the CLI end to end with a history window:
+// the median gate fires, -save appends green runs and prunes to -keep,
+// and a corrupt history file is skipped instead of failing the gate.
+func TestRunWithHistory(t *testing.T) {
+	dir := t.TempDir()
+	histDir := filepath.Join(dir, "hist")
+	if err := os.MkdirAll(histDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeBench(t, histDir, "run-000001.json", "tiny", rec("er", "twosided", 1, 1000))
+	writeBench(t, histDir, "run-000002.json", "tiny", rec("er", "twosided", 1, 1050))
+	writeBench(t, histDir, "run-000003.json", "tiny", rec("er", "twosided", 1, 1100))
+	if err := os.WriteFile(filepath.Join(histDir, "run-000000.json"), []byte("corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := writeBench(t, dir, "base.json", "tiny", rec("er", "twosided", 1, 9999))
+
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	// 1400 vs median 1050 is 1.33x: clean at 1.5, and -save appends it.
+	ok := writeBench(t, dir, "ok.json", "tiny", rec("er", "twosided", 1, 1400))
+	if got := run([]string{"-old", base, "-history", histDir, "-new", ok, "-tolerance", "1.5", "-save", "-keep", "3"}, devnull); got != 0 {
+		t.Fatalf("clean history diff: exit %d, want 0", got)
+	}
+	files, _ := filepath.Glob(filepath.Join(histDir, "run-*.json"))
+	if len(files) != 3 {
+		t.Fatalf("history holds %d run files after save, want 3 (pruned to -keep, corrupt oldest evicted first)", len(files))
+	}
+	for _, f := range files {
+		if filepath.Base(f) == "run-000000.json" || filepath.Base(f) == "run-000001.json" {
+			t.Fatalf("stale history file %s survived the prune", f)
+		}
+	}
+
+	// 2000 vs the new median (1100) is 1.82x: regression at 1.5 even
+	// though the committed 9999 baseline would have passed it — the
+	// rolling median is the binding gate.
+	bad := writeBench(t, dir, "bad.json", "tiny", rec("er", "twosided", 1, 2000))
+	if got := run([]string{"-old", base, "-history", histDir, "-new", bad, "-tolerance", "1.5"}, devnull); got != 1 {
+		t.Fatalf("median regression: exit %d, want 1", got)
+	}
+
+	// An empty history falls back to the committed file at the loose
+	// fallback tolerance: 2000 vs 9999 is an improvement, exit 0.
+	empty := filepath.Join(dir, "empty-hist")
+	if got := run([]string{"-old", base, "-history", empty, "-new", bad, "-tolerance", "1.5"}, devnull); got != 0 {
+		t.Fatalf("cold-cache fallback: exit %d, want 0", got)
+	}
+
+	// -save without -history is a usage error.
+	if got := run([]string{"-old", base, "-new", bad, "-save"}, devnull); got != 2 {
+		t.Fatalf("-save without -history: exit %d, want 2", got)
+	}
+}

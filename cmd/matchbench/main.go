@@ -10,7 +10,7 @@
 //	matchbench -exp serve -pool 1,2,4,8         # ensemble fan-out width sweep
 //
 // Experiments: qualityfi, table1, table2, table3, fig3, fig4, fig5,
-// conjecture, ablation, extension, perf, refine, serve.
+// conjecture, ablation, extension, perf, refine, serve, dyn.
 //
 // refine measures the exact-refinement engines (Hopcroft-Karp,
 // push-relabel, and the parallel MS-BFS-Graft engine at 1/2/4 workers)
@@ -21,7 +21,9 @@
 // the performance trajectory can be tracked across commits, and any run
 // can capture a CPU profile with -cpuprofile. serve measures per-request
 // throughput of one-shot calls vs a reused Matcher session vs MatchBatch
-// on small instances (the dispatch-bound serving regime).
+// on small instances (the dispatch-bound serving regime). dyn measures
+// batched-mutation throughput of dynamic sessions: incrementally
+// maintained matchings vs a from-scratch recompute after every batch.
 package main
 
 import (
@@ -43,7 +45,7 @@ func main() { os.Exit(run()) }
 // stop and file close instead of truncating the profile via os.Exit.
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension,perf,refine,serve")
+		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension,perf,refine,serve,dyn")
 		scale   = flag.String("scale", "small", "instance scale: tiny | small | paper")
 		runs    = flag.Int("runs", 10, "randomized repetitions for min-quality tables")
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
@@ -140,6 +142,7 @@ func run() int {
 			records = append(records, poolSweep(cfg, poolWidths)...)
 		}
 	})
+	runExp("dyn", func() { records = append(records, dyn(cfg)...) })
 
 	if len(records) > 0 && *jsonOut != "" {
 		blob, err := json.MarshalIndent(struct {

@@ -36,6 +36,19 @@
 //	                   recently used graph)
 //	DELETE /graph/{id} evict a registered graph explicitly (this also drops
 //	                   the engine's cached scaling of the graph)
+//	PATCH /graph/{id}  mutate a registered graph in place:
+//	                   {"insert":[[i,j],...],"delete":[[i,j],...]}
+//	                   → {"id":"g1","rows":R,"cols":C,"edges":E,
+//	                      "inserted":I,"deleted":D,"freed":F,
+//	                      "augments":A,"rescaled":true,
+//	                      "maintained_size":S}
+//	                   (the matching is maintained incrementally by an
+//	                   exact dynamic session, so "maintained_size" is the
+//	                   mutated graph's structural rank; deletes apply
+//	                   before inserts, the batch is atomic — an
+//	                   out-of-range endpoint 400s with nothing applied —
+//	                   and later /match requests run on the mutated graph,
+//	                   the stale cached scaling dropped coherently)
 //	POST /match        match once: {"graph":"g1","algorithm":"twosided",
 //	                   "seed":7,"refine":"exact","best_of":8,"target":0.95,
 //	                   "sequential":false,"timeout_ms":50,"priority":"low"}
@@ -187,10 +200,14 @@ type serveConfig struct {
 }
 
 // graphEntry is one registered graph plus its position in the LRU list.
+// The dynamic session is created lazily by the first PATCH; from then on
+// g always aliases the session's current snapshot, so /match requests
+// observe every applied mutation batch.
 type graphEntry struct {
 	id   string
 	g    *bipartite.Graph
-	elem *list.Element // into handler.lru; front = most recently used
+	sess *bipartite.DynSession // non-nil once the graph was first patched
+	elem *list.Element         // into handler.lru; front = most recently used
 }
 
 // handler owns the matching server, the LRU graph registry and the
@@ -223,6 +240,7 @@ func newMux(h *handler) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /graph", h.handleGraph)
 	mux.HandleFunc("DELETE /graph/{id}", h.handleGraphDelete)
+	mux.HandleFunc("PATCH /graph/{id}", h.handleGraphPatch)
 	mux.HandleFunc("POST /match", h.handleMatch)
 	mux.HandleFunc("POST /match/batch", h.handleBatch)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -260,9 +278,19 @@ type graphSpec struct {
 	Edges [][2]int `json:"edges"`
 }
 
+// maxWireDim caps a wire graph's rows/cols. Graph construction allocates
+// O(rows) regardless of the edge count, so without a cap a tiny body like
+// {"rows":1000000000,"cols":1,"edges":[]} forces a multi-gigabyte
+// allocation past every body-size limit (found by the PATCH/match
+// decoder fuzz targets).
+const maxWireDim = 4 << 20
+
 func (s *graphSpec) build() (*bipartite.Graph, error) {
 	if s.Rows <= 0 || s.Cols <= 0 {
 		return nil, fmt.Errorf("rows and cols must be positive, got %dx%d", s.Rows, s.Cols)
+	}
+	if s.Rows > maxWireDim || s.Cols > maxWireDim {
+		return nil, fmt.Errorf("rows and cols are capped at %d, got %dx%d", maxWireDim, s.Rows, s.Cols)
 	}
 	return bipartite.FromEdges(s.Rows, s.Cols, s.Edges)
 }
@@ -460,6 +488,71 @@ func (h *handler) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	h.srv.DropGraph(e.g) // evict the cached scaling along with the graph
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// patchRequest is one PATCH /graph/{id} body: a batch of edge mutations.
+// Deletes apply before inserts; the batch is atomic (an out-of-range
+// endpoint rejects the whole batch with nothing applied).
+type patchRequest struct {
+	Insert [][2]int `json:"insert"`
+	Delete [][2]int `json:"delete"`
+}
+
+func (h *handler) handleGraphPatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var pr patchRequest
+	if !h.decodeBody(w, r, &pr) {
+		return
+	}
+	h.mu.Lock()
+	e, ok := h.graphs[id]
+	if !ok {
+		h.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
+		return
+	}
+	h.lru.MoveToFront(e.elem)
+	if e.sess == nil {
+		// First mutation: open an exact dynamic session on the registered
+		// graph. From here on the entry serves the session's snapshots and
+		// the maintained matching tracks the structural rank exactly.
+		sess, err := e.g.NewDynSession(bipartite.Spec{Refine: bipartite.RefineExact}, nil)
+		if err != nil {
+			h.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		e.sess = sess
+	}
+	res, err := e.sess.Apply(pr.Insert, pr.Delete)
+	if err != nil {
+		h.mu.Unlock()
+		code := http.StatusBadRequest
+		if !errors.Is(err, bipartite.ErrInvalidMutation) {
+			code = http.StatusInternalServerError
+		}
+		writeError(w, code, err)
+		return
+	}
+	old := e.g
+	cur := e.sess.Snapshot()
+	swapped := cur != old
+	if swapped {
+		e.g = cur
+	}
+	h.mu.Unlock()
+	if swapped {
+		// The registry now serves the mutated snapshot; the engine's cached
+		// scaling of the stale one dies with it (a neutral batch keeps the
+		// snapshot pointer, so warm scalings survive no-op patches).
+		h.srv.DropGraph(old)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": id, "rows": cur.Rows(), "cols": cur.Cols(), "edges": cur.Edges(),
+		"inserted": res.Inserted, "deleted": res.Deleted, "freed": res.Freed,
+		"augments": res.Augments, "rescaled": res.Rescaled,
+		"maintained_size": res.MaintainedSize,
+	})
 }
 
 func (h *handler) handleMatch(w http.ResponseWriter, r *http.Request) {

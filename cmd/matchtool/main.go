@@ -12,6 +12,8 @@
 //	matchtool -in graph.mtx -best-of 8 -sequential        # same ensemble, candidates in series
 //	matchtool -in graph.mtx -alg hk                       # exact maximum
 //	matchtool -in graph.mtx -alg ks -seed 7
+//	matchtool dyn -in graph.mtx -trace mutations.txt      # replay a mutation trace on a
+//	                                                      # dynamic session (see dyn.go)
 //
 // Algorithms: onesided, twosided, ks (classic Karp-Sipser), ksp
 // (multithreaded Karp-Sipser), cheap-edge, cheap-vertex — all served by
@@ -30,6 +32,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "dyn" {
+		runDyn(os.Args[2:])
+		return
+	}
 	var (
 		in      = flag.String("in", "", "input MatrixMarket file (required)")
 		alg     = flag.String("alg", "twosided", "algorithm: onesided|twosided|ks|ksp|cheap-edge|cheap-vertex|hk|mc21")

@@ -151,6 +151,48 @@
 // the session and must be copied if retained across calls (RefineExact
 // results are the exception: they are freshly allocated).
 //
+// # Dynamic sessions
+//
+// A DynSession is the online form of a Matcher: a mutable graph session
+// that absorbs batched edge mutations and maintains its matching
+// incrementally instead of recomputing it. Open one with
+// Graph.NewDynSession(spec, opt) or Matcher.Dyn(spec) — the Spec runs
+// once to establish the initial matching — then feed it
+// Apply(inserts, deletes) batches:
+//
+//	sess, _ := g.NewDynSession(bipartite.Spec{Refine: bipartite.RefineExact}, nil)
+//	res, _ := sess.Apply([][2]int{{3, 7}}, [][2]int{{0, 0}})
+//	// res.Freed, res.Augments, res.Rescaled, res.MaintainedSize report
+//	// how the repair unfolded; sess.Size() == sess.Snapshot().Sprank().
+//
+// A batch is atomic: deletions apply before insertions, and a batch
+// naming an out-of-range vertex is rejected whole with
+// ErrInvalidMutation, leaving the session untouched. Repair is targeted
+// at what the batch disturbed — a deleted matched edge un-matches its
+// pair and re-augments from the freed endpoints; an inserted edge
+// augments only when it touches an exposed vertex. Sessions whose Spec
+// carries a refinement stay exact: the repair completes with
+// warm-started augmenting-path phases, so the maintained size equals the
+// mutated graph's sprank after every batch (the differential fuzz suite
+// gates this over adversarial mutation traces). Heuristic sessions
+// (Refine: None) stop at the targeted repair and keep the heuristic's
+// quality profile; the Sinkhorn–Knopp scaling stays warm via touch-up
+// sweeps restricted to the rows and columns each batch touched.
+//
+// The determinism contract is strict: every internal kernel runs at
+// parallel width 1, so the maintained matching is a pure function of
+// (initial graph, Spec, Options.Seed, mutation trace) — bit-identical
+// whatever pool or worker settings the Options carry, gated under the
+// race detector at pool widths 1/2/4.
+//
+// Snapshot() bridges back to the immutable world: it returns a cached
+// *Graph of the current adjacency, rebuilt only after a batch that
+// actually changed the graph. Matching-neutral batches return the
+// identical pointer, which is the coherence signal serving layers use —
+// cmd/matchserve keys its shared-scaling cache on snapshot identity and
+// calls Server.DropGraph on the old snapshot exactly when PATCH swaps
+// in a new one.
+//
 // For many small independent requests, MatchBatch executes a whole queue
 // as one pool-wide parallel region — one dispatch for N requests, one warm
 // Matcher arena per worker slot, each request served sequentially so its
@@ -240,6 +282,13 @@
 // cmd/matchserve forwards it as the "degraded" response field, and
 // ServerStats counts shed, rate-limited, would-miss and degraded
 // requests.
+//
+// Callers that batch through MatchBatch without running a Server get the
+// same protection from a Batcher: NewBatcher wraps the batch engine with
+// an optional watchdog (BatcherConfig.Watchdog) and applies the
+// identical priority shed rules and degradation ladder per batch, so
+// embedding applications under mutation or query load shed and degrade
+// exactly like the serving path does.
 //
 // The quality guarantees themselves are enforced by the statistical test
 // suite (quality_test.go): OneSided ≥ (1−1/e)·sprank and TwoSided ≥

@@ -1,0 +1,380 @@
+package bipartite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dyngraph"
+)
+
+// ErrInvalidMutation reports a mutation batch that names an out-of-range
+// vertex; the batch is rejected whole — no prefix of it is applied —
+// and cmd/matchserve maps the error to HTTP 400.
+var ErrInvalidMutation = errors.New("bipartite: invalid mutation")
+
+// dynTouchUpIters is how many restricted Sinkhorn–Knopp iterations a
+// dirty batch's scaling touch-up runs: the row/col sweeps are applied
+// only to the rows and columns the batch touched, on the warm vectors.
+// Two iterations propagate a local edit to its immediate neighborhood,
+// which is what keeps sampling quality near the fresh scaling without
+// paying full sweeps per batch.
+const dynTouchUpIters = 2
+
+// DynSession is a mutable graph session that maintains its matching
+// incrementally under batched edge mutations — the online form of a
+// Matcher. Where a Matcher binds an immutable Graph and answers
+// repeated matching requests, a DynSession absorbs Apply(inserts,
+// deletes) batches and repairs the matching it holds instead of
+// recomputing it:
+//
+//   - A deleted matched edge un-matches its pair and the repair
+//     re-augments from the freed endpoints.
+//   - An inserted edge triggers augmentation only when it touches an
+//     exposed vertex — an insertion between two matched vertices cannot
+//     grow the matching (exact sessions still verify maximality).
+//   - Exact sessions (Spec.Refine set) complete the repair with
+//     warm-started Hopcroft–Karp phases over the mutable adjacency, so
+//     the maintained size equals the mutated graph's sprank after every
+//     batch. Heuristic sessions (Refine: None) stop at the targeted
+//     repair and keep the heuristic's quality profile.
+//   - The Sinkhorn–Knopp scaling stays warm: each dirty batch runs a few
+//     touch-up iterations restricted to the rows/columns it touched
+//     (DynResult.Rescaled reports when that happened).
+//
+// Determinism contract: a DynSession executes every internal kernel at
+// parallel width 1 — repair is inherently small sequential work per
+// batch — so the maintained matching is a pure function of (initial
+// graph, Spec, Options.Seed, mutation trace), bit-identical whatever
+// pool or worker count the Options carry. The differential fuzz suite
+// gates this at pool widths 1/2/4.
+//
+// A DynSession is not safe for concurrent use; the serving layer
+// serializes PATCH batches per graph. Results returned by Matching
+// alias the session and are valid until the next Apply.
+type DynSession struct {
+	spec Spec
+	opt  Options // normalized; internal kernels run at width 1
+
+	exact bool // Spec.Refine != RefineNone: maintain size == sprank
+
+	dg  *dyngraph.Graph
+	rep *dyngraph.Repairer
+	mt  *Matching
+
+	// Warm scaling vectors (nil/false when the Spec's algorithm does not
+	// scale); touched up on dirty rows/cols per batch.
+	dr, dc []float64
+	scaled bool
+
+	// snap is the cached immutable snapshot of the current adjacency;
+	// nil when stale. Matching-neutral batches (nothing applied) keep
+	// the previous snapshot pointer, which is what lets serving layers
+	// key shared-scaling caches on snapshot identity.
+	snap *Graph
+
+	// Scratch for batch repair (reused across Apply calls).
+	seedRows, seedCols []int32
+	dirtyRows          []int32
+	dirtyCols          []int32
+	dirtyRowMark       []bool
+	dirtyColMark       []bool
+
+	stats DynStats
+}
+
+// DynStats accumulates a session's lifetime counters.
+type DynStats struct {
+	// Batches is the number of Apply calls, including no-op batches.
+	Batches int
+	// Inserted and Deleted count mutations actually applied (duplicate
+	// inserts and absent deletes are skipped, not counted).
+	Inserted, Deleted int
+	// Freed counts matched pairs broken by deletions.
+	Freed int
+	// Augments counts augmenting paths applied during repair.
+	Augments int
+	// Rescales counts scaling touch-up runs (at most one per dirty batch).
+	Rescales int
+}
+
+// DynResult is the outcome of one Apply batch — the repair provenance
+// cmd/matchserve puts on the wire.
+type DynResult struct {
+	// Inserted and Deleted are the mutations actually applied: inserts
+	// of present edges and deletes of absent edges are no-ops.
+	Inserted, Deleted int
+	// Freed is the number of matched pairs the deletions broke.
+	Freed int
+	// Augments is the number of augmenting paths the repair applied.
+	Augments int
+	// Rescaled reports whether the scaling touch-up ran (a scaling
+	// session with at least one applied mutation).
+	Rescaled bool
+	// MaintainedSize is the matching cardinality after repair. For exact
+	// sessions it equals the mutated graph's sprank.
+	MaintainedSize int
+}
+
+// NewDynSession opens a dynamic session on g: the Spec is run once (at
+// parallel width 1) to establish the initial matching — refined Specs
+// start from a maximum matching and stay exact under mutation — and the
+// graph is copied into the session's mutable adjacency. opt follows the
+// usual defaulting rules; pool and worker settings are ignored (see the
+// determinism contract). g itself is the session's initial Snapshot and
+// is never mutated.
+func (g *Graph) NewDynSession(spec Spec, opt *Options) (*DynSession, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	v := opt.normalized()
+	v.Workers = 1
+	v.Pool = nil
+	res, err := g.Match(spec, &v)
+	if err != nil {
+		return nil, err
+	}
+	s := &DynSession{
+		spec:         spec,
+		opt:          v,
+		exact:        spec.Refine != RefineNone,
+		dg:           dyngraph.FromCSR(g.a),
+		mt:           cloneMatching(res.Matching),
+		snap:         g,
+		dirtyRowMark: make([]bool, g.Rows()),
+		dirtyColMark: make([]bool, g.Cols()),
+	}
+	s.rep = dyngraph.NewRepairer(s.dg)
+	if sc := res.Scaling; sc != nil && len(sc.DR) == g.Rows() && len(sc.DC) == g.Cols() {
+		s.dr = append([]float64(nil), sc.DR...)
+		s.dc = append([]float64(nil), sc.DC...)
+		s.scaled = true
+	}
+	return s, nil
+}
+
+// Dyn opens a dynamic session on the Matcher's graph under the
+// Matcher's options; see Graph.NewDynSession. The Matcher itself is not
+// retained — the session owns an independent mutable copy.
+func (m *Matcher) Dyn(spec Spec) (*DynSession, error) {
+	return m.g.NewDynSession(spec, &m.opt)
+}
+
+// Rows returns the session's row-vertex count (fixed at creation;
+// vertex arrival/departure is expressed as its edge set).
+func (s *DynSession) Rows() int { return s.dg.Rows() }
+
+// Cols returns the session's column-vertex count.
+func (s *DynSession) Cols() int { return s.dg.Cols() }
+
+// Edges returns the current edge count.
+func (s *DynSession) Edges() int { return s.dg.Edges() }
+
+// Size returns the maintained matching's cardinality.
+func (s *DynSession) Size() int { return s.mt.Size }
+
+// Exact reports whether the session maintains an exact maximum matching
+// (the Spec carried a refinement) or the heuristic's quality profile.
+func (s *DynSession) Exact() bool { return s.exact }
+
+// Matching returns the maintained matching. It aliases the session —
+// valid until the next Apply; callers that retain it must copy.
+func (s *DynSession) Matching() *Matching { return s.mt }
+
+// Stats returns the session's lifetime counters.
+func (s *DynSession) Stats() DynStats { return s.stats }
+
+// HasEdge reports whether edge (i, j) is currently present.
+func (s *DynSession) HasEdge(i, j int) bool {
+	return i >= 0 && i < s.dg.Rows() && j >= 0 && j < s.dg.Cols() && s.dg.Has(i, j)
+}
+
+// Snapshot returns an immutable Graph of the current adjacency, for the
+// one-shot/serving paths (oracle checks, registered-graph matching).
+// The snapshot is cached: it is rebuilt (O(rows+edges)) only after a
+// batch that actually changed the graph, so matching-neutral batches
+// return the identical *Graph — serving layers use that pointer
+// identity to decide whether shared-scaling caches keyed on the old
+// snapshot must be invalidated.
+func (s *DynSession) Snapshot() *Graph {
+	if s.snap == nil {
+		s.snap = newGraph(s.dg.CSR())
+	}
+	return s.snap
+}
+
+// Apply absorbs one mutation batch: deletions first, then insertions,
+// then matching repair, then the scaling touch-up. The batch is
+// validated whole before any mutation is applied — an out-of-range
+// vertex rejects it with ErrInvalidMutation and the session is
+// unchanged. Duplicate edges inside the batch and mutations that do not
+// change the graph (inserting a present edge, deleting an absent one)
+// are no-ops, reported through the applied counts.
+func (s *DynSession) Apply(inserts, deletes [][2]int) (*DynResult, error) {
+	n, m := s.dg.Rows(), s.dg.Cols()
+	for _, e := range deletes {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= m {
+			return nil, fmt.Errorf("%w: delete (%d,%d) outside %dx%d", ErrInvalidMutation, e[0], e[1], n, m)
+		}
+	}
+	for _, e := range inserts {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= m {
+			return nil, fmt.Errorf("%w: insert (%d,%d) outside %dx%d", ErrInvalidMutation, e[0], e[1], n, m)
+		}
+	}
+	var res DynResult
+	s.seedRows = s.seedRows[:0]
+	s.seedCols = s.seedCols[:0]
+	s.dirtyRows = s.dirtyRows[:0]
+	s.dirtyCols = s.dirtyCols[:0]
+
+	for _, e := range deletes {
+		i, j := e[0], e[1]
+		if !s.dg.Delete(i, j) {
+			continue
+		}
+		res.Deleted++
+		s.markDirty(i, j)
+		if s.mt.RowMate[i] == int32(j) {
+			s.mt.RowMate[i] = Unmatched
+			s.mt.ColMate[j] = Unmatched
+			s.mt.Size--
+			res.Freed++
+			s.seedRows = append(s.seedRows, int32(i))
+			s.seedCols = append(s.seedCols, int32(j))
+		}
+	}
+	for _, e := range inserts {
+		i, j := e[0], e[1]
+		if !s.dg.Insert(i, j) {
+			continue
+		}
+		res.Inserted++
+		s.markDirty(i, j)
+		// Augmentation can only start from an exposed endpoint; an edge
+		// between two matched vertices changes nothing for the repair
+		// (exact sessions re-verify maximality below regardless).
+		if s.mt.RowMate[i] == Unmatched {
+			s.seedRows = append(s.seedRows, int32(i))
+		} else if s.mt.ColMate[j] == Unmatched {
+			s.seedCols = append(s.seedCols, int32(j))
+		}
+	}
+
+	if s.exact {
+		res.Augments = s.rep.Complete(s.mt)
+	} else {
+		res.Augments = s.repairTargeted()
+	}
+
+	changed := res.Inserted+res.Deleted > 0
+	if changed {
+		s.snap = nil
+		if s.scaled {
+			s.touchUpScaling()
+			res.Rescaled = true
+			s.stats.Rescales++
+		}
+	}
+	for _, i := range s.dirtyRows {
+		s.dirtyRowMark[i] = false
+	}
+	for _, j := range s.dirtyCols {
+		s.dirtyColMark[j] = false
+	}
+	res.MaintainedSize = s.mt.Size
+	s.stats.Batches++
+	s.stats.Inserted += res.Inserted
+	s.stats.Deleted += res.Deleted
+	s.stats.Freed += res.Freed
+	s.stats.Augments += res.Augments
+	return &res, nil
+}
+
+func (s *DynSession) markDirty(i, j int) {
+	if !s.dirtyRowMark[i] {
+		s.dirtyRowMark[i] = true
+		s.dirtyRows = append(s.dirtyRows, int32(i))
+	}
+	if !s.dirtyColMark[j] {
+		s.dirtyColMark[j] = true
+		s.dirtyCols = append(s.dirtyCols, int32(j))
+	}
+}
+
+// repairTargeted is the heuristic session's repair: one augmenting DFS
+// from each endpoint the batch freed or exposed, rows first then
+// columns, each side in ascending vertex order (duplicates skipped) —
+// a fixed order, so the repair is deterministic for a given trace. An
+// endpoint re-matched by an earlier augmentation is skipped by the
+// engine's exposure check.
+func (s *DynSession) repairTargeted() int {
+	sortUnique(&s.seedRows)
+	sortUnique(&s.seedCols)
+	augments := 0
+	for _, i := range s.seedRows {
+		if s.rep.AugmentRow(s.mt, i) {
+			augments++
+		}
+	}
+	for _, j := range s.seedCols {
+		if s.rep.AugmentCol(s.mt, j) {
+			augments++
+		}
+	}
+	return augments
+}
+
+// touchUpScaling runs dynTouchUpIters restricted Sinkhorn–Knopp
+// iterations on the warm vectors: the usual row sweep (dr_i ←
+// 1/Σ_j dc_j over row i) followed by the column sweep (dc_j ←
+// 1/Σ_i dr_i over column j), each applied only to the batch's dirty
+// rows/columns. Vertices whose degree dropped to zero keep their last
+// scale — their row/column no longer contributes to sampling at all.
+func (s *DynSession) touchUpScaling() {
+	for it := 0; it < dynTouchUpIters; it++ {
+		for _, i := range s.dirtyRows {
+			sum := 0.0
+			for _, j := range s.dg.RowAdj(int(i)) {
+				sum += s.dc[j]
+			}
+			if sum > 0 {
+				s.dr[i] = 1 / sum
+			}
+		}
+		for _, j := range s.dirtyCols {
+			sum := 0.0
+			for _, i := range s.dg.ColAdj(int(j)) {
+				sum += s.dr[i]
+			}
+			if sum > 0 {
+				s.dc[j] = 1 / sum
+			}
+		}
+	}
+}
+
+// ScalingVectors exposes the session's warm scaling (nil slices and
+// false when the Spec's algorithm does not scale). The slices alias the
+// session; do not modify.
+func (s *DynSession) ScalingVectors() (dr, dc []float64, ok bool) {
+	if !s.scaled {
+		return nil, nil, false
+	}
+	return s.dr, s.dc, true
+}
+
+func sortUnique(v *[]int32) {
+	x := *v
+	if len(x) < 2 {
+		return
+	}
+	sort.Slice(x, func(a, b int) bool { return x[a] < x[b] })
+	out := x[:1]
+	for _, e := range x[1:] {
+		if e != out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	*v = out
+}

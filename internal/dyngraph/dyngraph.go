@@ -1,0 +1,161 @@
+// Package dyngraph holds the mutable form of a bipartite graph and the
+// augmentation engine that repairs a matching after edge mutations. It
+// backs the public DynSession: where the immutable CSR Graph is built
+// once and matched many times, a dyngraph.Graph absorbs batched edge
+// inserts and deletes in O(deg) each and re-exports an immutable CSR
+// snapshot on demand — so the maintained matching is repaired against
+// the live adjacency and only the serving/oracle paths pay for a
+// rebuild.
+//
+// Both sides of the adjacency are kept (sorted column lists per row and
+// sorted row lists per column) because repair augments from whichever
+// side a mutation exposed: a deleted matched edge frees one row and one
+// column, and the augmenting search must be able to start from either.
+package dyngraph
+
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Graph is a mutable bipartite graph: rows[i] is the sorted column
+// adjacency of row i, cols[j] the sorted row adjacency of column j. The
+// two views are kept consistent by Insert/Delete. Methods are not safe
+// for concurrent use; the owning session serializes access.
+type Graph struct {
+	rows  [][]int32
+	cols  [][]int32
+	edges int
+}
+
+// New returns an empty n×m mutable graph.
+func New(n, m int) *Graph {
+	return &Graph{rows: make([][]int32, n), cols: make([][]int32, m)}
+}
+
+// FromCSR builds a mutable graph from an immutable CSR pattern (rows
+// must be sorted, as package sparse guarantees). The CSR is copied, not
+// retained.
+func FromCSR(a *sparse.CSR) *Graph {
+	g := New(a.RowsN, a.ColsN)
+	// Column degrees first, so each adjacency list is one exact allocation.
+	cdeg := make([]int, a.ColsN)
+	for _, j := range a.Idx {
+		cdeg[j]++
+	}
+	for j := range g.cols {
+		if cdeg[j] > 0 {
+			g.cols[j] = make([]int32, 0, cdeg[j])
+		}
+	}
+	for i := 0; i < a.RowsN; i++ {
+		row := a.Idx[a.Ptr[i]:a.Ptr[i+1]]
+		if len(row) > 0 {
+			g.rows[i] = append(make([]int32, 0, len(row)), row...)
+		}
+		for _, j := range row {
+			g.cols[j] = append(g.cols[j], int32(i))
+		}
+	}
+	g.edges = a.NNZ()
+	return g
+}
+
+// Rows returns the number of row vertices.
+func (g *Graph) Rows() int { return len(g.rows) }
+
+// Cols returns the number of column vertices.
+func (g *Graph) Cols() int { return len(g.cols) }
+
+// Edges returns the current edge count.
+func (g *Graph) Edges() int { return g.edges }
+
+// RowAdj returns the sorted column adjacency of row i (shared slice; do
+// not modify, invalidated by the next mutation).
+func (g *Graph) RowAdj(i int) []int32 { return g.rows[i] }
+
+// ColAdj returns the sorted row adjacency of column j (shared slice; do
+// not modify, invalidated by the next mutation).
+func (g *Graph) ColAdj(j int) []int32 { return g.cols[j] }
+
+// Has reports whether edge (i, j) is present.
+func (g *Graph) Has(i, j int) bool {
+	adj := g.rows[i]
+	k := search(adj, int32(j))
+	return k < len(adj) && adj[k] == int32(j)
+}
+
+// Insert adds edge (i, j) and reports whether the graph changed (false
+// when the edge was already present). Indices must be in range — the
+// session validates whole batches before applying any of them.
+func (g *Graph) Insert(i, j int) bool {
+	rows, ok := insertSorted(g.rows[i], int32(j))
+	if !ok {
+		return false
+	}
+	g.rows[i] = rows
+	g.cols[j], _ = insertSorted(g.cols[j], int32(i))
+	g.edges++
+	return true
+}
+
+// Delete removes edge (i, j) and reports whether the graph changed
+// (false when the edge was absent).
+func (g *Graph) Delete(i, j int) bool {
+	rows, ok := deleteSorted(g.rows[i], int32(j))
+	if !ok {
+		return false
+	}
+	g.rows[i] = rows
+	g.cols[j], _ = deleteSorted(g.cols[j], int32(i))
+	g.edges--
+	return true
+}
+
+// CSR exports the current pattern as a fresh immutable CSR snapshot
+// (O(rows+edges)); the snapshot does not alias the mutable adjacency.
+func (g *Graph) CSR() *sparse.CSR {
+	n := len(g.rows)
+	ptr := make([]int, n+1)
+	idx := make([]int32, 0, g.edges)
+	for i, row := range g.rows {
+		idx = append(idx, row...)
+		ptr[i+1] = len(idx)
+	}
+	a, err := sparse.New(n, len(g.cols), ptr, idx, nil)
+	if err != nil {
+		// Unreachable: the adjacency invariants (sorted, in-range, dedup)
+		// are maintained by Insert/Delete.
+		panic("dyngraph: invalid snapshot: " + err.Error())
+	}
+	return a
+}
+
+func search(adj []int32, v int32) int {
+	return sort.Search(len(adj), func(k int) bool { return adj[k] >= v })
+}
+
+// insertSorted inserts v into the sorted slice, reporting false when v
+// was already present.
+func insertSorted(adj []int32, v int32) ([]int32, bool) {
+	k := search(adj, v)
+	if k < len(adj) && adj[k] == v {
+		return adj, false
+	}
+	adj = append(adj, 0)
+	copy(adj[k+1:], adj[k:])
+	adj[k] = v
+	return adj, true
+}
+
+// deleteSorted removes v from the sorted slice, reporting false when v
+// was absent.
+func deleteSorted(adj []int32, v int32) ([]int32, bool) {
+	k := search(adj, v)
+	if k >= len(adj) || adj[k] != v {
+		return adj, false
+	}
+	copy(adj[k:], adj[k+1:])
+	return adj[:len(adj)-1], true
+}

@@ -1,0 +1,175 @@
+package dyngraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+// mirror is the oracle's trivial edge-set representation.
+type mirror map[[2]int]bool
+
+func (m mirror) csr(rows, cols int) *sparse.CSR {
+	coords := make([]sparse.Coord, 0, len(m))
+	for e := range m {
+		coords = append(coords, sparse.Coord{I: int32(e[0]), J: int32(e[1])})
+	}
+	a, err := sparse.FromCOO(rows, cols, coords, false)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// TestDynGraphMutations drives random insert/delete traffic against a
+// map-based mirror and checks adjacency consistency plus CSR snapshots.
+func TestDynGraphMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const rows, cols = 37, 29
+	g := New(rows, cols)
+	ref := mirror{}
+	for step := 0; step < 4000; step++ {
+		i, j := rng.Intn(rows), rng.Intn(cols)
+		if rng.Intn(2) == 0 {
+			want := !ref[[2]int{i, j}]
+			if got := g.Insert(i, j); got != want {
+				t.Fatalf("step %d: Insert(%d,%d) = %v, want %v", step, i, j, got, want)
+			}
+			ref[[2]int{i, j}] = true
+		} else {
+			want := ref[[2]int{i, j}]
+			if got := g.Delete(i, j); got != want {
+				t.Fatalf("step %d: Delete(%d,%d) = %v, want %v", step, i, j, got, want)
+			}
+			delete(ref, [2]int{i, j})
+		}
+		if g.Edges() != len(ref) {
+			t.Fatalf("step %d: Edges() = %d, want %d", step, g.Edges(), len(ref))
+		}
+	}
+	for e := range ref {
+		if !g.Has(e[0], e[1]) {
+			t.Fatalf("edge %v missing", e)
+		}
+	}
+	// Both adjacency sides must agree with the mirror, sorted and deduped.
+	total := 0
+	for i := 0; i < rows; i++ {
+		adj := g.RowAdj(i)
+		for k, j := range adj {
+			if k > 0 && adj[k-1] >= j {
+				t.Fatalf("row %d adjacency not strictly sorted: %v", i, adj)
+			}
+			if !ref[[2]int{i, int(j)}] {
+				t.Fatalf("row %d has phantom edge to col %d", i, j)
+			}
+			total++
+		}
+	}
+	if total != len(ref) {
+		t.Fatalf("row adjacency holds %d edges, want %d", total, len(ref))
+	}
+	colTotal := 0
+	for j := 0; j < cols; j++ {
+		adj := g.ColAdj(j)
+		for k, i := range adj {
+			if k > 0 && adj[k-1] >= i {
+				t.Fatalf("col %d adjacency not strictly sorted: %v", j, adj)
+			}
+			if !ref[[2]int{int(i), j}] {
+				t.Fatalf("col %d has phantom edge to row %d", j, i)
+			}
+			colTotal++
+		}
+	}
+	if colTotal != len(ref) {
+		t.Fatalf("col adjacency holds %d edges, want %d", colTotal, len(ref))
+	}
+	// The CSR snapshot must be a valid, equal pattern.
+	snap := g.CSR()
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+	if snap.NNZ() != len(ref) {
+		t.Fatalf("snapshot has %d edges, want %d", snap.NNZ(), len(ref))
+	}
+	for i := 0; i < rows; i++ {
+		for _, j := range snap.Row(i) {
+			if !ref[[2]int{i, int(j)}] {
+				t.Fatalf("snapshot phantom edge (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestRepairerComplete checks that HK phases over the mutable adjacency
+// reach the exact sprank after arbitrary mutation histories.
+func TestRepairerComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := gen.ERAvgDeg(60, 55, 3.0, 11)
+	g := FromCSR(a)
+	rep := NewRepairer(g)
+	mt := exact.NewMatching(g.Rows(), g.Cols())
+	rep.Complete(mt)
+	if want := exact.Sprank(a); mt.Size != want {
+		t.Fatalf("initial Complete: size %d, want sprank %d", mt.Size, want)
+	}
+	for batch := 0; batch < 30; batch++ {
+		for k := 0; k < 8; k++ {
+			i, j := rng.Intn(g.Rows()), rng.Intn(g.Cols())
+			if rng.Intn(2) == 0 {
+				g.Insert(i, j)
+			} else if g.Delete(i, j) {
+				if mt.RowMate[i] == int32(j) {
+					mt.RowMate[i], mt.ColMate[j] = exact.NIL, exact.NIL
+					mt.Size--
+				}
+			}
+		}
+		rep.Complete(mt)
+		if want := exact.Sprank(g.CSR()); mt.Size != want {
+			t.Fatalf("batch %d: size %d, want sprank %d", batch, mt.Size, want)
+		}
+	}
+}
+
+// TestRepairerAugmentSingleSource checks the targeted row/col DFS: a
+// deleted matched edge is repairable from either freed endpoint when an
+// augmenting path exists.
+func TestRepairerAugmentSingleSource(t *testing.T) {
+	// Path graph: rows i adjacent to cols i and i+1 — every deletion of a
+	// matched edge leaves an augmenting path along the diagonal.
+	a := gen.LongThinPath(12)
+	g := FromCSR(a)
+	rep := NewRepairer(g)
+	mt := exact.NewMatching(g.Rows(), g.Cols())
+	if rep.AugmentRow(mt, 50) {
+		t.Fatal("out-of-range row must not augment")
+	}
+	rep.Complete(mt)
+	want := exact.Sprank(a)
+	if mt.Size != want {
+		t.Fatalf("size %d, want %d", mt.Size, want)
+	}
+	// Delete the matched edge of row 5; re-augment from the freed row.
+	j := mt.RowMate[5]
+	g.Delete(5, int(j))
+	mt.RowMate[5], mt.ColMate[j] = exact.NIL, exact.NIL
+	mt.Size--
+	if !rep.AugmentRow(mt, 5) && !rep.AugmentCol(mt, j) {
+		// Depending on the path orientation one of the two sides finds
+		// the augmenting path; at least one must when sprank allows.
+		if got, want := mt.Size, exact.Sprank(g.CSR()); got < want {
+			t.Fatalf("targeted repair failed: size %d, sprank %d", got, want)
+		}
+	}
+	if got, want := mt.Size, exact.Sprank(g.CSR()); got != want {
+		t.Fatalf("after targeted repair: size %d, want sprank %d", got, want)
+	}
+	if rep.AugmentRow(mt, 5) {
+		t.Fatal("matched source must return false")
+	}
+}
