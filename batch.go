@@ -161,7 +161,13 @@ type Response struct {
 	// whatever the full Spec guaranteed. Empty means the Spec ran exactly
 	// as requested.
 	Degraded string
-	Err      error
+	// MatchedWeight, Epsilon and Rounds are the AlgAuction provenance
+	// (see the MatchResult fields of the same names); zero for the
+	// cardinality algorithms.
+	MatchedWeight float64
+	Epsilon       float64
+	Rounds        int
+	Err           error
 }
 
 // ErrNilGraph reports a batched request without a graph.
@@ -519,6 +525,9 @@ func (e *batchEngine) serve(w, i int) {
 		Refined:       res.Refined,
 		RefinedWith:   res.RefinedWith,
 		Degraded:      degraded,
+		MatchedWeight: res.MatchedWeight,
+		Epsilon:       res.Epsilon,
+		Rounds:        res.Rounds,
 	}
 }
 

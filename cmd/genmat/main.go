@@ -6,9 +6,16 @@
 //	genmat -kind er -n 100000 -deg 4 -out er.mtx
 //	genmat -kind badks -n 3200 -k 32 -out hard.mtx
 //	genmat -kind grid3 -side 60 -out mesh.mtx
+//	genmat -kind er -n 5000 -deg 6 -weights skew -out wer.mtx
 //
 // Kinds: er, rect, full, badks, grid2, mesh2, grid3, grid3d27, road,
 // powerlaw, band, fi, kkt.
+//
+// -weights attaches seeded synthetic edge weights to any family
+// ("uniform" draws from (0,1], "skew" heavy-tailed Pareto(1,1.5)); the
+// file is then written as a real-valued MatrixMarket matrix, ready for
+// matchtool -alg auction. -wseed seeds the weight draw independently of
+// the pattern seed so one pattern can carry many weight assignments.
 package main
 
 import (
@@ -21,14 +28,16 @@ import (
 
 func main() {
 	var (
-		kind = flag.String("kind", "er", "matrix family")
-		out  = flag.String("out", "", "output .mtx path (required)")
-		n    = flag.Int("n", 10000, "primary dimension")
-		m    = flag.Int("m", 0, "secondary dimension (rect); defaults to n")
-		deg  = flag.Float64("deg", 4, "average degree (er/rect/road)")
-		k    = flag.Int("k", 8, "k parameter (badks)")
-		side = flag.Int("side", 50, "grid side (grid2/mesh2/grid3/grid3d27)")
-		seed = flag.Uint64("seed", 1, "RNG seed")
+		kind    = flag.String("kind", "er", "matrix family")
+		out     = flag.String("out", "", "output .mtx path (required)")
+		n       = flag.Int("n", 10000, "primary dimension")
+		m       = flag.Int("m", 0, "secondary dimension (rect); defaults to n")
+		deg     = flag.Float64("deg", 4, "average degree (er/rect/road)")
+		k       = flag.Int("k", 8, "k parameter (badks)")
+		side    = flag.Int("side", 50, "grid side (grid2/mesh2/grid3/grid3d27)")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		weights = flag.String("weights", "", "edge weight distribution: uniform|skew (empty = pattern only)")
+		wseed   = flag.Uint64("wseed", 0, "weight RNG seed; 0 = -seed")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -70,6 +79,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "genmat: unknown kind %q\n", *kind)
 		os.Exit(2)
+	}
+	if *weights != "" {
+		dist, err := bipartite.ParseWeightDist(*weights)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genmat: %v\n", err)
+			os.Exit(2)
+		}
+		ws := *wseed
+		if ws == 0 {
+			ws = *seed
+		}
+		g = g.RandomWeights(dist, ws)
 	}
 	if err := g.WriteMatrixMarket(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "genmat: %v\n", err)

@@ -45,7 +45,7 @@ func main() { os.Exit(run()) }
 // stop and file close instead of truncating the profile via os.Exit.
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension,perf,refine,serve,dyn")
+		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension,perf,refine,serve,dyn,weighted")
 		scale   = flag.String("scale", "small", "instance scale: tiny | small | paper")
 		runs    = flag.Int("runs", 10, "randomized repetitions for min-quality tables")
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
@@ -143,6 +143,7 @@ func run() int {
 		}
 	})
 	runExp("dyn", func() { records = append(records, dyn(cfg)...) })
+	runExp("weighted", func() { records = append(records, weighted(cfg)...) })
 
 	if len(records) > 0 && *jsonOut != "" {
 		blob, err := json.MarshalIndent(struct {

@@ -31,6 +31,8 @@
 // Endpoints:
 //
 //	POST /graph        register a graph: {"rows":R,"cols":C,"edges":[[i,j],...]}
+//	                   optionally weighted with "weights":[w,...] (one
+//	                   strictly positive finite weight per edge)
 //	                   → {"id":"g1","rows":R,"cols":C,"edges":E}
 //	                   (registering past -maxgraphs evicts the least
 //	                   recently used graph)
@@ -48,7 +50,13 @@
 //	                   before inserts, the batch is atomic — an
 //	                   out-of-range endpoint 400s with nothing applied —
 //	                   and later /match requests run on the mutated graph,
-//	                   the stale cached scaling dropped coherently)
+//	                   the stale cached scaling dropped coherently; on a
+//	                   weighted graph the session is an ε-scaling auction
+//	                   instead, inserts may carry "weights":[w,...] — one
+//	                   per inserted edge, a weight on a present edge
+//	                   updates it — and the reply adds
+//	                   "maintained_weight":W, the re-auctioned matched
+//	                   weight on the mutated graph)
 //	POST /match        match once: {"graph":"g1","algorithm":"twosided",
 //	                   "seed":7,"refine":"exact","best_of":8,"target":0.95,
 //	                   "sequential":false,"timeout_ms":50,"priority":"low"}
@@ -80,8 +88,8 @@
 //
 // Match requests carry the library's declarative Spec on the wire:
 // "algorithm" selects the heuristic (twosided, onesided, karpsipser,
-// karpsipser-parallel, cheap-edge, cheap-vertex; "op" survives as a
-// deprecated alias), "refine" augments the heuristic matching toward
+// karpsipser-parallel, cheap-edge, cheap-vertex, auction; "op" survives
+// as a deprecated alias), "refine" augments the heuristic matching toward
 // maximum cardinality ("exact" = Hopcroft–Karp jump-start, "pushrelabel" =
 // the push-relabel/auction family), "best_of":K runs a best-of-K seed
 // ensemble on one shared scaling, "target" stops the ensemble early at the
@@ -90,6 +98,18 @@
 // candidates run sequentially either way; a standalone Matcher fans them
 // out across the pool). Invalid specs are answered with precise 400s
 // before any kernel runs.
+//
+// "algorithm":"auction" is the weighted objective: the ε-scaling auction
+// maximizes the matched weight, guaranteed ≥ (1−ε)·optimal with
+// "epsilon" (0 = the library default of 0.05; must lie in (0,1) and is
+// only valid with auction, which also rejects "refine" and "target" —
+// its objective is weight, theirs cardinality). On a pattern graph every
+// edge weighs 1.0, so the auction degenerates to cardinality. Successful
+// auction responses extend the provenance with "matched_weight" (the
+// weight of the returned matching), "epsilon" (the resolved slack behind
+// its guarantee) and "rounds" (bidding rounds run); "best_of" ensembles
+// share one deterministic price warm-start and finish each candidate
+// from its own bidding seed, heaviest matching wins.
 //
 // Every successful match response carries the engine's provenance:
 // "winner_seed" (the ensemble seed that produced the matching),
@@ -271,11 +291,14 @@ func (h *handler) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool
 	return true
 }
 
-// graphSpec is an inline graph definition.
+// graphSpec is an inline graph definition. Weights, when present, must
+// carry one strictly positive finite value per edge; the graph is then
+// weighted and AlgAuction maximizes the matched weight on it.
 type graphSpec struct {
-	Rows  int      `json:"rows"`
-	Cols  int      `json:"cols"`
-	Edges [][2]int `json:"edges"`
+	Rows    int       `json:"rows"`
+	Cols    int       `json:"cols"`
+	Edges   [][2]int  `json:"edges"`
+	Weights []float64 `json:"weights,omitempty"`
 }
 
 // maxWireDim caps a wire graph's rows/cols. Graph construction allocates
@@ -291,6 +314,9 @@ func (s *graphSpec) build() (*bipartite.Graph, error) {
 	}
 	if s.Rows > maxWireDim || s.Cols > maxWireDim {
 		return nil, fmt.Errorf("rows and cols are capped at %d, got %dx%d", maxWireDim, s.Rows, s.Cols)
+	}
+	if len(s.Weights) > 0 {
+		return bipartite.FromWeightedEdges(s.Rows, s.Cols, s.Edges, s.Weights)
 	}
 	return bipartite.FromEdges(s.Rows, s.Cols, s.Edges)
 }
@@ -309,7 +335,11 @@ type matchRequest struct {
 	BestOf     int     `json:"best_of"`
 	Target     float64 `json:"target"`
 	Sequential bool    `json:"sequential"`
-	TimeoutMs  int64   `json:"timeout_ms"`
+	// Epsilon is AlgAuction's relative slack: matched weight within
+	// (1−ε)·optimal. 0 means the library default; only valid with
+	// "algorithm":"auction".
+	Epsilon   float64 `json:"epsilon"`
+	TimeoutMs int64   `json:"timeout_ms"`
 	// Priority ranks the request for admission under load: "low" is shed
 	// first when the watchdog reports the process hot, "high" last; ""
 	// means "normal".
@@ -339,6 +369,7 @@ func (mr *matchRequest) spec() (bipartite.Spec, error) {
 		Refine:     ref,
 		Target:     mr.Target,
 		Sequential: mr.Sequential,
+		Epsilon:    mr.Epsilon,
 	}
 	if err := spec.Validate(); err != nil {
 		return bipartite.Spec{}, err
@@ -366,6 +397,12 @@ type matchResponse struct {
 	// "pushrelabel" or "graft" — "refine":"exact" auto-selects the parallel
 	// graft engine on large instances). Absent when no refinement ran.
 	RefinedWith string `json:"refined_with,omitempty"`
+	// Weighted provenance, present only on "algorithm":"auction" responses:
+	// the matched weight the auction maximized, the resolved epsilon of its
+	// (1−ε)·optimal guarantee, and the bidding rounds it ran.
+	MatchedWeight float64 `json:"matched_weight,omitempty"`
+	Epsilon       float64 `json:"epsilon,omitempty"`
+	Rounds        int     `json:"rounds,omitempty"`
 	// Degraded, when present, records the self-protection downgrades the
 	// server applied before running the Spec (e.g.
 	// "refine:exact->none,best_of:8->2"): the matching still carries the
@@ -492,10 +529,15 @@ func (h *handler) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 
 // patchRequest is one PATCH /graph/{id} body: a batch of edge mutations.
 // Deletes apply before inserts; the batch is atomic (an out-of-range
-// endpoint rejects the whole batch with nothing applied).
+// endpoint rejects the whole batch with nothing applied). Weights, when
+// present, carry one weight per inserted edge and require the target
+// graph to be weighted (its maintained matching is then the auction's);
+// inserting into a weighted graph without weights defaults each new edge
+// to weight 1.
 type patchRequest struct {
-	Insert [][2]int `json:"insert"`
-	Delete [][2]int `json:"delete"`
+	Insert  [][2]int  `json:"insert"`
+	Delete  [][2]int  `json:"delete"`
+	Weights []float64 `json:"weights,omitempty"`
 }
 
 func (h *handler) handleGraphPatch(w http.ResponseWriter, r *http.Request) {
@@ -513,10 +555,17 @@ func (h *handler) handleGraphPatch(w http.ResponseWriter, r *http.Request) {
 	}
 	h.lru.MoveToFront(e.elem)
 	if e.sess == nil {
-		// First mutation: open an exact dynamic session on the registered
-		// graph. From here on the entry serves the session's snapshots and
-		// the maintained matching tracks the structural rank exactly.
-		sess, err := e.g.NewDynSession(bipartite.Spec{Refine: bipartite.RefineExact}, nil)
+		// First mutation: open a dynamic session on the registered graph —
+		// an exact cardinality session for pattern graphs (the maintained
+		// matching tracks the structural rank), an auction session for
+		// weighted ones (the maintained matching tracks the matched weight
+		// within the creation-time (1−ε) slack). From here on the entry
+		// serves the session's snapshots.
+		spec := bipartite.Spec{Refine: bipartite.RefineExact}
+		if e.g.Weighted() {
+			spec = bipartite.Spec{Algorithm: bipartite.AlgAuction}
+		}
+		sess, err := e.g.NewDynSession(spec, nil)
 		if err != nil {
 			h.mu.Unlock()
 			writeError(w, http.StatusInternalServerError, err)
@@ -524,7 +573,23 @@ func (h *handler) handleGraphPatch(w http.ResponseWriter, r *http.Request) {
 		}
 		e.sess = sess
 	}
-	res, err := e.sess.Apply(pr.Insert, pr.Delete)
+	var res *bipartite.DynResult
+	var err error
+	if len(pr.Weights) > 0 {
+		if len(pr.Weights) != len(pr.Insert) {
+			h.mu.Unlock()
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%d weights for %d inserted edges", len(pr.Weights), len(pr.Insert)))
+			return
+		}
+		ins := make([]bipartite.WeightedEdge, len(pr.Insert))
+		for k, ed := range pr.Insert {
+			ins[k] = bipartite.WeightedEdge{Row: ed[0], Col: ed[1], Weight: pr.Weights[k]}
+		}
+		res, err = e.sess.ApplyWeighted(ins, pr.Delete)
+	} else {
+		res, err = e.sess.Apply(pr.Insert, pr.Delete)
+	}
 	if err != nil {
 		h.mu.Unlock()
 		code := http.StatusBadRequest
@@ -536,6 +601,7 @@ func (h *handler) handleGraphPatch(w http.ResponseWriter, r *http.Request) {
 	}
 	old := e.g
 	cur := e.sess.Snapshot()
+	auction := e.sess.Auction()
 	swapped := cur != old
 	if swapped {
 		e.g = cur
@@ -547,12 +613,16 @@ func (h *handler) handleGraphPatch(w http.ResponseWriter, r *http.Request) {
 		// snapshot pointer, so warm scalings survive no-op patches).
 		h.srv.DropGraph(old)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	reply := map[string]any{
 		"id": id, "rows": cur.Rows(), "cols": cur.Cols(), "edges": cur.Edges(),
 		"inserted": res.Inserted, "deleted": res.Deleted, "freed": res.Freed,
 		"augments": res.Augments, "rescaled": res.Rescaled,
 		"maintained_size": res.MaintainedSize,
-	})
+	}
+	if auction {
+		reply["maintained_weight"] = res.MaintainedWeight
+	}
+	writeJSON(w, http.StatusOK, reply)
 }
 
 func (h *handler) handleMatch(w http.ResponseWriter, r *http.Request) {
@@ -897,6 +967,9 @@ func toWire(resp bipartite.Response, d time.Duration) matchResponse {
 		CandidatesRun: resp.Candidates,
 		HeuristicSize: resp.HeuristicSize,
 		Refined:       resp.Refined,
+		MatchedWeight: resp.MatchedWeight,
+		Epsilon:       resp.Epsilon,
+		Rounds:        resp.Rounds,
 		Degraded:      resp.Degraded,
 		Ms:            float64(d.Microseconds()) / 1000,
 	}

@@ -117,6 +117,18 @@ func (e *streamEnc) matchResponse(mr *matchResponse) {
 		e.raw(`,"refined_with":`)
 		e.value(mr.RefinedWith)
 	}
+	if mr.MatchedWeight != 0 {
+		e.raw(`,"matched_weight":`)
+		e.value(mr.MatchedWeight)
+	}
+	if mr.Epsilon != 0 {
+		e.raw(`,"epsilon":`)
+		e.value(mr.Epsilon)
+	}
+	if mr.Rounds != 0 {
+		e.raw(`,"rounds":`)
+		e.int(int64(mr.Rounds))
+	}
 	if mr.Degraded != "" {
 		e.raw(`,"degraded":`)
 		e.value(mr.Degraded)

@@ -36,6 +36,17 @@ func streamCases() map[string]matchResponse {
 		"error": {
 			RowMate: nil, Error: `spec: <bad> "refine" & more`,
 		},
+		"auction": {
+			Size: 3, Rows: 3, Cols: 4, RowMate: []int32{0, 1, 2},
+			WinnerSeed: 9, CandidatesRun: 4, HeuristicSize: 3,
+			MatchedWeight: 2.718281828459045, Epsilon: 0.05, Rounds: 17, Ms: 0.75,
+		},
+		"auction-degraded": {
+			Size: 2, Rows: 2, Cols: 2, RowMate: []int32{1, 0},
+			WinnerSeed: 3, CandidatesRun: 1, HeuristicSize: 2,
+			MatchedWeight: 1.5, Epsilon: 0.1, Rounds: 2,
+			Degraded: "best_of:8->2", Ms: 0.25,
+		},
 		"empty-mates": {
 			Size: 0, Rows: 0, Cols: 0, RowMate: []int32{},
 		},

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// End-to-end coverage of the weighted wire surface: weighted graph
+// registration, "algorithm":"auction" with "epsilon", the
+// matched_weight/epsilon/rounds provenance, and weighted PATCH batches
+// with maintained_weight.
+
+// registerWeighted registers a small weighted diagonal-plus-extras graph
+// and returns its id.
+func registerWeighted(t *testing.T, url string) string {
+	t.Helper()
+	resp, body := postJSON(t, url+"/graph", map[string]any{
+		"rows": 4, "cols": 4,
+		"edges":   [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {0, 1}, {1, 0}},
+		"weights": []float64{4, 3, 2, 1, 0.5, 0.5},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("weighted registration: status %d body %v", resp.StatusCode, body)
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		t.Fatalf("no id in %v", body)
+	}
+	return id
+}
+
+func TestMatchServeAuction(t *testing.T) {
+	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	id := registerWeighted(t, ts.URL)
+
+	resp, body := postJSON(t, ts.URL+"/match", map[string]any{
+		"graph": id, "algorithm": "auction", "epsilon": 0.05, "seed": 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("auction match: status %d body %v", resp.StatusCode, body)
+	}
+	// Optimal is the full diagonal: 4+3+2+1 = 10; ε=0.05 guarantees ≥ 9.5.
+	w, _ := body["matched_weight"].(float64)
+	if w < 9.5 {
+		t.Fatalf("matched_weight %v < (1-eps)*10", w)
+	}
+	if eps, _ := body["epsilon"].(float64); eps != 0.05 {
+		t.Fatalf("epsilon provenance %v, want 0.05", eps)
+	}
+	if r, _ := body["rounds"].(float64); r < 1 {
+		t.Fatalf("rounds provenance %v, want >= 1", r)
+	}
+	if sz, _ := body["size"].(float64); sz != 4 {
+		t.Fatalf("size %v, want 4", sz)
+	}
+
+	// Cardinality responses must not leak weighted provenance.
+	resp, body = postJSON(t, ts.URL+"/match", map[string]any{
+		"graph": id, "algorithm": "twosided", "refine": "exact",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("twosided on weighted graph: status %d body %v", resp.StatusCode, body)
+	}
+	if _, ok := body["matched_weight"]; ok {
+		t.Fatalf("cardinality response carries matched_weight: %v", body)
+	}
+
+	// Inline weighted graph with an ensemble.
+	resp, body = postJSON(t, ts.URL+"/match", map[string]any{
+		"rows": 2, "cols": 2, "edges": [][2]int{{0, 0}, {0, 1}, {1, 0}},
+		"weights": []float64{2, 1, 1}, "algorithm": "auction", "best_of": 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline weighted: status %d body %v", resp.StatusCode, body)
+	}
+	if w, _ := body["matched_weight"].(float64); w < 2*0.95 {
+		t.Fatalf("inline matched_weight %v < 1.9", w)
+	}
+	if c, _ := body["candidates_run"].(float64); c != 3 {
+		t.Fatalf("candidates_run %v, want 3", c)
+	}
+}
+
+func TestMatchServeAuctionBadSpecs(t *testing.T) {
+	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	id := registerWeighted(t, ts.URL)
+	bad := []map[string]any{
+		{"graph": id, "algorithm": "auction", "epsilon": 1.5},
+		{"graph": id, "algorithm": "auction", "epsilon": -0.1},
+		{"graph": id, "algorithm": "auction", "refine": "exact"},
+		{"graph": id, "algorithm": "twosided", "epsilon": 0.1},
+		{"rows": 2, "cols": 2, "edges": [][2]int{{0, 0}}, "weights": []float64{1, 2}, "algorithm": "auction"},
+		{"rows": 2, "cols": 2, "edges": [][2]int{{0, 0}}, "weights": []float64{-1}, "algorithm": "auction"},
+	}
+	for i, req := range bad {
+		resp, body := postJSON(t, ts.URL+"/match", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad spec %d (%v): status %d body %v, want 400", i, req, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestMatchServeWeightedPatch(t *testing.T) {
+	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	id := registerWeighted(t, ts.URL)
+
+	// First weighted patch: replace the weight-1 diagonal edge with a
+	// heavy off-diagonal one. The auction session maintains the weight.
+	resp, body := patchJSON(t, ts.URL+"/graph/"+id, map[string]any{
+		"insert":  [][2]int{{3, 3}},
+		"weights": []float64{10},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("weighted patch: status %d body %v", resp.StatusCode, body)
+	}
+	w, ok := body["maintained_weight"].(float64)
+	if !ok {
+		t.Fatalf("no maintained_weight in %v", body)
+	}
+	// New optimum: 4+3+2+10 = 19 at the session's default epsilon.
+	if w < 19*0.9 {
+		t.Fatalf("maintained_weight %v after upgrade, want >= 17.1", w)
+	}
+	if ms, _ := body["maintained_size"].(float64); ms != 4 {
+		t.Fatalf("maintained_size %v, want 4", ms)
+	}
+
+	// Weight/insert length mismatch is a 400 with nothing applied.
+	resp, _ = patchJSON(t, ts.URL+"/graph/"+id, map[string]any{
+		"insert":  [][2]int{{0, 2}, {0, 3}},
+		"weights": []float64{1},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched weights: status %d, want 400", resp.StatusCode)
+	}
+
+	// A later /match sees the mutated weighted snapshot.
+	resp, body = postJSON(t, ts.URL+"/match", map[string]any{
+		"graph": id, "algorithm": "auction", "epsilon": 0.05,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match after patch: status %d body %v", resp.StatusCode, body)
+	}
+	if mw, _ := body["matched_weight"].(float64); mw < 19*0.95 {
+		t.Fatalf("post-patch matched_weight %v < 18.05", mw)
+	}
+
+	// Weighted insert on an unweighted graph's exact session is a 400.
+	respReg, regBody := postJSON(t, ts.URL+"/graph", map[string]any{
+		"rows": 2, "cols": 2, "edges": [][2]int{{0, 0}, {1, 1}},
+	})
+	if respReg.StatusCode != http.StatusOK {
+		t.Fatalf("pattern registration failed: %v", regBody)
+	}
+	pid := regBody["id"].(string)
+	resp, _ = patchJSON(t, ts.URL+"/graph/"+pid, map[string]any{
+		"insert": [][2]int{{0, 1}}, "weights": []float64{2},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("weighted patch on pattern graph: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// FuzzMatchServeWeightedDecode fuzzes the weighted wire surface: inline
+// weighted graph specs with epsilon on /match, and weighted mutation
+// batches on PATCH — the decoders and the auction spec/weight validation
+// must answer arbitrary bodies with a clean status.
+func FuzzMatchServeWeightedDecode(f *testing.F) {
+	mux, _ := fuzzMux(f)
+	// A weighted registered graph so PATCH exercises the auction session.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/graph",
+		bytes.NewReader([]byte(`{"rows":4,"cols":4,"edges":[[0,0],[1,1],[2,2],[3,3]],"weights":[4,3,2,1]}`))))
+	if rec.Code != http.StatusOK {
+		f.Fatalf("weighted seed graph: status %d body %s", rec.Code, rec.Body)
+	}
+	var reg struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &reg); err != nil {
+		f.Fatal(err)
+	}
+	wid := reg.ID
+
+	f.Add([]byte(`{"graph":"`+wid+`","algorithm":"auction","epsilon":0.1,"seed":3}`), true)
+	f.Add([]byte(`{"rows":2,"cols":2,"edges":[[0,0],[1,1]],"weights":[2,1],"algorithm":"auction"}`), true)
+	f.Add([]byte(`{"rows":2,"cols":2,"edges":[[0,0]],"weights":[1,2],"algorithm":"auction"}`), true)
+	f.Add([]byte(`{"rows":2,"cols":2,"edges":[[0,0]],"weights":[-5],"algorithm":"auction"}`), true)
+	f.Add([]byte(`{"graph":"`+wid+`","algorithm":"auction","epsilon":2}`), true)
+	f.Add([]byte(`{"graph":"`+wid+`","algorithm":"auction","best_of":3}`), true)
+	f.Add([]byte(`{"insert":[[0,1]],"weights":[2.5]}`), false)
+	f.Add([]byte(`{"insert":[[0,1],[1,0]],"weights":[1]}`), false)
+	f.Add([]byte(`{"insert":[[0,1]],"weights":[null]}`), false)
+	f.Add([]byte(`{"weights":"bogus"}`), false)
+	f.Fuzz(func(t *testing.T, body []byte, match bool) {
+		rec := httptest.NewRecorder()
+		if match {
+			mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/match", bytes.NewReader(body)))
+		} else {
+			mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPatch, "/graph/"+wid, bytes.NewReader(body)))
+		}
+		if !statusAllowed(rec.Code) {
+			t.Fatalf("weighted request answered %d (match=%v body %q)", rec.Code, match, body)
+		}
+	})
+}

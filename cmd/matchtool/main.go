@@ -10,16 +10,21 @@
 //	matchtool -in graph.mtx -alg twosided -best-of 8      # best-of-8 seed ensemble, one scaling,
 //	                                                      # candidates fanned out across the pool
 //	matchtool -in graph.mtx -best-of 8 -sequential        # same ensemble, candidates in series
+//	matchtool -in graph.mtx -alg auction -epsilon 0.05    # weighted: matched weight
+//	                                                      # within (1-eps) of optimal
 //	matchtool -in graph.mtx -alg hk                       # exact maximum
 //	matchtool -in graph.mtx -alg ks -seed 7
 //	matchtool dyn -in graph.mtx -trace mutations.txt      # replay a mutation trace on a
 //	                                                      # dynamic session (see dyn.go)
 //
 // Algorithms: onesided, twosided, ks (classic Karp-Sipser), ksp
-// (multithreaded Karp-Sipser), cheap-edge, cheap-vertex — all served by
-// the declarative Spec engine and composable with
-// -refine/-best-of/-target/-sequential — plus the direct exact solvers hk
-// (Hopcroft-Karp) and mc21.
+// (multithreaded Karp-Sipser), cheap-edge, cheap-vertex, auction (the
+// weighted ε-scaling auction; reads the MatrixMarket values as edge
+// weights, pattern files weigh every edge 1.0) — all served by the
+// declarative Spec engine and composable with
+// -refine/-best-of/-target/-sequential (the auction takes -best-of but
+// rejects -refine/-target: its objective is weight, not cardinality) —
+// plus the direct exact solvers hk (Hopcroft-Karp) and mc21.
 package main
 
 import (
@@ -38,7 +43,7 @@ func main() {
 	}
 	var (
 		in      = flag.String("in", "", "input MatrixMarket file (required)")
-		alg     = flag.String("alg", "twosided", "algorithm: onesided|twosided|ks|ksp|cheap-edge|cheap-vertex|hk|mc21")
+		alg     = flag.String("alg", "twosided", "algorithm: onesided|twosided|ks|ksp|cheap-edge|cheap-vertex|auction|hk|mc21")
 		iters   = flag.Int("iters", 5, "Sinkhorn-Knopp scaling iterations (one/two-sided)")
 		workers = flag.Int("workers", 0, "worker count; 0 = all CPUs")
 		seed    = flag.Uint64("seed", 1, "RNG seed")
@@ -46,6 +51,7 @@ func main() {
 		bestOf  = flag.Int("best-of", 1, "ensemble size: run seeds seed..seed+K-1 on one shared scaling and keep the largest matching")
 		target  = flag.Float64("target", 0, "ensemble early-stop: halt once size reaches target*sprank-upper-bound, in (0,1]")
 		seq     = flag.Bool("sequential", false, "run ensemble candidates sequentially on one arena instead of fanning out across the pool")
+		epsilon = flag.Float64("epsilon", 0, "auction approximation slack in (0,1): matched weight >= (1-eps)*optimal; 0 = library default (-alg auction only)")
 		quality = flag.Bool("quality", false, "also compute sprank and report quality (costs an exact run)")
 	)
 	flag.Parse()
@@ -93,6 +99,7 @@ func main() {
 			Ensemble:   *bestOf,
 			Target:     *target,
 			Sequential: *seq,
+			Epsilon:    *epsilon,
 		}
 		res, err := g.Match(spec, opt)
 		fail(err)
@@ -114,6 +121,10 @@ func main() {
 		if res.Refined {
 			fmt.Printf("refinement (%s): heuristic %d -> %d (+%d augmenting rows)\n",
 				res.RefinedWith, res.HeuristicSize, mt.Size, mt.Size-res.HeuristicSize)
+		}
+		if algorithm == bipartite.AlgAuction {
+			fmt.Printf("auction: matched weight %.6g (>= %.6g of optimal, eps %.3g), %d bidding rounds\n",
+				res.MatchedWeight, 1-res.Epsilon, res.Epsilon, res.Rounds)
 		}
 	}
 	elapsed := time.Since(start)

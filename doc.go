@@ -129,6 +129,57 @@
 //	// report how the ensemble unfolded; with no Target the refined size
 //	// is exactly g.Sprank().
 //
+// # Weighted matching
+//
+// Graphs can carry strictly positive, finite edge weights —
+// NewWeightedGraph and FromWeightedEdges attach them at construction,
+// ReadMatrixMarket keeps the values of real/integer files, and
+// RandomWeights decorates any pattern with a seeded synthetic assignment
+// (uniform or heavy-tailed). Spec{Algorithm: AlgAuction} then maximizes
+// matched WEIGHT instead of cardinality, via an ε-scaling auction
+// (Bertsekas' algorithm, parallel Jacobi bidding rounds with serial
+// reconciliation) with an explicit approximation contract:
+//
+//	res, _ := g.Match(bipartite.Spec{
+//		Algorithm: bipartite.AlgAuction,
+//		Epsilon:   0.05, // 0 = DefaultEpsilon
+//	}, nil)
+//	// res.MatchedWeight ≥ (1−ε)·optimal matched weight, always.
+//	// res.MatchedWeight/res.DualBound certifies this run's true ratio.
+//
+// Spec.Epsilon in (0,1) trades quality for speed: the final bidding phase
+// runs at absolute slack ε·Wmax/min(n,m), so the matched weight is within
+// (1−ε) of optimal; smaller ε means more bidding rounds. Every result
+// also reports DualBound, the value Σp + Σr of a feasible LP dual built
+// from the final prices — an upper bound on the optimum, tight to within
+// |M|·ε_abs of the achieved weight — so MatchedWeight/DualBound is a
+// per-run quality certificate at any instance size, no exact solve
+// needed. Provenance (MatchedWeight, Epsilon, Rounds, DualBound) flows
+// through MatchBatch Responses and cmd/matchserve's "matched_weight",
+// "epsilon" and "rounds" JSON fields. Pattern graphs degrade gracefully:
+// every edge weighs 1.0 and the auction maximizes cardinality.
+//
+// The auction composes with the Spec machinery it shares with the
+// cardinality algorithms. Ensemble: K runs a best-of-K sweep over bidding
+// seeds — the coarse ε-scaling phases run ONCE into a shared price warm
+// start, each candidate finishes from a clone of it with its own seeded
+// tie-breaking, and the heaviest matching wins (ties toward the smallest
+// seed). Candidates fan out across the session pool at width 1 each, so
+// the winner is bit-identical at any pool width — the same determinism
+// contract as the cardinality ensembles, gated in CI at widths 1/2/4
+// under the race detector. Refine and Target are rejected by Validate:
+// they speak cardinality, not weight. Dynamic sessions extend to weighted
+// graphs too: a DynSession opened with AlgAuction maintains the weighted
+// matching under ApplyWeighted batches (weighted inserts, deletions,
+// weight updates) by re-normalizing prices around what the batch
+// disturbed and re-auctioning only the freed rows, preserving the (1−ε)
+// bound at the session's creation-time slack after every batch.
+//
+// Sampling-based heuristics can opt into Walker alias tables
+// (Options.AliasSampling) for O(1) weighted draws per sample; the tables
+// build lazily per graph and invalidate with the scaling, trading one
+// O(nnz) build for constant-time draws in seed sweeps.
+//
 // # Sessions and serving
 //
 // The one-shot calls are thin wrappers over a Matcher, a reusable session

@@ -3,9 +3,12 @@ package bipartite
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
+	"repro/internal/auction"
 	"repro/internal/dyngraph"
+	"repro/internal/sparse"
 )
 
 // ErrInvalidMutation reports a mutation batch that names an out-of-range
@@ -80,6 +83,19 @@ type DynSession struct {
 	dirtyRowMark       []bool
 	dirtyColMark       []bool
 
+	// Auction-session state (Spec.Algorithm == AlgAuction): the repair
+	// re-auctions freed endpoints against the maintained price vector at
+	// the session's creation-time absolute slack, so the weight guarantee
+	// weight ≥ opt − |M|·aucEpsAbs tracks the mutated graph.
+	auction   bool
+	weighted  bool               // emit weighted snapshots (creation graph or ApplyWeighted)
+	wmap      map[int64]float64  // edge weights keyed int64(i)<<32 | j
+	aucSt     *auction.State     // maintained prices + matching (mt aliases it)
+	aucWs     *auction.Workspace // reusable repair scratch
+	aucOpt    auction.Options
+	aucEpsAbs float64 // creation-time absolute slack
+	aucWeight float64 // maintained matched weight after the last repair
+
 	stats DynStats
 }
 
@@ -114,6 +130,10 @@ type DynResult struct {
 	// MaintainedSize is the matching cardinality after repair. For exact
 	// sessions it equals the mutated graph's sprank.
 	MaintainedSize int
+	// MaintainedWeight is the matched weight after repair, for auction
+	// sessions (1.0 per edge when the session's graph is unweighted);
+	// 0 for cardinality sessions.
+	MaintainedWeight float64
 }
 
 // NewDynSession opens a dynamic session on g: the Spec is run once (at
@@ -130,6 +150,9 @@ func (g *Graph) NewDynSession(spec Spec, opt *Options) (*DynSession, error) {
 	v := opt.normalized()
 	v.Workers = 1
 	v.Pool = nil
+	if spec.Algorithm == AlgAuction {
+		return g.newDynAuction(spec, v)
+	}
 	res, err := g.Match(spec, &v)
 	if err != nil {
 		return nil, err
@@ -152,6 +175,65 @@ func (g *Graph) NewDynSession(spec Spec, opt *Options) (*DynSession, error) {
 	}
 	return s, nil
 }
+
+// newDynAuction opens an auction (weighted) dynamic session: the initial
+// auction runs here directly — rather than through Graph.Match — so the
+// session retains the price vector the repairs warm-start from. The
+// absolute slack ε_abs is fixed from the creation graph; the maintained
+// weight guarantee weight ≥ opt − |M|·ε_abs is relative to that slack
+// (mutations that raise Wmax dilute the relative (1−ε) reading, never
+// the absolute one).
+func (g *Graph) newDynAuction(spec Spec, v Options) (*DynSession, error) {
+	eps := spec.Epsilon
+	if eps == 0 {
+		eps = DefaultEpsilon
+	}
+	aopt := auction.Options{Epsilon: eps, Workers: 1}
+	ws := &auction.Workspace{}
+	st, epsAbs, err := auction.Prepare(g.a, g.transpose(), aopt, ws)
+	if err != nil {
+		return nil, err
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = v.Seed
+	}
+	res, err := auction.Finish(g.a, g.transpose(), aopt, seed, epsAbs, st, ws)
+	if err != nil {
+		return nil, err
+	}
+	s := &DynSession{
+		spec:         spec,
+		opt:          v,
+		dg:           dyngraph.FromCSR(g.a),
+		mt:           res.Matching, // aliases aucSt's mate arrays: Apply's unmatch writes maintain both
+		snap:         g,
+		dirtyRowMark: make([]bool, g.Rows()),
+		dirtyColMark: make([]bool, g.Cols()),
+		auction:      true,
+		weighted:     g.Weighted(),
+		wmap:         make(map[int64]float64, g.Edges()),
+		aucSt:        st,
+		aucWs:        ws,
+		aucOpt:       aopt,
+		aucEpsAbs:    epsAbs,
+		aucWeight:    res.Weight,
+	}
+	a := g.a
+	for i := 0; i < a.RowsN; i++ {
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			w := 1.0
+			if a.Val != nil {
+				w = a.Val[p]
+			}
+			s.wmap[edgeKey(i, int(a.Idx[p]))] = w
+		}
+	}
+	s.rep = dyngraph.NewRepairer(s.dg)
+	return s, nil
+}
+
+func edgeKey(i, j int) int64 { return int64(i)<<32 | int64(j) }
 
 // Dyn opens a dynamic session on the Matcher's graph under the
 // Matcher's options; see Graph.NewDynSession. The Matcher itself is not
@@ -177,6 +259,11 @@ func (s *DynSession) Size() int { return s.mt.Size }
 // (the Spec carried a refinement) or the heuristic's quality profile.
 func (s *DynSession) Exact() bool { return s.exact }
 
+// Auction reports whether the session maintains a weighted auction
+// matching (the Spec asked for AlgAuction); see MaintainedWeight and
+// ApplyWeighted.
+func (s *DynSession) Auction() bool { return s.auction }
+
 // Matching returns the maintained matching. It aliases the session —
 // valid until the next Apply; callers that retain it must copy.
 func (s *DynSession) Matching() *Matching { return s.mt }
@@ -198,9 +285,56 @@ func (s *DynSession) HasEdge(i, j int) bool {
 // snapshot must be invalidated.
 func (s *DynSession) Snapshot() *Graph {
 	if s.snap == nil {
-		s.snap = newGraph(s.dg.CSR())
+		a := s.dg.CSR()
+		if s.auction && s.weighted {
+			s.fillWeights(a)
+		}
+		s.snap = newGraph(a)
 	}
 	return s.snap
+}
+
+// fillWeights materializes the session's weight map as a's parallel
+// value array (CSR edge order).
+func (s *DynSession) fillWeights(a *sparse.CSR) {
+	val := make([]float64, len(a.Idx))
+	for i := 0; i < a.RowsN; i++ {
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			val[p] = s.wmap[edgeKey(i, int(a.Idx[p]))]
+		}
+	}
+	a.Val = val
+}
+
+// MaintainedWeight returns the maintained matched weight of an auction
+// session (0 for cardinality sessions).
+func (s *DynSession) MaintainedWeight() float64 { return s.aucWeight }
+
+// aucRepair rebuilds the mutated adjacency as a weighted CSR and runs
+// the auction repair against the maintained prices: normalization
+// (ε-CS re-check plus the unmatched-column price reset and its cascade)
+// followed by a bidding phase for the unassigned rows at the session's
+// creation-time slack. The per-batch tie-break seed advances with the
+// batch counter so the trace stays a pure function of (graph, Spec,
+// Options.Seed, mutations).
+func (s *DynSession) aucRepair() error {
+	a := s.dg.CSR()
+	if s.weighted {
+		s.fillWeights(a)
+	}
+	at := a.Transpose()
+	seed := s.spec.Seed
+	if seed == 0 {
+		seed = s.opt.Seed
+	}
+	seed += uint64(s.stats.Batches) + 1
+	res, err := auction.Repair(a, at, s.aucOpt, seed, s.aucEpsAbs, s.aucSt, s.aucWs)
+	if err != nil {
+		return err
+	}
+	s.mt = res.Matching // fresh header over the maintained state arrays
+	s.aucWeight = res.Weight
+	return nil
 }
 
 // Apply absorbs one mutation batch: deletions first, then insertions,
@@ -210,7 +344,46 @@ func (s *DynSession) Snapshot() *Graph {
 // unchanged. Duplicate edges inside the batch and mutations that do not
 // change the graph (inserting a present edge, deleting an absent one)
 // are no-ops, reported through the applied counts.
+//
+// On auction sessions, inserted edges get weight 1.0; use ApplyWeighted
+// to insert edges with explicit weights.
 func (s *DynSession) Apply(inserts, deletes [][2]int) (*DynResult, error) {
+	return s.apply(inserts, nil, deletes)
+}
+
+// WeightedEdge is one weighted insertion for ApplyWeighted.
+type WeightedEdge struct {
+	Row, Col int
+	Weight   float64
+}
+
+// ApplyWeighted is Apply for auction sessions with explicit insertion
+// weights: inserting an edge already present updates its weight (counted
+// as applied when the weight actually changes). Weights must be strictly
+// positive and finite. The repair re-auctions against the maintained
+// prices at the session's creation-time slack, so after every batch the
+// maintained weight satisfies weight ≥ opt − |M|·ε_abs on the mutated
+// graph. Returns an error on cardinality (non-auction) sessions.
+func (s *DynSession) ApplyWeighted(inserts []WeightedEdge, deletes [][2]int) (*DynResult, error) {
+	if !s.auction {
+		return nil, fmt.Errorf("%w: ApplyWeighted requires an auction session", ErrInvalidMutation)
+	}
+	ins := make([][2]int, len(inserts))
+	weights := make([]float64, len(inserts))
+	for k, e := range inserts {
+		if !(e.Weight > 0) || math.IsInf(e.Weight, 1) {
+			return nil, fmt.Errorf("%w: insert (%d,%d) weight %v not positive finite", ErrInvalidMutation, e.Row, e.Col, e.Weight)
+		}
+		ins[k] = [2]int{e.Row, e.Col}
+		weights[k] = e.Weight
+	}
+	return s.apply(ins, weights, deletes)
+}
+
+// apply is the shared batch body; weights is nil for Apply (auction
+// sessions then insert weight 1.0) and parallel to inserts for
+// ApplyWeighted.
+func (s *DynSession) apply(inserts [][2]int, weights []float64, deletes [][2]int) (*DynResult, error) {
 	n, m := s.dg.Rows(), s.dg.Cols()
 	for _, e := range deletes {
 		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= m {
@@ -234,6 +407,9 @@ func (s *DynSession) Apply(inserts, deletes [][2]int) (*DynResult, error) {
 			continue
 		}
 		res.Deleted++
+		if s.auction {
+			delete(s.wmap, edgeKey(i, j))
+		}
 		s.markDirty(i, j)
 		if s.mt.RowMate[i] == int32(j) {
 			s.mt.RowMate[i] = Unmatched
@@ -244,12 +420,32 @@ func (s *DynSession) Apply(inserts, deletes [][2]int) (*DynResult, error) {
 			s.seedCols = append(s.seedCols, int32(j))
 		}
 	}
-	for _, e := range inserts {
+	for k, e := range inserts {
 		i, j := e[0], e[1]
+		w := 1.0
+		if weights != nil {
+			w = weights[k]
+		}
 		if !s.dg.Insert(i, j) {
+			// Present edge: a weighted insert may still change its weight,
+			// which is a real mutation for an auction session.
+			if s.auction && weights != nil && s.wmap[edgeKey(i, j)] != w {
+				s.wmap[edgeKey(i, j)] = w
+				res.Inserted++
+				s.markDirty(i, j)
+				if w != 1 {
+					s.weighted = true
+				}
+			}
 			continue
 		}
 		res.Inserted++
+		if s.auction {
+			s.wmap[edgeKey(i, j)] = w
+			if w != 1 {
+				s.weighted = true
+			}
+		}
 		s.markDirty(i, j)
 		// Augmentation can only start from an exposed endpoint; an edge
 		// between two matched vertices changes nothing for the repair
@@ -261,13 +457,25 @@ func (s *DynSession) Apply(inserts, deletes [][2]int) (*DynResult, error) {
 		}
 	}
 
-	if s.exact {
+	changed := res.Inserted+res.Deleted > 0
+	switch {
+	case s.auction:
+		// Re-auction only when the graph changed: the repair normalizes
+		// the maintained prices (reset/cascade over freed and unmatched
+		// columns) and runs a bidding phase for the unassigned rows at
+		// the creation-time slack. A no-op batch keeps state as is.
+		if changed {
+			if err := s.aucRepair(); err != nil {
+				return nil, err
+			}
+		}
+		res.MaintainedWeight = s.aucWeight
+	case s.exact:
 		res.Augments = s.rep.Complete(s.mt)
-	} else {
+	default:
 		res.Augments = s.repairTargeted()
 	}
 
-	changed := res.Inserted+res.Deleted > 0
 	if changed {
 		s.snap = nil
 		if s.scaled {

@@ -1,0 +1,545 @@
+// Package auction implements the ε-scaling auction algorithm for
+// approximate maximum-weight bipartite matching (Bertsekas' auction with
+// price scaling, parallelized in the style of Sathe–Schenk–Burkhart).
+//
+// The algorithm maintains a price p[j] per column and repeatedly lets
+// unassigned rows bid for their most profitable column. With bid
+// increments of at least ε_abs the final matching M and prices satisfy
+// ε-complementary-slackness, which yields the quality contract this
+// package is built around:
+//
+//	weight(M) ≥ opt − |M|·ε_abs ≥ (1−ε)·opt
+//
+// where ε_abs = ε·Wmax/min(rows,cols) and opt is the maximum matched
+// weight. The second inequality uses opt ≥ Wmax, which holds because a
+// single heaviest edge is itself a matching. Every run also reports
+// DualBound — the value Σp_j + Σr_i of a feasible LP dual built from the
+// final prices — so callers can certify weight(M)/opt ≥ weight(M)/DualBound
+// without an exact solve.
+//
+// # Determinism
+//
+// Bidding rounds are Jacobi-style: every queued row computes its bid
+// against the same pre-round prices into a private per-row slot (this is
+// the parallel region, fanned out over a worker pool), then the bids are
+// reconciled serially in queue order. Bid computation is a pure function
+// of (row, prices, seed, round), so results are bit-identical at any pool
+// width. Seeded tie-breaking uses a per-(row,round) indexed SplitMix64
+// stream, never worker-local state.
+package auction
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/exact"
+	"repro/internal/par"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// ErrWeights reports a weight outside the supported domain. The
+// (1−ε)-approximation contract needs strictly positive finite weights:
+// zero or negative weights break the opt ≥ Wmax step of the bound and
+// NaN/Inf poison price arithmetic.
+var ErrWeights = errors.New("auction: weights must be positive and finite")
+
+// ErrOptions reports an invalid Options value.
+var ErrOptions = errors.New("auction: invalid options")
+
+// Options configures a run.
+type Options struct {
+	// Epsilon is the relative approximation slack in (0,1): the matched
+	// weight is guaranteed ≥ (1−ε)·optimal.
+	Epsilon float64
+	// Workers caps the bidding-phase parallelism; <=1 runs serially.
+	Workers int
+	// Pool optionally supplies the worker pool for bidding rounds. Nil
+	// runs on a transient pool of Workers width.
+	Pool *par.Pool
+}
+
+// State is the mutable auction state: column prices plus the current
+// matching. Prepare produces a warm State; Finish and Repair advance one
+// to a final matching. Candidates of an ensemble each clone the shared
+// warm State and finish independently.
+type State struct {
+	Prices  []float64
+	RowMate []int32
+	ColMate []int32
+}
+
+// Clone returns a deep copy of the state.
+func (st *State) Clone() *State {
+	return &State{
+		Prices:  append([]float64(nil), st.Prices...),
+		RowMate: append([]int32(nil), st.RowMate...),
+		ColMate: append([]int32(nil), st.ColMate...),
+	}
+}
+
+// NewState returns an empty state (zero prices, nothing matched) for an
+// n×m graph.
+func NewState(n, m int) *State {
+	st := &State{
+		Prices:  make([]float64, m),
+		RowMate: make([]int32, n),
+		ColMate: make([]int32, m),
+	}
+	for i := range st.RowMate {
+		st.RowMate[i] = exact.NIL
+	}
+	for j := range st.ColMate {
+		st.ColMate[j] = exact.NIL
+	}
+	return st
+}
+
+// Result reports one finished auction.
+type Result struct {
+	// Matching is the computed matching; maximal on the positive-weight
+	// edge set (no unmatched row shares an edge with an unmatched column).
+	Matching *exact.Matching
+	// Weight is the total weight of Matching (for pattern graphs, every
+	// edge counts 1.0, so Weight == Size).
+	Weight float64
+	// Rounds is the total number of bidding rounds across all phases.
+	Rounds int
+	// Phases is the number of ε-scaling phases run.
+	Phases int
+	// EpsilonAbs is the absolute slack of the final phase; the matching
+	// satisfies weight ≥ opt − Size·EpsilonAbs.
+	EpsilonAbs float64
+	// DualBound is the value of a feasible dual solution built from the
+	// final prices: a certified upper bound on the optimal matched weight.
+	// At termination it is also ≤ Weight + Size·EpsilonAbs, so the
+	// certified ratio Weight/DualBound is itself ≥ (1−ε)-tight.
+	DualBound float64
+}
+
+// Workspace holds the reusable scratch buffers of a run. The zero value
+// is ready to use; reuse across runs avoids reallocation.
+type Workspace struct {
+	bidCol []int32   // per-row bid target this round, or -1
+	bidVal []float64 // per-row bid price
+	queue  []int32   // active (unassigned, still bidding) rows
+	next   []int32
+	colQ   []int32 // cascade worklist of columns to price-reset
+	reset  []bool  // cascade visited marks, len m
+	rounds int
+	phases int
+}
+
+func (ws *Workspace) grow(n, m int) {
+	if cap(ws.bidCol) < n {
+		ws.bidCol = make([]int32, n)
+		ws.bidVal = make([]float64, n)
+		ws.queue = make([]int32, 0, n)
+		ws.next = make([]int32, 0, n)
+	}
+	ws.bidCol = ws.bidCol[:n]
+	ws.bidVal = ws.bidVal[:n]
+	if cap(ws.reset) < m {
+		ws.reset = make([]bool, m)
+		ws.colQ = make([]int32, 0, m)
+	}
+	ws.reset = ws.reset[:m]
+}
+
+// Validate checks the weight domain: strictly positive, finite values.
+// Pattern graphs (nil Val) pass trivially. Returns the maximum weight.
+func Validate(a *sparse.CSR) (wmax float64, err error) {
+	if a.Val == nil {
+		if len(a.Idx) > 0 {
+			wmax = 1
+		}
+		return wmax, nil
+	}
+	for _, v := range a.Val {
+		if !(v > 0) || math.IsInf(v, 1) {
+			return 0, fmt.Errorf("%w: got %v", ErrWeights, v)
+		}
+		if v > wmax {
+			wmax = v
+		}
+	}
+	return wmax, nil
+}
+
+// EpsilonAbs maps the relative contract ε to the absolute per-edge slack
+// of the final phase: ε·wmax/min(n,m). With at most min(n,m) matched
+// edges the total slack is ≤ ε·wmax ≤ ε·opt.
+func EpsilonAbs(eps, wmax float64, n, m int) float64 {
+	minSide := n
+	if m < n {
+		minSide = m
+	}
+	if minSide < 1 {
+		minSide = 1
+	}
+	return eps * wmax / float64(minSide)
+}
+
+// weightAt returns the weight of the p-th stored edge (1.0 for pattern
+// graphs).
+func weightAt(a *sparse.CSR, p int) float64 {
+	if a.Val == nil {
+		return 1
+	}
+	return a.Val[p]
+}
+
+// Prepare runs the coarse ε-scaling phases — every phase except the
+// final one — and then normalizes the state for the final slack: matched
+// pairs violating ε-CS at epsAbs are unmatched and every unmatched
+// column's price is reset to zero (with the cascade that reset may
+// trigger). The returned state is a deterministic, seed-independent warm
+// start shared by all ensemble candidates.
+func Prepare(a, at *sparse.CSR, opt Options, ws *Workspace) (*State, float64, error) {
+	if !(opt.Epsilon > 0 && opt.Epsilon < 1) {
+		return nil, 0, fmt.Errorf("%w: Epsilon %v outside (0,1)", ErrOptions, opt.Epsilon)
+	}
+	wmax, err := Validate(a)
+	if err != nil {
+		return nil, 0, err
+	}
+	n, m := a.RowsN, a.ColsN
+	ws.grow(n, m)
+	ws.rounds, ws.phases = 0, 0
+	st := NewState(n, m)
+	if len(a.Idx) == 0 {
+		return st, 0, nil
+	}
+	epsFinal := EpsilonAbs(opt.Epsilon, wmax, n, m)
+	// Coarse phases: slack starts near wmax/2 and shrinks by 4× per
+	// phase. The matching and prices carry across phases as a warm start;
+	// only the final phase (run by Finish) needs the exact ε-CS invariant,
+	// which normalize restores below.
+	for eps := wmax / 2; eps > epsFinal; eps /= 4 {
+		runPhase(a, st, eps, 0, false, opt, ws)
+		ws.phases++
+	}
+	normalize(a, at, st, epsFinal, ws)
+	return st, epsFinal, nil
+}
+
+// Finish runs the final, seeded phase at the given absolute slack and
+// returns the completed result. st must satisfy the final-phase
+// preconditions (as produced by Prepare, or by Repair's normalization):
+// matched pairs ε-CS-consistent at epsAbs and unmatched columns at price
+// zero. st is advanced in place; the returned Matching aliases st's mate
+// arrays.
+func Finish(a, at *sparse.CSR, opt Options, seed uint64, epsAbs float64, st *State, ws *Workspace) (Result, error) {
+	if !(opt.Epsilon > 0 && opt.Epsilon < 1) {
+		return Result{}, fmt.Errorf("%w: Epsilon %v outside (0,1)", ErrOptions, opt.Epsilon)
+	}
+	n, m := a.RowsN, a.ColsN
+	ws.grow(n, m)
+	if len(a.Idx) > 0 {
+		runPhase(a, st, epsAbs, seed, true, opt, ws)
+		ws.phases++
+	}
+	mt := &exact.Matching{RowMate: st.RowMate, ColMate: st.ColMate}
+	var weight float64
+	for i := 0; i < n; i++ {
+		j := st.RowMate[i]
+		if j == exact.NIL {
+			continue
+		}
+		mt.Size++
+		weight += edgeWeight(a, i, j)
+	}
+	return Result{
+		Matching:   mt,
+		Weight:     weight,
+		Rounds:     ws.rounds,
+		Phases:     ws.phases,
+		EpsilonAbs: epsAbs,
+		DualBound:  dualBound(a, st),
+	}, nil
+}
+
+// Run is the one-shot entry: Prepare then Finish on a fresh state.
+func Run(a, at *sparse.CSR, opt Options, seed uint64, ws *Workspace) (Result, error) {
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	st, epsAbs, err := Prepare(a, at, opt, ws)
+	if err != nil {
+		return Result{}, err
+	}
+	return Finish(a, at, opt, seed, epsAbs, st, ws)
+}
+
+// Repair re-establishes the final-phase invariants on a mutated graph and
+// re-auctions the unassigned rows: matched pairs whose edge vanished or
+// whose ε-CS no longer holds are dropped, the given touched columns and
+// all unmatched columns are price-reset (with cascade), and a final
+// seeded phase runs at epsAbs. This is the dynamic-session path: st is
+// the maintained state, epsAbs the session's creation-time slack, and the
+// guarantee weight ≥ opt − |M|·epsAbs is relative to that slack.
+func Repair(a, at *sparse.CSR, opt Options, seed uint64, epsAbs float64, st *State, ws *Workspace) (Result, error) {
+	n, m := a.RowsN, a.ColsN
+	ws.grow(n, m)
+	ws.rounds, ws.phases = 0, 0
+	// The graph may have grown: extend the state to the new shape.
+	for len(st.Prices) < m {
+		st.Prices = append(st.Prices, 0)
+		st.ColMate = append(st.ColMate, exact.NIL)
+	}
+	for len(st.RowMate) < n {
+		st.RowMate = append(st.RowMate, exact.NIL)
+	}
+	// Drop matched pairs whose edge no longer exists (deleted or, for a
+	// shrunk graph, out of range).
+	for i := 0; i < n; i++ {
+		j := st.RowMate[i]
+		if j == exact.NIL {
+			continue
+		}
+		if int(j) >= m || !hasEdge(a, i, j) {
+			st.RowMate[i] = exact.NIL
+			if int(j) < m {
+				st.ColMate[j] = exact.NIL
+			}
+		}
+	}
+	normalize(a, at, st, epsAbs, ws)
+	return Finish(a, at, opt, seed, epsAbs, st, ws)
+}
+
+// edgeWeight returns w_ij for an edge known to exist.
+func edgeWeight(a *sparse.CSR, i int, j int32) float64 {
+	s, e := a.Ptr[i], a.Ptr[i+1]
+	for p := s; p < e; p++ {
+		if a.Idx[p] == j {
+			return weightAt(a, p)
+		}
+	}
+	return 0
+}
+
+func hasEdge(a *sparse.CSR, i int, j int32) bool {
+	for _, k := range a.Idx[a.Ptr[i]:a.Ptr[i+1]] {
+		if k == j {
+			return true
+		}
+	}
+	return false
+}
+
+// normalize restores the final-phase preconditions at slack epsAbs:
+// every unmatched column gets price zero and every matched pair
+// satisfies w_ij − p_j ≥ max_k(w_ik − p_k) − epsAbs. Lowering a column
+// price can create new ε-CS violations on adjacent rows, so violators
+// are unmatched and their columns queued — a cascade that resets each
+// column at most once and therefore terminates in O(nnz).
+func normalize(a, at *sparse.CSR, st *State, epsAbs float64, ws *Workspace) {
+	n, m := a.RowsN, a.ColsN
+	ws.colQ = ws.colQ[:0]
+	for j := range ws.reset {
+		ws.reset[j] = false
+	}
+	for j := 0; j < m; j++ {
+		if st.ColMate[j] == exact.NIL && st.Prices[j] != 0 {
+			st.Prices[j] = 0
+			ws.reset[j] = true
+			ws.colQ = append(ws.colQ, int32(j))
+		}
+	}
+	// Initial sweep: the slack may have tightened since the pairs were
+	// matched, so every matched row is checked once up front.
+	for i := 0; i < n; i++ {
+		checkCS(a, st, epsAbs, i, ws)
+	}
+	for len(ws.colQ) > 0 {
+		j := ws.colQ[len(ws.colQ)-1]
+		ws.colQ = ws.colQ[:len(ws.colQ)-1]
+		// Rows adjacent to a reset column gained surplus there; their
+		// matched edges may now violate ε-CS.
+		for _, i := range at.Row(int(j)) {
+			checkCS(a, st, epsAbs, int(i), ws)
+		}
+	}
+}
+
+// checkCS unmatches row i if its matched edge violates ε-CS at epsAbs,
+// resetting and queueing the freed column. Two conditions must hold: the
+// relative one (within epsAbs of the row's best surplus) and the absolute
+// one (surplus ≥ −epsAbs). The absolute check matters because coarse
+// phases bid with far larger slacks, so a pair matched early can carry a
+// deeply negative surplus — an overpriced column — into the final phase;
+// both the (1−ε) guarantee and the DualBound tightness
+// (DualBound ≤ weight + |M|·epsAbs) need every surviving surplus ≥ −epsAbs.
+func checkCS(a *sparse.CSR, st *State, epsAbs float64, i int, ws *Workspace) {
+	j := st.RowMate[i]
+	if j == exact.NIL {
+		return
+	}
+	have := edgeWeight(a, i, j) - st.Prices[j]
+	best := math.Inf(-1)
+	for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+		if s := weightAt(a, p) - st.Prices[a.Idx[p]]; s > best {
+			best = s
+		}
+	}
+	if have >= best-epsAbs && have >= -epsAbs {
+		return
+	}
+	st.RowMate[i] = exact.NIL
+	st.ColMate[j] = exact.NIL
+	if !ws.reset[j] {
+		st.Prices[j] = 0
+		ws.reset[j] = true
+		ws.colQ = append(ws.colQ, j)
+	}
+}
+
+// runPhase auctions all currently unassigned rows at slack epsAbs until
+// every one is either matched or priced out (no positive surplus left).
+// Each round is a parallel Jacobi bid computation over the queue followed
+// by a serial reconciliation in queue order, so the outcome is a pure
+// function of the inputs regardless of worker count.
+func runPhase(a *sparse.CSR, st *State, epsAbs float64, seed uint64, seeded bool, opt Options, ws *Workspace) {
+	n := a.RowsN
+	ws.queue = ws.queue[:0]
+	for i := 0; i < n; i++ {
+		if st.RowMate[i] == exact.NIL && a.Ptr[i+1] > a.Ptr[i] {
+			ws.queue = append(ws.queue, int32(i))
+		}
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	pool := opt.Pool
+	if pool == nil && workers > 1 {
+		pool = par.NewPool(workers)
+		defer pool.Close()
+	}
+	base := xrand.Base(seed)
+	round := 0
+	for len(ws.queue) > 0 {
+		q := ws.queue
+		bid := func(lo, hi int) {
+			var rng xrand.SplitMix64
+			for qi := lo; qi < hi; qi++ {
+				i := int(q[qi])
+				if seeded {
+					// One indexed stream per (row, round): deterministic
+					// under any schedule, distinct across rounds.
+					rng.SetIndexed(base, i+round*n)
+				}
+				computeBid(a, st, epsAbs, i, seeded, &rng, ws)
+			}
+		}
+		if pool == nil || len(q) < 2*par.DefaultChunk {
+			bid(0, len(q))
+		} else {
+			pool.For(len(q), workers, par.Dynamic, par.DefaultChunk, func(_, lo, hi int) {
+				bid(lo, hi)
+			})
+		}
+		// Serial reconcile in queue order: deterministic acceptance, and
+		// later bidders see earlier same-round price rises (their stale
+		// bids are rejected and re-queued).
+		ws.next = ws.next[:0]
+		for _, i := range q {
+			j := ws.bidCol[i]
+			if j < 0 {
+				continue // priced out: no positive surplus remains
+			}
+			v := ws.bidVal[i]
+			if v <= st.Prices[j] {
+				ws.next = append(ws.next, i) // stale bid; retry next round
+				continue
+			}
+			st.Prices[j] = v
+			if owner := st.ColMate[j]; owner != exact.NIL {
+				st.RowMate[owner] = exact.NIL
+				ws.next = append(ws.next, owner)
+			}
+			st.ColMate[j] = i
+			st.RowMate[int(i)] = j
+		}
+		ws.queue, ws.next = ws.next, ws.queue
+		ws.rounds++
+		round++
+	}
+}
+
+// computeBid fills ws.bidCol/bidVal for row i against the current prices:
+// the target is the best-surplus column (ties broken by lowest index, or
+// by seeded reservoir sampling when seeded), and the bid raises its price
+// to forfeit all but the second-best surplus, plus epsAbs.
+func computeBid(a *sparse.CSR, st *State, epsAbs float64, i int, seeded bool, rng *xrand.SplitMix64, ws *Workspace) {
+	best, second := math.Inf(-1), math.Inf(-1)
+	bestCol := int32(-1)
+	ties := 1
+	for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+		j := a.Idx[p]
+		s := weightAt(a, p) - st.Prices[j]
+		switch {
+		case s > best:
+			second = best
+			best, bestCol = s, j
+			ties = 1
+		case s == best:
+			second = best
+			if seeded {
+				// Reservoir selection among tied best columns: each tie
+				// survives with probability 1/ties, uniformly.
+				ties++
+				if rng.Intn(ties) == 0 {
+					bestCol = j
+				}
+			}
+		case s > second:
+			second = s
+		}
+	}
+	if !(best > 0) {
+		ws.bidCol[i] = -1
+		return
+	}
+	// Forfeit margin: any s ≥ second keeps ε-CS; flooring at zero bounds
+	// single-candidate price jumps by the surplus itself.
+	s := second
+	if !(s > 0) {
+		s = 0
+	}
+	ws.bidCol[i] = bestCol
+	ws.bidVal[i] = st.Prices[bestCol] + (best - s) + epsAbs
+}
+
+// dualBound evaluates the feasible dual (p, r) with
+// r_i = max(0, max_j(w_ij − p_j)): an upper bound on the optimal matched
+// weight by LP weak duality, valid for any price vector.
+func dualBound(a *sparse.CSR, st *State) float64 {
+	var sum float64
+	for _, p := range st.Prices {
+		sum += p
+	}
+	for i := 0; i < a.RowsN; i++ {
+		var r float64
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			if s := weightAt(a, p) - st.Prices[a.Idx[p]]; s > r {
+				r = s
+			}
+		}
+		sum += r
+	}
+	return sum
+}
+
+// MatchedWeight sums the weights of the matched edges of mt on a.
+func MatchedWeight(a *sparse.CSR, mt *exact.Matching) float64 {
+	var w float64
+	for i := 0; i < a.RowsN && i < len(mt.RowMate); i++ {
+		if j := mt.RowMate[i]; j != exact.NIL {
+			w += edgeWeight(a, i, j)
+		}
+	}
+	return w
+}

@@ -1,0 +1,398 @@
+package auction
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/par"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// randWeighted builds a seeded random weighted bipartite graph with about
+// deg edges per row. skew switches the weight law from uniform (0,1] to a
+// heavy-tailed Pareto.
+func randWeighted(t *testing.T, n, m, deg int, seed uint64, skew bool) *sparse.CSR {
+	t.Helper()
+	rng := xrand.New(seed)
+	var entries []sparse.Coord
+	for i := 0; i < n; i++ {
+		for k := 0; k < deg; k++ {
+			j := rng.Intn(m)
+			w := 1 - rng.Float64() // uniform in (0,1]
+			if skew {
+				w = rng.Pareto(1, 1.2)
+			}
+			entries = append(entries, sparse.Coord{I: int32(i), J: int32(j), V: w})
+		}
+	}
+	a, err := sparse.FromCOO(n, m, entries, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// rankDeficient builds a graph whose structural rank is far below
+// min(n,m): most rows see only the first few columns, so the auction's
+// reset/cascade at the final phase is actually exercised.
+func rankDeficient(t *testing.T, n, m int, seed uint64) *sparse.CSR {
+	t.Helper()
+	rng := xrand.New(seed)
+	var entries []sparse.Coord
+	cols := m / 4
+	if cols < 2 {
+		cols = 2
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			entries = append(entries, sparse.Coord{
+				I: int32(i), J: int32(rng.Intn(cols)), V: 1 - rng.Float64(),
+			})
+		}
+	}
+	a, err := sparse.FromCOO(n, m, entries, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func checkValid(t *testing.T, a *sparse.CSR, res Result) {
+	t.Helper()
+	mt := res.Matching
+	size := 0
+	for i := range mt.RowMate {
+		j := mt.RowMate[i]
+		if j == exact.NIL {
+			continue
+		}
+		size++
+		if mt.ColMate[j] != int32(i) {
+			t.Fatalf("mate arrays disagree at row %d", i)
+		}
+		if !hasEdge(a, i, j) {
+			t.Fatalf("matched pair (%d,%d) is not an edge", i, j)
+		}
+	}
+	if size != mt.Size {
+		t.Fatalf("Size=%d but %d rows matched", mt.Size, size)
+	}
+	w := MatchedWeight(a, mt)
+	if math.Abs(w-res.Weight) > 1e-9*(1+math.Abs(w)) {
+		t.Fatalf("Weight=%v but recomputed %v", res.Weight, w)
+	}
+}
+
+// TestAuctionQualityOracle proves the (1−ε) contract against the exact
+// oracle across uniform, skewed and rank-deficient families and several
+// epsilons, and checks the reported DualBound really bounds the optimum.
+func TestAuctionQualityOracle(t *testing.T) {
+	type family struct {
+		name string
+		gen  func(seed uint64) *sparse.CSR
+	}
+	families := []family{
+		{"uniform", func(s uint64) *sparse.CSR { return randWeighted(t, 60, 50, 4, s, false) }},
+		{"skewed", func(s uint64) *sparse.CSR { return randWeighted(t, 50, 60, 4, s, true) }},
+		{"rankdef", func(s uint64) *sparse.CSR { return rankDeficient(t, 60, 60, s) }},
+	}
+	for _, fam := range families {
+		for _, eps := range []float64{0.5, 0.1, 0.02} {
+			for seed := uint64(1); seed <= 8; seed++ {
+				a := fam.gen(seed)
+				at := a.Transpose()
+				opt := Options{Epsilon: eps}
+				res, err := Run(a, at, opt, seed, nil)
+				if err != nil {
+					t.Fatalf("%s eps=%v seed=%d: %v", fam.name, eps, seed, err)
+				}
+				checkValid(t, a, res)
+				optW, _, err := Oracle(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Weight < (1-eps)*optW-1e-9 {
+					t.Errorf("%s eps=%v seed=%d: weight %v < (1-eps)*opt %v (opt %v)",
+						fam.name, eps, seed, res.Weight, (1-eps)*optW, optW)
+				}
+				if res.DualBound < optW-1e-9 {
+					t.Errorf("%s eps=%v seed=%d: DualBound %v below optimum %v",
+						fam.name, eps, seed, res.DualBound, optW)
+				}
+				if res.Weight > res.DualBound+1e-9 {
+					t.Errorf("%s eps=%v seed=%d: weight %v exceeds DualBound %v",
+						fam.name, eps, seed, res.Weight, res.DualBound)
+				}
+			}
+		}
+	}
+}
+
+// TestAuctionDeterminismWidths pins bit-identity of the full result
+// across pool widths 1, 2 and 4 at several seeds, on graphs large enough
+// that the bidding loop actually fans out.
+func TestAuctionDeterminismWidths(t *testing.T) {
+	for _, skew := range []bool{false, true} {
+		a := randWeighted(t, 3000, 2800, 4, 42, skew)
+		at := a.Transpose()
+		for seed := uint64(1); seed <= 3; seed++ {
+			var ref Result
+			for wi, width := range []int{1, 2, 4} {
+				pool := par.NewPool(width)
+				opt := Options{Epsilon: 0.1, Workers: width, Pool: pool}
+				res, err := Run(a, at, opt, seed, nil)
+				pool.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wi == 0 {
+					ref = res
+					checkValid(t, a, res)
+					continue
+				}
+				if res.Weight != ref.Weight || res.Rounds != ref.Rounds {
+					t.Fatalf("width %d seed %d: weight/rounds (%v,%d) != width-1 (%v,%d)",
+						width, seed, res.Weight, res.Rounds, ref.Weight, ref.Rounds)
+				}
+				for i := range ref.Matching.RowMate {
+					if res.Matching.RowMate[i] != ref.Matching.RowMate[i] {
+						t.Fatalf("width %d seed %d: RowMate[%d] differs", width, seed, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAuctionSeededTieBreaks checks that distinct seeds can reach
+// distinct matchings on a tie-heavy instance (all weights equal) while
+// every seed preserves validity — the property ensembles rely on.
+func TestAuctionSeededTieBreaks(t *testing.T) {
+	var entries []sparse.Coord
+	n := 40
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			entries = append(entries, sparse.Coord{I: int32(i), J: int32((i + k*7) % n), V: 1})
+		}
+	}
+	a, err := sparse.FromCOO(n, n, entries, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := a.Transpose()
+	seen := map[string]bool{}
+	for seed := uint64(1); seed <= 6; seed++ {
+		res, err := Run(a, at, Options{Epsilon: 0.2}, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, a, res)
+		key := ""
+		for _, j := range res.Matching.RowMate {
+			key += string(rune(j + 2))
+		}
+		seen[key] = true
+	}
+	if len(seen) < 2 {
+		t.Error("six seeds produced a single matching on a tie-heavy instance; tie-breaking is not seeded")
+	}
+}
+
+// TestAuctionPatternFallback runs the auction on a pattern (unweighted)
+// graph: every edge counts 1.0, so Weight must equal Size and the result
+// must be maximal.
+func TestAuctionPatternFallback(t *testing.T) {
+	var entries []sparse.Coord
+	for i := 0; i < 30; i++ {
+		entries = append(entries, sparse.Coord{I: int32(i), J: int32(i)})
+		entries = append(entries, sparse.Coord{I: int32(i), J: int32((i + 1) % 30)})
+	}
+	a, err := sparse.FromCOO(30, 30, entries, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(a, a.Transpose(), Options{Epsilon: 0.1}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, a, res)
+	if res.Weight != float64(res.Matching.Size) {
+		t.Fatalf("pattern graph: Weight %v != Size %d", res.Weight, res.Matching.Size)
+	}
+	if res.Matching.Size != 30 {
+		t.Fatalf("perfect matching exists but got size %d", res.Matching.Size)
+	}
+}
+
+// TestAuctionMaximal: no unmatched row may share an edge with an
+// unmatched column (positive weights make such a pair strictly
+// improving, and the drop-out rule forbids it).
+func TestAuctionMaximal(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		a := rankDeficient(t, 80, 80, seed)
+		res, err := Run(a, a.Transpose(), Options{Epsilon: 0.3}, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res.Matching.RowMate {
+			if res.Matching.RowMate[i] != exact.NIL {
+				continue
+			}
+			for _, j := range a.Row(i) {
+				if res.Matching.ColMate[j] == exact.NIL {
+					t.Fatalf("seed %d: unmatched row %d adjacent to unmatched col %d", seed, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestAuctionPrepareFinish checks the ensemble warm-start split: Finish
+// from clones of one Prepare state matches the one-shot Run bit for bit
+// at the same seed.
+func TestAuctionPrepareFinish(t *testing.T) {
+	a := randWeighted(t, 200, 180, 4, 7, false)
+	at := a.Transpose()
+	opt := Options{Epsilon: 0.1}
+	ws := &Workspace{}
+	st, epsAbs, err := Prepare(a, at, opt, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		one, err := Run(a, at, opt, seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wsF := &Workspace{}
+		got, err := Finish(a, at, opt, seed, epsAbs, st.Clone(), wsF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Weight != one.Weight {
+			t.Fatalf("seed %d: Prepare+Finish weight %v != Run %v", seed, got.Weight, one.Weight)
+		}
+		for i := range one.Matching.RowMate {
+			if got.Matching.RowMate[i] != one.Matching.RowMate[i] {
+				t.Fatalf("seed %d: RowMate[%d] differs from one-shot run", seed, i)
+			}
+		}
+	}
+}
+
+// TestAuctionRepair mutates a graph and repairs the maintained state,
+// checking validity and the creation-time quality bound on the mutated
+// graph.
+func TestAuctionRepair(t *testing.T) {
+	a := randWeighted(t, 50, 50, 4, 3, false)
+	at := a.Transpose()
+	opt := Options{Epsilon: 0.1}
+	ws := &Workspace{}
+	st, epsAbs, err := Prepare(a, at, opt, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Finish(a, at, opt, 1, epsAbs, st, ws); err != nil {
+		t.Fatal(err)
+	}
+	// Delete every third matched edge and add fresh heavy edges.
+	var entries []sparse.Coord
+	for i := 0; i < a.RowsN; i++ {
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			if j := a.Idx[p]; !(st.RowMate[i] == j && i%3 == 0) {
+				entries = append(entries, sparse.Coord{I: int32(i), J: j, V: a.Val[p]})
+			}
+		}
+	}
+	rng := xrand.New(99)
+	for k := 0; k < 20; k++ {
+		entries = append(entries, sparse.Coord{
+			I: int32(rng.Intn(50)), J: int32(rng.Intn(50)), V: 2,
+		})
+	}
+	b, err := sparse.FromCOO(50, 50, entries, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := b.Transpose()
+	res, err := Repair(b, bt, opt, 2, epsAbs, st, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, b, res)
+	optW, _, err := Oracle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight < optW-float64(res.Matching.Size)*epsAbs-1e-9 {
+		t.Errorf("repair: weight %v below opt %v − |M|·ε_abs", res.Weight, optW)
+	}
+}
+
+// TestAuctionWeightValidation rejects non-positive and non-finite
+// weights.
+func TestAuctionWeightValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		a, err := sparse.New(1, 1, []int{0, 1}, []int32{0}, []float64{bad})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(a, a.Transpose(), Options{Epsilon: 0.1}, 1, nil); err == nil {
+			t.Errorf("weight %v accepted", bad)
+		}
+	}
+	// Epsilon domain.
+	a, _ := sparse.New(1, 1, []int{0, 1}, []int32{0}, []float64{1})
+	for _, eps := range []float64{0, 1, -0.5, 2} {
+		if _, err := Run(a, a.Transpose(), Options{Epsilon: eps}, 1, nil); err == nil {
+			t.Errorf("epsilon %v accepted", eps)
+		}
+	}
+}
+
+// TestAuctionOracleSelfCheck cross-checks the Hungarian oracle against
+// brute-force enumeration on tiny instances.
+func TestAuctionOracleSelfCheck(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		a := randWeighted(t, 5, 5, 2, seed, seed%2 == 0)
+		want := bruteForce(a)
+		got, mt, err := Oracle(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("seed %d: oracle %v != brute force %v", seed, got, want)
+		}
+		if w := MatchedWeight(a, mt); math.Abs(w-got) > 1e-9 {
+			t.Fatalf("seed %d: oracle matching weight %v != reported %v", seed, w, got)
+		}
+	}
+}
+
+// bruteForce enumerates all matchings of a tiny graph by recursion over
+// rows.
+func bruteForce(a *sparse.CSR) float64 {
+	used := make([]bool, a.ColsN)
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == a.RowsN {
+			return 0
+		}
+		best := rec(i + 1) // leave row i unmatched
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			j := a.Idx[p]
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			if w := weightAt(a, p) + rec(i+1); w > best {
+				best = w
+			}
+			used[j] = false
+		}
+		return best
+	}
+	return rec(0)
+}

@@ -1,0 +1,109 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/exact"
+	"repro/internal/sparse"
+)
+
+// oracleCap bounds the dense oracle's padded dimension: the solver is
+// O(N³) time and O(N²) memory, meant for test and small-instance quality
+// certification only.
+const oracleCap = 2048
+
+// Oracle computes the exact maximum-weight matching of a by the Hungarian
+// algorithm with potentials on the zero-padded square dense matrix.
+// Missing edges get weight zero; since real weights are strictly
+// positive, zero-weight assignments in the square solution are simply
+// dropped, which makes the result the optimal (not necessarily perfect)
+// matching. Intended for tests and small-instance certification; returns
+// an error above oracleCap.
+func Oracle(a *sparse.CSR) (float64, *exact.Matching, error) {
+	n, m := a.RowsN, a.ColsN
+	nn := n
+	if m > nn {
+		nn = m
+	}
+	if nn > oracleCap {
+		return 0, nil, fmt.Errorf("auction: oracle dimension %d exceeds cap %d", nn, oracleCap)
+	}
+	if _, err := Validate(a); err != nil {
+		return 0, nil, err
+	}
+	// Dense cost matrix, 1-indexed, minimizing −w (i.e. maximizing w).
+	cost := make([]float64, (nn+1)*(nn+1))
+	at := func(i, j int) int { return i*(nn+1) + j }
+	for i := 0; i < n; i++ {
+		for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+			cost[at(i+1, int(a.Idx[p])+1)] = -weightAt(a, p)
+		}
+	}
+	u := make([]float64, nn+1)
+	v := make([]float64, nn+1)
+	p := make([]int, nn+1)   // p[j] = row assigned to column j
+	way := make([]int, nn+1) // alternating-path back-pointers
+	minv := make([]float64, nn+1)
+	used := make([]bool, nn+1)
+	for i := 1; i <= nn; i++ {
+		p[0] = i
+		j0 := 0
+		for j := range minv {
+			minv[j] = math.Inf(1)
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0, delta, j1 := p[j0], math.Inf(1), -1
+			for j := 1; j <= nn; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[at(i0, j)] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= nn; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	mt := exact.NewMatching(n, m)
+	var weight float64
+	for j := 1; j <= m; j++ {
+		i := p[j]
+		if i < 1 || i > n {
+			continue
+		}
+		w := -cost[at(i, j)]
+		if w <= 0 {
+			continue // padded cell: row i is really unmatched
+		}
+		mt.RowMate[i-1] = int32(j - 1)
+		mt.ColMate[j-1] = int32(i - 1)
+		mt.Size++
+		weight += w
+	}
+	return weight, mt, nil
+}

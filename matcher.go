@@ -3,6 +3,7 @@ package bipartite
 import (
 	"errors"
 
+	"repro/internal/auction"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/ks"
@@ -70,6 +71,12 @@ type Matcher struct {
 	// arenas warm too. Each slot is touched only by the worker that owns
 	// it for the duration of a parallel region.
 	ensSlots []arenaCache
+
+	// aucWs holds the auction engine's scratch buffers (bid slots, queues,
+	// the cascade worklist) plus the price vector of the latest run;
+	// lazily created by AlgAuction Specs and reused across runs like the
+	// sampling workspaces.
+	aucWs *auction.Workspace
 
 	// cancel is the cooperative cancellation hook threaded through every
 	// kernel stage; see setCancel.

@@ -36,6 +36,14 @@ type Options struct {
 	// default pool. Servers that pin matching work to a subset of cores
 	// create one Pool at startup and pass it on every call.
 	Pool *Pool
+	// AliasSampling switches the sampling kernels' per-row neighbor draw
+	// from the O(deg) prefix walk to O(1) alias-method tables, built once
+	// per bound graph in O(nnz) on first use and reused across runs —
+	// profitable for sessions that resample the same graph many times
+	// (ensembles, servers). Opt-in because the alias draw consumes the
+	// per-vertex RNG stream differently, so seeded results differ from
+	// (while being distributed identically to) the default kernels'.
+	AliasSampling bool
 }
 
 // Pool is a handle to a persistent set of parallel workers that matching
@@ -92,6 +100,7 @@ func (v Options) coreOptions(sc *Scaling) core.Options {
 		KSPolicy: par.Guided,
 		Seed:     v.Seed,
 		Pool:     v.Pool.inner(),
+		Alias:    v.AliasSampling,
 	}
 	if sc != nil {
 		o.RowTotals = sc.RowSums
@@ -206,6 +215,24 @@ type MatchResult struct {
 	// Graph.Match calls execute exactly the Spec given and always leave it
 	// empty.
 	Degraded string
+	// MatchedWeight is the total weight of Matching when Algorithm was
+	// AlgAuction (1.0 per edge on pattern graphs, so it equals Size
+	// there); 0 for the cardinality algorithms. The auction guarantees
+	// MatchedWeight ≥ (1−Epsilon)·optimal.
+	MatchedWeight float64
+	// Epsilon is the resolved approximation slack the auction ran with
+	// (Spec.Epsilon, or DefaultEpsilon when that was zero); 0 for the
+	// cardinality algorithms.
+	Epsilon float64
+	// Rounds is the total number of auction bidding rounds (the winner's,
+	// for ensembles); 0 for the cardinality algorithms.
+	Rounds int
+	// DualBound is the auction's LP-dual certificate Σp + Σr: an upper
+	// bound on the optimal matched weight valid for the returned prices,
+	// so MatchedWeight/DualBound is a certified quality ratio without an
+	// exact solve (it is ≥ 1−Epsilon by the termination invariants, and
+	// typically much closer to 1). 0 for the cardinality algorithms.
+	DualBound float64
 }
 
 // OneSidedMatch runs the OneSidedMatch heuristic (Algorithm 2):

@@ -35,6 +35,13 @@ const (
 	// AlgCheapVertex runs the §2.1 random-vertex-random-neighbor
 	// 1/2-approximation.
 	AlgCheapVertex
+	// AlgAuction runs the ε-scaling auction for maximum-weight matching:
+	// the one objective-aware algorithm, guaranteeing matched weight ≥
+	// (1−ε)·optimal with ε from Spec.Epsilon. On pattern (unweighted)
+	// graphs every edge counts 1.0, so the guarantee degrades gracefully
+	// to a (1−ε)-approximate maximum-cardinality matching. See the
+	// "Weighted matching" section of the package documentation.
+	AlgAuction
 
 	algCount // sentinel; keep last
 )
@@ -55,6 +62,8 @@ func (a Algorithm) String() string {
 		return "cheap-edge"
 	case AlgCheapVertex:
 		return "cheap-vertex"
+	case AlgAuction:
+		return "auction"
 	default:
 		return "unknown"
 	}
@@ -76,6 +85,8 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return AlgCheapEdge, nil
 	case "cheap-vertex":
 		return AlgCheapVertex, nil
+	case "auction":
+		return AlgAuction, nil
 	default:
 		return 0, fmt.Errorf("bipartite: unknown algorithm %q", s)
 	}
@@ -210,7 +221,17 @@ type Spec struct {
 	// pre-fan-out behaviour, useful for benchmarking the two schedules
 	// against each other. Single runs ignore it.
 	Sequential bool
+
+	// Epsilon is the relative approximation slack of AlgAuction: the
+	// matched weight is guaranteed ≥ (1−ε)·optimal. Must lie in (0, 1);
+	// 0 means the default (DefaultEpsilon). Only valid with AlgAuction.
+	Epsilon float64
 }
+
+// DefaultEpsilon is the auction slack used when Spec.Epsilon is zero:
+// matched weight within 5% of optimal, a practical sweet spot between
+// bidding rounds and quality.
+const DefaultEpsilon = 0.05
 
 // errSpec tags Spec validation failures; matchserve maps them to 400s.
 var errSpec = errors.New("bipartite: invalid spec")
@@ -230,6 +251,22 @@ func (s Spec) Validate() error {
 	}
 	if s.Target != 0 && !(s.Target > 0 && s.Target <= 1) {
 		return fmt.Errorf("%w: target %v outside (0, 1]", errSpec, s.Target)
+	}
+	if s.Epsilon != 0 {
+		if s.Algorithm != AlgAuction {
+			return fmt.Errorf("%w: epsilon requires algorithm auction", errSpec)
+		}
+		if !(s.Epsilon > 0 && s.Epsilon < 1) {
+			return fmt.Errorf("%w: epsilon %v outside (0, 1)", errSpec, s.Epsilon)
+		}
+	}
+	if s.Algorithm == AlgAuction {
+		if s.Refine != RefineNone {
+			return fmt.Errorf("%w: auction does not support refinement (its objective is weight, the refiners' is cardinality)", errSpec)
+		}
+		if s.Target != 0 {
+			return fmt.Errorf("%w: auction does not support a cardinality target", errSpec)
+		}
 	}
 	return nil
 }
@@ -278,6 +315,9 @@ func (s Spec) Validate() error {
 func (m *Matcher) Run(spec Spec) (*MatchResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.Algorithm == AlgAuction {
+		return m.runAuction(spec)
 	}
 	var sc *Scaling
 	if spec.Algorithm.scales() {
