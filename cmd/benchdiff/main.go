@@ -333,6 +333,26 @@ func run(args []string, out *os.File) int {
 	for _, k := range onlyNew {
 		fmt.Fprintf(out, "only in fresh run (skipped): %s\n", k)
 	}
+	// Name every weakly gated key: with a history window requested, a key
+	// diffed against the committed file at the loose fallback tolerance
+	// (cold cache, pruned window, brand-new tier) would otherwise be
+	// indistinguishable in the logs from one held to the tight median
+	// gate.
+	if *historyDir != "" {
+		var weak []string
+		for _, l := range lines {
+			if !l.median {
+				weak = append(weak, l.key)
+			}
+		}
+		if len(weak) > 0 {
+			fmt.Fprintf(out, "benchdiff: %d of %d key(s) weakly gated at the %.2fx committed-file fallback (history window: %d file(s)):\n",
+				len(weak), len(lines), fb, len(histFiles))
+			for _, k := range weak {
+				fmt.Fprintf(out, "  weakly gated: %s\n", k)
+			}
+		}
+	}
 	if regressions > 0 {
 		fmt.Fprintf(out, "benchdiff: %d regression(s)\n", regressions)
 		return 1

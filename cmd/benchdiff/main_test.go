@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -230,5 +231,75 @@ func TestRunWithHistory(t *testing.T) {
 	// -save without -history is a usage error.
 	if got := run([]string{"-old", base, "-new", bad, "-save"}, devnull); got != 2 {
 		t.Fatalf("-save without -history: exit %d, want 2", got)
+	}
+}
+
+// TestRunPrintsWeaklyGatedKeys: with a history window in play, every key
+// that fell back to the committed-file tolerance is named in the output —
+// both the partial case (one key missing from the window) and the cold
+// case (empty window loosens every key).
+func TestRunPrintsWeaklyGatedKeys(t *testing.T) {
+	dir := t.TempDir()
+	histDir := filepath.Join(dir, "hist")
+	if err := os.MkdirAll(histDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeBench(t, histDir, "run-000001.json", "tiny", rec("er", "twosided", 1, 1000))
+	base := writeBench(t, dir, "base.json", "tiny",
+		rec("er", "twosided", 1, 1000)+","+rec("er", "cluster/direct", 1, 700))
+	fresh := writeBench(t, dir, "fresh.json", "tiny",
+		rec("er", "twosided", 1, 1100)+","+rec("er", "cluster/direct", 1, 900))
+
+	capture := func(args []string) (int, string) {
+		t.Helper()
+		outPath := filepath.Join(dir, "out.txt")
+		f, err := os.Create(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := run(args, f)
+		f.Close()
+		blob, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return code, string(blob)
+	}
+
+	// Partial window: twosided has a median, cluster/direct falls back and
+	// must be called out by name.
+	code, got := capture([]string{"-old", base, "-history", histDir, "-new", fresh, "-tolerance", "1.5"})
+	if code != 0 {
+		t.Fatalf("partial window: exit %d, want 0\n%s", code, got)
+	}
+	if !strings.Contains(got, "weakly gated: er|cluster/direct|1") {
+		t.Fatalf("fallback key not named:\n%s", got)
+	}
+	if strings.Contains(got, "weakly gated: er|twosided|1") {
+		t.Fatalf("median-gated key wrongly listed as weak:\n%s", got)
+	}
+	if !strings.Contains(got, "1 of 2 key(s) weakly gated") {
+		t.Fatalf("weak-gate summary missing:\n%s", got)
+	}
+
+	// Cold window: every key is weakly gated and listed.
+	code, got = capture([]string{"-old", base, "-history", filepath.Join(dir, "no-hist"), "-new", fresh, "-tolerance", "1.5"})
+	if code != 0 {
+		t.Fatalf("cold window: exit %d, want 0\n%s", code, got)
+	}
+	for _, k := range []string{"er|twosided|1", "er|cluster/direct|1"} {
+		if !strings.Contains(got, "weakly gated: "+k) {
+			t.Fatalf("cold window must list %s as weakly gated:\n%s", k, got)
+		}
+	}
+
+	// No -history at all: the single-baseline mode has no weak/strong
+	// distinction, so the report stays silent.
+	code, got = capture([]string{"-old", base, "-new", fresh, "-tolerance", "1.5"})
+	if code != 0 {
+		t.Fatalf("no history: exit %d, want 0\n%s", code, got)
+	}
+	if strings.Contains(got, "weakly gated") {
+		t.Fatalf("single-baseline mode must not report weak gating:\n%s", got)
 	}
 }

@@ -8,9 +8,11 @@
 //	matchbench -exp fig3,fig4 -threads 1,2,4,8  # custom thread sweep
 //	matchbench -exp table3 -scale paper         # paper-sized instances
 //	matchbench -exp serve -pool 1,2,4,8         # ensemble fan-out width sweep
+//	matchbench -exp cluster                     # sharded fleet vs direct replica
 //
 // Experiments: qualityfi, table1, table2, table3, fig3, fig4, fig5,
-// conjecture, ablation, extension, perf, refine, serve, dyn.
+// conjecture, ablation, extension, perf, refine, serve, dyn, weighted,
+// cluster.
 //
 // refine measures the exact-refinement engines (Hopcroft-Karp,
 // push-relabel, and the parallel MS-BFS-Graft engine at 1/2/4 workers)
@@ -45,7 +47,7 @@ func main() { os.Exit(run()) }
 // stop and file close instead of truncating the profile via os.Exit.
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension,perf,refine,serve,dyn,weighted")
+		exp     = flag.String("exp", "all", "comma-separated experiments: qualityfi,table1,table2,table3,fig3,fig4,fig5,conjecture,ablation,extension,perf,refine,serve,dyn,weighted,cluster")
 		scale   = flag.String("scale", "small", "instance scale: tiny | small | paper")
 		runs    = flag.Int("runs", 10, "randomized repetitions for min-quality tables")
 		seed    = flag.Uint64("seed", 1, "base RNG seed")
@@ -144,6 +146,7 @@ func run() int {
 	})
 	runExp("dyn", func() { records = append(records, dyn(cfg)...) })
 	runExp("weighted", func() { records = append(records, weighted(cfg)...) })
+	runExp("cluster", func() { records = append(records, clusterBench(cfg)...) })
 
 	if len(records) > 0 && *jsonOut != "" {
 		blob, err := json.MarshalIndent(struct {

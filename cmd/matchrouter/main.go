@@ -1,0 +1,85 @@
+// Command matchrouter is the cluster front end: a thin HTTP router that
+// serves one matchserve-shaped wire surface over a fleet of matchserve
+// replicas, sharding the graph registry across them on a bounded-load
+// consistent-hash ring. Registered graphs live on their ring owner;
+// /match, /match/batch and PATCH traffic routes by graph id; membership
+// follows the replicas' /healthz probes, and a membership change
+// rebalances only the keys whose arc changed hands — the owners migrate
+// the affected graphs over lazily, on first use.
+//
+// The router retries retryable rejections (503 admission back-pressure
+// and shedding, 429 rate/deadline admission) with exponential backoff
+// plus jitter, honoring each response's Retry-After; it hedges slow
+// single matches against a second replica holding the graph after a
+// p99-derived delay; and it fans best-of-K ensembles out across the
+// fleet as disjoint seed sub-ranges, reducing the sub-range winners to
+// the exact single-process result. See internal/cluster for the
+// semantics and cmd/matchrouter/README.md for the wire tables.
+//
+// Usage:
+//
+//	matchrouter -addr :8470 -replicas http://h1:8480,http://h2:8480 \
+//	            -probe 2s -maxbody 8388608 -retries 4 -hedge 0 -fanout 0
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8470", "listen address")
+		replicas = flag.String("replicas", "", "comma-separated replica base URLs (required)")
+		probe    = flag.Duration("probe", 2*time.Second, "health probe interval (0 = no active probing)")
+		maxBody  = flag.Int64("maxbody", 8<<20, "max request body bytes (0 = unlimited)")
+		retries  = flag.Int("retries", 0, "max retries per request (0 = default 4)")
+		hedge    = flag.Duration("hedge", 0, "hedge delay for single matches (0 = adaptive p99, negative = off)")
+		fanout   = flag.Int("fanout", 0, "max replicas per ensemble fan-out (0 = all healthy)")
+		vnodes   = flag.Int("vnodes", 0, "virtual nodes per replica (0 = default 64)")
+		factor   = flag.Float64("loadfactor", 0, "bounded-load factor (0 = default 1.25)")
+	)
+	flag.Parse()
+
+	urls := strings.Split(*replicas, ",")
+	clean := urls[:0]
+	for _, u := range urls {
+		if u = strings.TrimSpace(u); u != "" {
+			clean = append(clean, u)
+		}
+	}
+	if len(clean) == 0 {
+		log.Fatal("matchrouter: -replicas is required (comma-separated matchserve base URLs)")
+	}
+
+	c := cluster.New(clean, cluster.Options{
+		VNodes:     *vnodes,
+		LoadFactor: *factor,
+		MaxRetries: *retries,
+		HedgeDelay: *hedge,
+		FanOut:     *fanout,
+	})
+	c.Probe(context.Background()) // reconcile membership before serving
+	if *probe > 0 {
+		go func() {
+			t := time.NewTicker(*probe)
+			defer t.Stop()
+			for range t.C {
+				ctx, cancel := context.WithTimeout(context.Background(), *probe)
+				c.Probe(ctx)
+				cancel()
+			}
+		}()
+	}
+
+	rt := cluster.NewRouter(c, *maxBody)
+	log.Printf("matchrouter listening on %s (replicas=%d probe=%v maxbody=%d hedge=%v fanout=%d)",
+		*addr, len(clean), *probe, *maxBody, *hedge, *fanout)
+	log.Fatal(http.ListenAndServe(*addr, cluster.NewRouterMux(rt)))
+}

@@ -136,29 +136,21 @@
 //
 // -cpulimit defaults to -1 (automatic): 0.85 of the cgroup v2 CPU quota
 // when one throttles the process, 0.85 of the whole machine otherwise.
+//
+// The handler itself lives in the importable internal/servehttp package,
+// so the cluster integration suite and cmd/matchrouter's tests can boot
+// replicas in-process; this command is the flags-and-listener shell
+// around it.
 package main
 
 import (
-	"compress/gzip"
-	"container/list"
-	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log"
-	"net"
 	"net/http"
-	"sort"
-	"strconv"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	bipartite "repro"
-	"repro/internal/metrics"
+	"repro/internal/servehttp"
 )
 
 func main() {
@@ -196,797 +188,17 @@ func main() {
 		RatePerClient: *rate,
 		RateBurst:     *burst,
 	})
-	h := newHandler(srv, serveConfig{
-		maxGraphs: *maxGraphs,
-		maxBody:   *maxBody,
-		timeout:   *timeout,
+	h := servehttp.NewHandler(srv, servehttp.Config{
+		MaxGraphs: *maxGraphs,
+		MaxBody:   *maxBody,
+		Timeout:   *timeout,
 	})
 
 	log.Printf("matchserve listening on %s (batch=%d queue=%d workers=%d iters=%d maxgraphs=%d maxbody=%d timeout=%v cpulimit=%g rsslimit=%d rate=%g)",
 		*addr, *batch, *queue, *workers, *iters, *maxGraphs, *maxBody, *timeout, cpu, *rssLimit, *rate)
 	// log.Fatal would os.Exit past any deferred Close; shut the batching
 	// server down explicitly once the listener fails.
-	err := http.ListenAndServe(*addr, newMux(h))
-	h.srv.Close()
+	err := http.ListenAndServe(*addr, servehttp.NewMux(h))
+	h.Close()
 	log.Fatal(err)
-}
-
-// serveConfig is the HTTP layer's tuning, split from the flags so tests
-// construct handlers directly.
-type serveConfig struct {
-	maxGraphs int           // registry size before LRU eviction; 0 = unbounded
-	maxBody   int64         // request body cap in bytes; 0 = unbounded
-	timeout   time.Duration // default per-request deadline; 0 = none
-}
-
-// graphEntry is one registered graph plus its position in the LRU list.
-// The dynamic session is created lazily by the first PATCH; from then on
-// g always aliases the session's current snapshot, so /match requests
-// observe every applied mutation batch.
-type graphEntry struct {
-	id   string
-	g    *bipartite.Graph
-	sess *bipartite.DynSession // non-nil once the graph was first patched
-	elem *list.Element         // into handler.lru; front = most recently used
-}
-
-// handler owns the matching server, the LRU graph registry and the
-// latency metrics.
-type handler struct {
-	srv *bipartite.Server
-	cfg serveConfig
-	met *metrics.Registry
-
-	mu        sync.Mutex
-	graphs    map[string]*graphEntry
-	lru       *list.List // of *graphEntry
-	evictions atomic.Int64
-	nextID    atomic.Int64
-}
-
-func newHandler(srv *bipartite.Server, cfg serveConfig) *handler {
-	return &handler{
-		srv:    srv,
-		cfg:    cfg,
-		met:    metrics.NewRegistry(),
-		graphs: make(map[string]*graphEntry),
-		lru:    list.New(),
-	}
-}
-
-// newMux wires the handler's routes; extracted from main so httptest can
-// serve the exact production routing.
-func newMux(h *handler) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /graph", h.handleGraph)
-	mux.HandleFunc("DELETE /graph/{id}", h.handleGraphDelete)
-	mux.HandleFunc("PATCH /graph/{id}", h.handleGraphPatch)
-	mux.HandleFunc("POST /match", h.handleMatch)
-	mux.HandleFunc("POST /match/batch", h.handleBatch)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /stats", h.handleStats)
-	mux.HandleFunc("GET /metrics", h.handleMetrics)
-	return mux
-}
-
-// decodeBody JSON-decodes a size-capped request body into v, translating
-// the body-cap overflow into its dedicated status.
-func (h *handler) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	body := r.Body
-	if h.cfg.maxBody > 0 {
-		body = http.MaxBytesReader(w, r.Body, h.cfg.maxBody)
-	}
-	if err := json.NewDecoder(body).Decode(v); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
-			return false
-		}
-		writeError(w, http.StatusBadRequest, err)
-		return false
-	}
-	return true
-}
-
-// graphSpec is an inline graph definition. Weights, when present, must
-// carry one strictly positive finite value per edge; the graph is then
-// weighted and AlgAuction maximizes the matched weight on it.
-type graphSpec struct {
-	Rows    int       `json:"rows"`
-	Cols    int       `json:"cols"`
-	Edges   [][2]int  `json:"edges"`
-	Weights []float64 `json:"weights,omitempty"`
-}
-
-// maxWireDim caps a wire graph's rows/cols. Graph construction allocates
-// O(rows) regardless of the edge count, so without a cap a tiny body like
-// {"rows":1000000000,"cols":1,"edges":[]} forces a multi-gigabyte
-// allocation past every body-size limit (found by the PATCH/match
-// decoder fuzz targets).
-const maxWireDim = 4 << 20
-
-func (s *graphSpec) build() (*bipartite.Graph, error) {
-	if s.Rows <= 0 || s.Cols <= 0 {
-		return nil, fmt.Errorf("rows and cols must be positive, got %dx%d", s.Rows, s.Cols)
-	}
-	if s.Rows > maxWireDim || s.Cols > maxWireDim {
-		return nil, fmt.Errorf("rows and cols are capped at %d, got %dx%d", maxWireDim, s.Rows, s.Cols)
-	}
-	if len(s.Weights) > 0 {
-		return bipartite.FromWeightedEdges(s.Rows, s.Cols, s.Edges, s.Weights)
-	}
-	return bipartite.FromEdges(s.Rows, s.Cols, s.Edges)
-}
-
-// matchRequest is one /match body: a registered graph id or an inline
-// graph, plus the declarative spec fields (algorithm, seed, refinement,
-// ensemble, target) and an optional per-request deadline. "op" is the
-// deprecated pre-Spec alias of "algorithm".
-type matchRequest struct {
-	graphSpec
-	GraphID    string  `json:"graph"`
-	Op         string  `json:"op"` // deprecated alias of Algorithm
-	Algorithm  string  `json:"algorithm"`
-	Seed       uint64  `json:"seed"`
-	Refine     string  `json:"refine"`
-	BestOf     int     `json:"best_of"`
-	Target     float64 `json:"target"`
-	Sequential bool    `json:"sequential"`
-	// Epsilon is AlgAuction's relative slack: matched weight within
-	// (1−ε)·optimal. 0 means the library default; only valid with
-	// "algorithm":"auction".
-	Epsilon   float64 `json:"epsilon"`
-	TimeoutMs int64   `json:"timeout_ms"`
-	// Priority ranks the request for admission under load: "low" is shed
-	// first when the watchdog reports the process hot, "high" last; ""
-	// means "normal".
-	Priority string `json:"priority"`
-}
-
-// spec translates the wire fields into a validated bipartite.Spec.
-func (mr *matchRequest) spec() (bipartite.Spec, error) {
-	algName := mr.Algorithm
-	if algName == "" {
-		algName = mr.Op
-	} else if mr.Op != "" && mr.Op != mr.Algorithm {
-		return bipartite.Spec{}, fmt.Errorf("op %q and algorithm %q disagree (op is the deprecated alias; set only algorithm)", mr.Op, mr.Algorithm)
-	}
-	alg, err := bipartite.ParseAlgorithm(algName)
-	if err != nil {
-		return bipartite.Spec{}, err
-	}
-	ref, err := bipartite.ParseRefinement(mr.Refine)
-	if err != nil {
-		return bipartite.Spec{}, err
-	}
-	spec := bipartite.Spec{
-		Algorithm:  alg,
-		Seed:       mr.Seed,
-		Ensemble:   mr.BestOf,
-		Refine:     ref,
-		Target:     mr.Target,
-		Sequential: mr.Sequential,
-		Epsilon:    mr.Epsilon,
-	}
-	if err := spec.Validate(); err != nil {
-		return bipartite.Spec{}, err
-	}
-	return spec, nil
-}
-
-// matchResponse is the writer-side shape of one served matching. The
-// provenance fields surface how the engine arrived at the matching:
-// which ensemble seed won, how many candidates actually ran (a target or
-// the ensemble-aware refinement may stop the sweep early), the winner's
-// pre-refinement size, and whether a refinement stage ran at all.
-type matchResponse struct {
-	Size    int     `json:"size"`
-	Rows    int     `json:"rows"`
-	Cols    int     `json:"cols"`
-	RowMate []int32 `json:"row_mate"`
-	// Provenance: always present on successful responses (zero-valued on
-	// errors, alongside the zero size/rows/cols).
-	WinnerSeed    uint64 `json:"winner_seed"`
-	CandidatesRun int    `json:"candidates_run"`
-	HeuristicSize int    `json:"heuristic_size"`
-	Refined       bool   `json:"refined"`
-	// RefinedWith names the refinement engine that actually ran ("exact",
-	// "pushrelabel" or "graft" — "refine":"exact" auto-selects the parallel
-	// graft engine on large instances). Absent when no refinement ran.
-	RefinedWith string `json:"refined_with,omitempty"`
-	// Weighted provenance, present only on "algorithm":"auction" responses:
-	// the matched weight the auction maximized, the resolved epsilon of its
-	// (1−ε)·optimal guarantee, and the bidding rounds it ran.
-	MatchedWeight float64 `json:"matched_weight,omitempty"`
-	Epsilon       float64 `json:"epsilon,omitempty"`
-	Rounds        int     `json:"rounds,omitempty"`
-	// Degraded, when present, records the self-protection downgrades the
-	// server applied before running the Spec (e.g.
-	// "refine:exact->none,best_of:8->2"): the matching still carries the
-	// paper's heuristic quality bound, but not whatever the full Spec
-	// guaranteed. Absent when the Spec ran exactly as requested.
-	Degraded string `json:"degraded,omitempty"`
-	// Ms is the wall-clock of a single /match; batch responses omit it
-	// and report one batch-wide "ms" in the envelope instead (the
-	// requests ran concurrently, so no per-request wall-clock exists).
-	Ms    float64 `json:"ms,omitempty"`
-	Error string  `json:"error,omitempty"`
-}
-
-// lookup returns the registered graph and marks it most recently used.
-func (h *handler) lookup(id string) *bipartite.Graph {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	e := h.graphs[id]
-	if e == nil {
-		return nil
-	}
-	h.lru.MoveToFront(e.elem)
-	return e.g
-}
-
-// resolve turns a wire request into a library request carrying ctx (plus
-// the request's own deadline, if any), the parsed priority and the
-// submitting client's identity. It returns the context's cancel (never
-// nil) which the caller must invoke once the response is written.
-func (h *handler) resolve(ctx context.Context, mr *matchRequest, client string) (bipartite.Request, context.CancelFunc, error) {
-	nop := context.CancelFunc(func() {})
-	spec, err := mr.spec()
-	if err != nil {
-		return bipartite.Request{}, nop, err
-	}
-	prio, err := bipartite.ParsePriority(mr.Priority)
-	if err != nil {
-		return bipartite.Request{}, nop, err
-	}
-	var g *bipartite.Graph
-	if mr.GraphID != "" {
-		if g = h.lookup(mr.GraphID); g == nil {
-			return bipartite.Request{}, nop, fmt.Errorf("unknown graph %q", mr.GraphID)
-		}
-	} else {
-		if g, err = mr.build(); err != nil {
-			return bipartite.Request{}, nop, err
-		}
-	}
-	cancel := nop
-	timeout := h.cfg.timeout
-	if mr.TimeoutMs > 0 {
-		timeout = time.Duration(mr.TimeoutMs) * time.Millisecond
-	}
-	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-	}
-	return bipartite.Request{Graph: g, Spec: spec, Ctx: ctx, Priority: prio, Client: client}, cancel, nil
-}
-
-// clientOf identifies the submitter for per-client rate limiting: the
-// X-Client header when the caller names itself, the connection's remote
-// host otherwise — so an anonymous flood from one address still lands in
-// one bucket instead of bypassing the limiter.
-func clientOf(r *http.Request) string {
-	if c := r.Header.Get("X-Client"); c != "" {
-		return c
-	}
-	host, _, err := net.SplitHostPort(r.RemoteAddr)
-	if err != nil {
-		return r.RemoteAddr
-	}
-	return host
-}
-
-func (h *handler) handleGraph(w http.ResponseWriter, r *http.Request) {
-	var spec graphSpec
-	if !h.decodeBody(w, r, &spec) {
-		return
-	}
-	g, err := spec.build()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	id := "g" + strconv.FormatInt(h.nextID.Add(1), 10)
-	h.mu.Lock()
-	// LRU eviction instead of rejection: a full registry stays writable,
-	// and cold graphs pay the cost (their next use re-registers). Each
-	// eviction also drops the engine's cached scaling for the graph, so
-	// the registry and the scale cache share one lifetime.
-	for h.cfg.maxGraphs > 0 && len(h.graphs) >= h.cfg.maxGraphs {
-		victim := h.lru.Back().Value.(*graphEntry)
-		h.lru.Remove(victim.elem)
-		delete(h.graphs, victim.id)
-		h.evictions.Add(1)
-		h.srv.DropGraph(victim.g)
-	}
-	e := &graphEntry{id: id, g: g}
-	e.elem = h.lru.PushFront(e)
-	h.graphs[id] = e
-	h.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"id": id, "rows": g.Rows(), "cols": g.Cols(), "edges": g.Edges(),
-	})
-}
-
-func (h *handler) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	h.mu.Lock()
-	e, ok := h.graphs[id]
-	if ok {
-		h.lru.Remove(e.elem)
-		delete(h.graphs, id)
-	}
-	h.mu.Unlock()
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
-		return
-	}
-	h.srv.DropGraph(e.g) // evict the cached scaling along with the graph
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
-}
-
-// patchRequest is one PATCH /graph/{id} body: a batch of edge mutations.
-// Deletes apply before inserts; the batch is atomic (an out-of-range
-// endpoint rejects the whole batch with nothing applied). Weights, when
-// present, carry one weight per inserted edge and require the target
-// graph to be weighted (its maintained matching is then the auction's);
-// inserting into a weighted graph without weights defaults each new edge
-// to weight 1.
-type patchRequest struct {
-	Insert  [][2]int  `json:"insert"`
-	Delete  [][2]int  `json:"delete"`
-	Weights []float64 `json:"weights,omitempty"`
-}
-
-func (h *handler) handleGraphPatch(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	var pr patchRequest
-	if !h.decodeBody(w, r, &pr) {
-		return
-	}
-	h.mu.Lock()
-	e, ok := h.graphs[id]
-	if !ok {
-		h.mu.Unlock()
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", id))
-		return
-	}
-	h.lru.MoveToFront(e.elem)
-	if e.sess == nil {
-		// First mutation: open a dynamic session on the registered graph —
-		// an exact cardinality session for pattern graphs (the maintained
-		// matching tracks the structural rank), an auction session for
-		// weighted ones (the maintained matching tracks the matched weight
-		// within the creation-time (1−ε) slack). From here on the entry
-		// serves the session's snapshots.
-		spec := bipartite.Spec{Refine: bipartite.RefineExact}
-		if e.g.Weighted() {
-			spec = bipartite.Spec{Algorithm: bipartite.AlgAuction}
-		}
-		sess, err := e.g.NewDynSession(spec, nil)
-		if err != nil {
-			h.mu.Unlock()
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		e.sess = sess
-	}
-	var res *bipartite.DynResult
-	var err error
-	if len(pr.Weights) > 0 {
-		if len(pr.Weights) != len(pr.Insert) {
-			h.mu.Unlock()
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("%d weights for %d inserted edges", len(pr.Weights), len(pr.Insert)))
-			return
-		}
-		ins := make([]bipartite.WeightedEdge, len(pr.Insert))
-		for k, ed := range pr.Insert {
-			ins[k] = bipartite.WeightedEdge{Row: ed[0], Col: ed[1], Weight: pr.Weights[k]}
-		}
-		res, err = e.sess.ApplyWeighted(ins, pr.Delete)
-	} else {
-		res, err = e.sess.Apply(pr.Insert, pr.Delete)
-	}
-	if err != nil {
-		h.mu.Unlock()
-		code := http.StatusBadRequest
-		if !errors.Is(err, bipartite.ErrInvalidMutation) {
-			code = http.StatusInternalServerError
-		}
-		writeError(w, code, err)
-		return
-	}
-	old := e.g
-	cur := e.sess.Snapshot()
-	auction := e.sess.Auction()
-	swapped := cur != old
-	if swapped {
-		e.g = cur
-	}
-	h.mu.Unlock()
-	if swapped {
-		// The registry now serves the mutated snapshot; the engine's cached
-		// scaling of the stale one dies with it (a neutral batch keeps the
-		// snapshot pointer, so warm scalings survive no-op patches).
-		h.srv.DropGraph(old)
-	}
-	reply := map[string]any{
-		"id": id, "rows": cur.Rows(), "cols": cur.Cols(), "edges": cur.Edges(),
-		"inserted": res.Inserted, "deleted": res.Deleted, "freed": res.Freed,
-		"augments": res.Augments, "rescaled": res.Rescaled,
-		"maintained_size": res.MaintainedSize,
-	}
-	if auction {
-		reply["maintained_weight"] = res.MaintainedWeight
-	}
-	writeJSON(w, http.StatusOK, reply)
-}
-
-func (h *handler) handleMatch(w http.ResponseWriter, r *http.Request) {
-	var mr matchRequest
-	if !h.decodeBody(w, r, &mr) {
-		return
-	}
-	req, cancel, err := h.resolve(r.Context(), &mr, clientOf(r))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	defer cancel()
-	start := time.Now()
-	resp := h.srv.Match(req)
-	elapsed := time.Since(start)
-	if resp.Err != nil {
-		// Failures don't feed the per-op histograms: microsecond 503
-		// rejections under overload would drag p50/p99 toward zero
-		// exactly when an operator reads /metrics to diagnose the
-		// incident. They get their own error series instead.
-		h.met.Histogram("errors").Observe(elapsed)
-		writeErrorRetry(w, statusOf(resp.Err), resp.Err, retryAfterOf(resp.Err))
-		return
-	}
-	h.met.Histogram(req.Spec.Algorithm.String()).Observe(elapsed)
-	wire := toWire(resp, elapsed)
-	writeMatchStream(w, http.StatusOK, &wire)
-}
-
-// gzipBody reads decompressed bytes while Close releases both the gzip
-// stream and the underlying request body.
-type gzipBody struct {
-	zr   *gzip.Reader
-	body io.ReadCloser
-}
-
-func (b gzipBody) Read(p []byte) (int, error) { return b.zr.Read(p) }
-func (b gzipBody) Close() error {
-	err := b.zr.Close()
-	if berr := b.body.Close(); err == nil {
-		err = berr
-	}
-	return err
-}
-
-// gzipContentEncoding reports whether the request body is gzip-encoded
-// ("gzip" or its historic alias "x-gzip"; substring matching would also
-// claim encodings that merely mention gzip).
-func gzipContentEncoding(r *http.Request) bool {
-	switch strings.ToLower(strings.TrimSpace(r.Header.Get("Content-Encoding"))) {
-	case "gzip", "x-gzip":
-		return true
-	}
-	return false
-}
-
-// acceptsGzip parses the Accept-Encoding header: gzip is acceptable only
-// if listed (or wildcarded) with a non-zero q-value — "gzip;q=0" is an
-// RFC 9110 refusal, not an opt-in, so substring matching would hand those
-// clients a body they declared they cannot decode.
-func acceptsGzip(header string) bool {
-	for _, part := range strings.Split(header, ",") {
-		fields := strings.Split(part, ";")
-		coding := strings.ToLower(strings.TrimSpace(fields[0]))
-		if coding != "gzip" && coding != "x-gzip" && coding != "*" {
-			continue
-		}
-		q := 1.0
-		for _, p := range fields[1:] {
-			p = strings.TrimSpace(p)
-			if v, ok := strings.CutPrefix(p, "q="); ok {
-				if parsed, err := strconv.ParseFloat(v, 64); err == nil {
-					q = parsed
-				}
-			}
-		}
-		if q > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-func (h *handler) handleBatch(w http.ResponseWriter, r *http.Request) {
-	// Optional gzip request envelope. The gzip layer sits *under* the
-	// decodeBody size cap, so -maxbody bounds the decompressed bytes — a
-	// tiny compressed bomb cannot smuggle an oversized batch past the cap.
-	if gzipContentEncoding(r) {
-		zr, err := gzip.NewReader(r.Body)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("gzip request body: %w", err))
-			return
-		}
-		r.Body = gzipBody{zr: zr, body: r.Body}
-	}
-	var body struct {
-		Requests []matchRequest `json:"requests"`
-	}
-	if !h.decodeBody(w, r, &body) {
-		return
-	}
-	// Per-request resolution errors are reported in-band so one bad entry
-	// does not fail the batch — and only the entries that resolved are
-	// submitted, so malformed ones never occupy bounded admission-queue
-	// slots or engine dispatch.
-	out := make([]matchResponse, len(body.Requests))
-	reqs := make([]bipartite.Request, 0, len(body.Requests))
-	slots := make([]int, 0, len(body.Requests))
-	client := clientOf(r)
-	for i := range body.Requests {
-		req, cancel, err := h.resolve(r.Context(), &body.Requests[i], client)
-		defer cancel()
-		if err != nil {
-			out[i] = toWire(bipartite.Response{Err: err}, 0)
-			continue
-		}
-		reqs = append(reqs, req)
-		slots = append(slots, i)
-	}
-	start := time.Now()
-	resps := h.srv.MatchBatch(reqs)
-	elapsed := time.Since(start)
-	h.met.Histogram("batch").Observe(elapsed)
-	for k, resp := range resps {
-		out[slots[k]] = toWire(resp, 0)
-	}
-	writeBatchStream(w, r, http.StatusOK, out, float64(elapsed.Microseconds())/1000)
-}
-
-// statsMap assembles the counter set shared by /stats and /metrics. The
-// self-protection counters ride along: shed / would_miss / rate_limited
-// count typed admission rejections, degraded counts requests answered
-// with a downgraded Spec.
-func (h *handler) statsMap() map[string]any {
-	st := h.srv.Stats()
-	h.mu.Lock()
-	graphs := len(h.graphs)
-	h.mu.Unlock()
-	return map[string]any{
-		"requests": st.Requests, "batches": st.Batches, "rejected": st.Rejected,
-		"shed": st.Shed, "would_miss": st.WouldMiss, "rate_limited": st.RateLimited,
-		"degraded": st.Degraded,
-		"graphs":   graphs, "evictions": h.evictions.Load(),
-	}
-}
-
-// watchdogMap is the /metrics JSON view of the watchdog's state: the
-// shedding level plus the raw CPU/RSS samples and the utilization score
-// the level thresholds apply to. An unprotected server reports nominal
-// with zero samples.
-func (h *handler) watchdogMap() map[string]any {
-	hs := h.srv.Health()
-	return map[string]any{
-		"level":       hs.Level.String(),
-		"cpu":         hs.CPU,
-		"rss_bytes":   hs.RSSBytes,
-		"utilization": hs.Utilization,
-	}
-}
-
-func (h *handler) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, h.statsMap())
-}
-
-// opMetrics is the wire shape of one op's latency summary.
-type opMetrics struct {
-	Count  uint64  `json:"count"`
-	MeanMs float64 `json:"mean_ms"`
-	P50Ms  float64 `json:"p50_ms"`
-	P90Ms  float64 `json:"p90_ms"`
-	P99Ms  float64 `json:"p99_ms"`
-	MaxMs  float64 `json:"max_ms"`
-}
-
-func (h *handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if wantsProm(r) {
-		h.writePromMetrics(w)
-		return
-	}
-	ops := make(map[string]opMetrics)
-	for name, s := range h.met.Snapshots() {
-		ops[name] = opMetrics{
-			Count:  s.Count,
-			MeanMs: ms(s.Mean),
-			P50Ms:  ms(s.P50),
-			P90Ms:  ms(s.P90),
-			P99Ms:  ms(s.P99),
-			MaxMs:  ms(s.Max),
-		}
-	}
-	body := h.statsMap()
-	body["ops"] = ops
-	body["watchdog"] = h.watchdogMap()
-	writeJSON(w, http.StatusOK, body)
-}
-
-// wantsProm content-negotiates the /metrics format: an explicit
-// ?format=prom wins, otherwise a text/plain or OpenMetrics Accept header
-// (what Prometheus scrapers send) selects the text exposition format and
-// everything else keeps the JSON body.
-func wantsProm(r *http.Request) bool {
-	switch r.URL.Query().Get("format") {
-	case "prom", "prometheus":
-		return true
-	case "json":
-		return false
-	}
-	accept := r.Header.Get("Accept")
-	return strings.Contains(accept, "text/plain") ||
-		strings.Contains(accept, "application/openmetrics-text")
-}
-
-// writePromMetrics renders the counters and per-op latency histograms in
-// the Prometheus text exposition format (version 0.0.4), reusing the same
-// internal/metrics snapshots the JSON body reports: cumulative buckets in
-// seconds with the log2 upper bounds, plus _sum and _count per series.
-func (h *handler) writePromMetrics(w http.ResponseWriter) {
-	st := h.srv.Stats()
-	h.mu.Lock()
-	graphs := len(h.graphs)
-	h.mu.Unlock()
-
-	var b strings.Builder
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	counter("matchserve_requests_total", "Requests served by the batch engine.", st.Requests)
-	counter("matchserve_batches_total", "Pool-wide regions the requests were served in.", st.Batches)
-	counter("matchserve_rejected_total", "Submissions refused with 503 at admission.", st.Rejected)
-	counter("matchserve_shed_total", "Submissions refused by watchdog priority shedding.", st.Shed)
-	counter("matchserve_would_miss_total", "Submissions refused because their deadline could not be met.", st.WouldMiss)
-	counter("matchserve_rate_limited_total", "Submissions refused by the per-client rate limit.", st.RateLimited)
-	counter("matchserve_degraded_total", "Requests served with a downgraded Spec.", st.Degraded)
-	counter("matchserve_graph_evictions_total", "Graphs evicted from the LRU registry.", h.evictions.Load())
-	fmt.Fprintf(&b, "# HELP matchserve_graphs Registered graphs.\n# TYPE matchserve_graphs gauge\nmatchserve_graphs %d\n", graphs)
-
-	hs := h.srv.Health()
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-	gauge("matchserve_watchdog_level", "Shedding level (0 nominal, 1 degraded, 2 shedding, 3 critical).", float64(hs.Level))
-	gauge("matchserve_watchdog_cpu", "Latest CPU sample as a fraction of total capacity.", hs.CPU)
-	gauge("matchserve_watchdog_rss_bytes", "Latest resident set size in bytes.", float64(hs.RSSBytes))
-	gauge("matchserve_watchdog_utilization", "Shedding score: max(cpu/limit, rss/limit).", hs.Utilization)
-
-	snaps := h.met.Snapshots()
-	names := make([]string, 0, len(snaps))
-	for name := range snaps {
-		names = append(names, name)
-	}
-	sort.Strings(names) // deterministic scrape order
-	const hist = "matchserve_request_duration_seconds"
-	fmt.Fprintf(&b, "# HELP %s Latency of served requests by operation.\n# TYPE %s histogram\n", hist, hist)
-	for _, name := range names {
-		s := snaps[name]
-		cum := uint64(0)
-		for k := 0; k < metrics.NumBuckets; k++ {
-			cum += s.Buckets[k]
-			le := "+Inf"
-			if k < metrics.NumBuckets-1 {
-				le = strconv.FormatFloat(metrics.BucketUpperBound(k).Seconds(), 'g', -1, 64)
-			}
-			fmt.Fprintf(&b, "%s_bucket{op=%q,le=%q} %d\n", hist, name, le, cum)
-		}
-		fmt.Fprintf(&b, "%s_sum{op=%q} %g\n", hist, name, s.Sum.Seconds())
-		fmt.Fprintf(&b, "%s_count{op=%q} %d\n", hist, name, s.Count)
-	}
-
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	if _, err := io.WriteString(w, b.String()); err != nil {
-		log.Printf("matchserve: write: %v", err)
-	}
-}
-
-func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-
-// statusOf maps a serving error to its HTTP status: back-pressure and
-// watchdog shedding are 503 (retry later — the *server* is the problem),
-// a doomed deadline or an exceeded per-client rate is 429 (the *request*
-// is the problem: resubmit later or with a looser deadline), an expired
-// deadline 504, a client-abandoned request 499 (the nginx convention),
-// anything else 500. retryAfterOf supplies the Retry-After the 429/503
-// responses carry.
-func statusOf(err error) int {
-	switch {
-	case errors.Is(err, bipartite.ErrOverloaded), errors.Is(err, bipartite.ErrShed):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, bipartite.ErrWouldMiss), errors.Is(err, bipartite.ErrRateLimited):
-		return http.StatusTooManyRequests
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return 499
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-// retryAfterOf extracts the admission layer's Retry-After hint: how long
-// until the shedding level can have decayed, the backlog drained, or one
-// rate-limit token accrued. Zero means the error carries no hint (no
-// Retry-After header is written).
-func retryAfterOf(err error) time.Duration {
-	var shed *bipartite.ShedError
-	if errors.As(err, &shed) {
-		return shed.RetryAfter
-	}
-	var miss *bipartite.WouldMissError
-	if errors.As(err, &miss) {
-		return miss.RetryAfter
-	}
-	var rate *bipartite.RateLimitError
-	if errors.As(err, &rate) {
-		return rate.RetryAfter
-	}
-	return 0
-}
-
-// writeErrorRetry is writeError plus the Retry-After header (in whole
-// seconds, rounded up so "250ms" does not truncate to an immediate
-// retry).
-func writeErrorRetry(w http.ResponseWriter, code int, err error, retry time.Duration) {
-	if retry > 0 {
-		secs := int64((retry + time.Second - 1) / time.Second)
-		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-	}
-	writeError(w, code, err)
-}
-
-func toWire(resp bipartite.Response, d time.Duration) matchResponse {
-	if resp.Err != nil {
-		return matchResponse{Error: resp.Err.Error()}
-	}
-	out := matchResponse{
-		Size:          resp.Matching.Size,
-		Rows:          len(resp.Matching.RowMate),
-		Cols:          len(resp.Matching.ColMate),
-		RowMate:       resp.Matching.RowMate,
-		WinnerSeed:    resp.WinnerSeed,
-		CandidatesRun: resp.Candidates,
-		HeuristicSize: resp.HeuristicSize,
-		Refined:       resp.Refined,
-		MatchedWeight: resp.MatchedWeight,
-		Epsilon:       resp.Epsilon,
-		Rounds:        resp.Rounds,
-		Degraded:      resp.Degraded,
-		Ms:            float64(d.Microseconds()) / 1000,
-	}
-	if resp.Refined {
-		out.RefinedWith = resp.RefinedWith.String()
-	}
-	return out
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("matchserve: write: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

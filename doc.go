@@ -341,6 +341,42 @@
 // embedding applications under mutation or query load shed and degrade
 // exactly like the serving path does.
 //
+// # Cluster serving
+//
+// Above the single process, the serving stack scales out to a fleet:
+// internal/ring is a bounded-load consistent-hash ring (64-bit hashed
+// virtual nodes, per-node capacity ⌈factor·K/N⌉, deterministic
+// placement and minimal rebalancing — a membership change moves only the
+// keys whose arc changed hands), internal/cluster is the routing SDK and
+// HTTP front end over it, and cmd/matchrouter is the deployable router
+// binary. Registered graphs shard across matchserve replicas by id;
+// /match, /match/batch and PATCH traffic routes to the owner; membership
+// follows the replicas' /healthz (active probes plus passive mark-down
+// on transport failure), and graphs migrate to their new owners lazily —
+// exported from a live holder, or replayed from the retained
+// registration when the sole holder died.
+//
+// The router absorbs the serving contract's failure surface on the
+// client's behalf: 503/429 rejections are retried with exponential
+// backoff plus jitter, floored at the replica's own Retry-After hint;
+// slow single matches are hedged against a second holder after a
+// p99-derived delay (safe because a response is a pure function of
+// (graph, Spec)); and a replica death mid-batch re-drives only that
+// replica's sub-batch on the survivors — the chaos suite gates that a
+// kill with a batch in flight yields zero failed client requests.
+//
+// Determinism is what makes the fleet transparent. A best-of-K ensemble
+// fans out across replicas as disjoint seed sub-ranges
+// (Spec.SeedOffset/SeedCount — sub-range candidate seeds stay absolute,
+// so candidate c runs identically wherever it runs), each replica sweeps
+// its slice against its own shared scaling, and the router reduces the
+// sub-range winners in offset order under the same
+// strict-improvement/smallest-seed rule the library uses internally. The
+// reduced winner — mates, winner seed, provenance, matched weight for
+// the auction — is bit-identical to one process running the full sweep,
+// gated under the race detector in CI for the cardinality heuristics and
+// the auction alike.
+//
 // The quality guarantees themselves are enforced by the statistical test
 // suite (quality_test.go): OneSided ≥ (1−1/e)·sprank and TwoSided ≥
 // 0.86·sprank in the mean over seed sweeps, and exactness of Karp–Sipser

@@ -1,0 +1,89 @@
+package cluster_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzMux  *http.ServeMux
+)
+
+// fuzzRouter builds one router over an empty fleet: no replica is
+// reachable, so every well-formed request terminates quickly (503/404)
+// and the decode layer sees the full fuzz surface. Shared across fuzz
+// iterations, like a long-lived router process.
+func fuzzRouter() *http.ServeMux {
+	fuzzOnce.Do(func() {
+		c := cluster.New(nil, cluster.Options{
+			MaxRetries: 1, RetryBase: time.Microsecond, RetryMax: time.Microsecond, HedgeDelay: -1,
+		})
+		fuzzMux = cluster.NewRouterMux(cluster.NewRouter(c, 1<<12))
+	})
+	return fuzzMux
+}
+
+// FuzzRouterDecode throws arbitrary bodies at every router endpoint. The
+// router must never panic and must answer from the closed status set of
+// its error surface — anything else means a decode or routing path leaked
+// an unclassified failure.
+func FuzzRouterDecode(f *testing.F) {
+	f.Add(byte(0), []byte(`{"rows":2,"cols":2,"edges":[[0,0],[1,1]]}`))
+	f.Add(byte(0), []byte(`{"id":"fz","rows":1,"cols":1,"edges":[[0,0]],"weights":[2.5]}`))
+	f.Add(byte(1), []byte(`{"graph":"fz","algorithm":"twosided","seed":7,"best_of":4}`))
+	f.Add(byte(1), []byte(`{"rows":1,"cols":1,"edges":[[0,0]],"algorithm":"auction","epsilon":0.01}`))
+	f.Add(byte(2), []byte(`{"requests":[{"graph":"fz"},{"rows":1,"cols":1,"edges":[[0,0]]}]}`))
+	f.Add(byte(3), []byte(`{"insert":[[0,1]],"delete":[[0,0]]}`))
+	f.Add(byte(3), []byte(`{"insert":[[0,1]],"weights":[1.5]}`))
+	f.Add(byte(4), []byte(``))
+	f.Add(byte(5), []byte(``))
+	f.Add(byte(1), []byte(`{not json`))
+	f.Add(byte(2), []byte(`{"requests":`))
+	f.Add(byte(0), bytes.Repeat([]byte(`9`), 1<<13)) // over the 4KiB body cap
+	f.Add(byte(1), []byte(`{"graph":"fz","seed":-1,"best_of":1e99}`))
+
+	allowed := map[int]bool{
+		http.StatusOK:                    true,
+		http.StatusBadRequest:            true,
+		http.StatusNotFound:              true,
+		http.StatusRequestEntityTooLarge: true,
+		http.StatusTooManyRequests:       true,
+		http.StatusInternalServerError:   true,
+		http.StatusBadGateway:            true,
+		http.StatusServiceUnavailable:    true,
+		http.StatusGatewayTimeout:        true,
+	}
+
+	f.Fuzz(func(t *testing.T, op byte, body []byte) {
+		mux := fuzzRouter()
+		var method, path string
+		switch op % 6 {
+		case 0:
+			method, path = http.MethodPost, "/graph"
+		case 1:
+			method, path = http.MethodPost, "/match"
+		case 2:
+			method, path = http.MethodPost, "/match/batch"
+		case 3:
+			method, path = http.MethodPatch, "/graph/fz"
+		case 4:
+			method, path = http.MethodGet, "/graph/fz"
+		case 5:
+			method, path = http.MethodDelete, "/graph/fz"
+		}
+		req := httptest.NewRequest(method, path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if !allowed[rec.Code] {
+			t.Fatalf("%s %s with %d-byte body: status %d outside the error surface", method, path, len(body), rec.Code)
+		}
+	})
+}

@@ -1,0 +1,309 @@
+// Package ring implements the consistent-hash ring that shards the
+// cluster's graph registry across matchserve replicas: 64-bit hashed
+// virtual nodes give each replica many small arcs of the key space,
+// bounded-load placement keeps any one replica from owning more than a
+// configurable factor of its fair share, and every placement decision is
+// a pure function of the (membership, key set) pair — never of insertion
+// order, map iteration, or wall clock — so two routers (or one router
+// restarted) that see the same members and keys agree on every owner.
+//
+// Rebalancing is deterministic and minimal by construction: assignments
+// are recomputed by walking the keys in sorted order from each key's own
+// ring position, so a membership change moves only the keys whose arc
+// changed hands (plus the few that spill when the capacity bound shifts)
+// — on an N→N+1 change roughly K/(N+1) of K keys, never a full reshuffle.
+package ring
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Defaults for New when the caller passes zero values.
+const (
+	// DefaultVNodes is the virtual-node count per member: 64 arcs smooth
+	// the per-member share to within a few percent of fair while keeping
+	// the point array small enough to rebuild on every membership change.
+	DefaultVNodes = 64
+	// DefaultLoadFactor bounds any member's key count at 1.25× its fair
+	// share ceil(K/N) — the classic consistent-hashing-with-bounded-loads
+	// factor: tight enough that one hot arc cannot absorb the registry,
+	// loose enough that placements rarely spill past their first choice.
+	DefaultLoadFactor = 1.25
+)
+
+// hash64 hashes s with 64-bit FNV-1a and finishes with a full-avalanche
+// mix. The combination is stable across processes, Go versions and
+// architectures, which is what makes ring placement restart-deterministic
+// (hash/maphash trades that away for seeds). The finalizer matters: raw
+// FNV diffuses a trailing-byte change weakly into the high bits that
+// dominate ring ordering, so the near-identical "node#0".."node#63" vnode
+// names would otherwise collapse into a few giant arcs.
+func hash64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	// MurmurHash3 fmix64.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// point is one virtual node: a position on the 64-bit ring owned by a
+// member. Points sort by (hash, node) so even a hash collision between
+// two members' vnodes resolves the same way everywhere.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is the sharding state: the current membership's vnode points plus
+// the deterministic key→member assignment. It is not goroutine-safe; the
+// router guards it with its own mutex.
+type Ring struct {
+	vnodes int
+	factor float64
+
+	nodes  map[string]bool
+	points []point
+
+	keys   map[string]bool
+	assign map[string]string // key → owning node, rebuilt by rebalance
+	moved  int               // keys whose owner changed on the last rebalance
+}
+
+// New returns an empty ring. vnodes <= 0 and factor <= 1 fall back to the
+// defaults.
+func New(vnodes int, factor float64) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if factor <= 1 {
+		factor = DefaultLoadFactor
+	}
+	return &Ring{
+		vnodes: vnodes,
+		factor: factor,
+		nodes:  make(map[string]bool),
+		keys:   make(map[string]bool),
+		assign: make(map[string]string),
+	}
+}
+
+// AddNode adds a member and rebalances. Adding a present member is a
+// no-op. Returns the number of keys whose owner changed.
+func (r *Ring) AddNode(node string) int {
+	if r.nodes[node] {
+		return 0
+	}
+	r.nodes[node] = true
+	r.rebuildPoints()
+	return r.rebalance()
+}
+
+// RemoveNode removes a member and rebalances; its keys are reassigned to
+// the surviving members. Removing an absent member is a no-op. Returns
+// the number of keys whose owner changed.
+func (r *Ring) RemoveNode(node string) int {
+	if !r.nodes[node] {
+		return 0
+	}
+	delete(r.nodes, node)
+	r.rebuildPoints()
+	return r.rebalance()
+}
+
+// Has reports whether node is a current member.
+func (r *Ring) Has(node string) bool { return r.nodes[node] }
+
+// Nodes returns the membership, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddKey registers a key and returns its owner. The whole assignment is
+// recomputed by the deterministic sorted-order walk, so the resulting
+// placement is a pure function of the (membership, key set) pair — the
+// same keys added in any order, on any router, land identically (the
+// determinism tests pin this; K stays registry-sized, so the O(K log V)
+// rebuild is cheap). Adding a present key returns its current owner
+// unchanged. With no members the key is parked unassigned ("") and
+// placed by the next membership change.
+func (r *Ring) AddKey(key string) string {
+	if r.keys[key] {
+		return r.assign[key]
+	}
+	r.keys[key] = true
+	if len(r.nodes) == 0 {
+		r.assign[key] = ""
+		return ""
+	}
+	r.rebalance()
+	return r.assign[key]
+}
+
+// RemoveKey drops a key. Remaining assignments are untouched — removing
+// load never forces a move.
+func (r *Ring) RemoveKey(key string) {
+	if !r.keys[key] {
+		return
+	}
+	delete(r.keys, key)
+	delete(r.assign, key)
+}
+
+// Owner returns key's assigned member, or "" when the key is unknown or
+// the ring is empty. Unregistered keys get no implicit placement —
+// Locate gives the membership walk for those.
+func (r *Ring) Owner(key string) string { return r.assign[key] }
+
+// Locate returns the unbounded first-choice member for an arbitrary key
+// (the plain consistent-hash walk, ignoring load), or "" on an empty
+// ring. Useful for stateless spreading of keys that are not registry
+// entries, e.g. inline one-shot requests.
+func (r *Ring) Locate(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(hash64(key))].node
+}
+
+// Keys returns the number of registered keys.
+func (r *Ring) Keys() int { return len(r.keys) }
+
+// Moved returns how many keys changed owner on the most recent
+// rebalance — the number the rebalancing tests bound.
+func (r *Ring) Moved() int { return r.moved }
+
+// Assignments returns a copy of the key→owner map.
+func (r *Ring) Assignments() map[string]string {
+	out := make(map[string]string, len(r.assign))
+	for k, v := range r.assign {
+		out[k] = v
+	}
+	return out
+}
+
+// Loads returns the per-member key counts.
+func (r *Ring) Loads() map[string]int {
+	out := make(map[string]int, len(r.nodes))
+	for n := range r.nodes {
+		out[n] = 0
+	}
+	for _, n := range r.assign {
+		if n != "" {
+			out[n]++
+		}
+	}
+	return out
+}
+
+// Capacity returns the current bounded-load ceiling per member:
+// ceil(factor · K / N), at least 1. Zero members means zero capacity.
+func (r *Ring) Capacity() int {
+	n := len(r.nodes)
+	if n == 0 {
+		return 0
+	}
+	c := int(math.Ceil(r.factor * float64(len(r.keys)) / float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// rebuildPoints recomputes the vnode point array from the membership.
+// Vnode v of node n hashes "n#v"; the array sorts by (hash, node).
+func (r *Ring) rebuildPoints() {
+	r.points = r.points[:0]
+	for n := range r.nodes {
+		for v := 0; v < r.vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// search returns the index of the first point at or clockwise of hash,
+// wrapping past the top of the ring.
+func (r *Ring) search(hash uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hash })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// rebalance recomputes the whole assignment deterministically: keys in
+// sorted order, each walking the ring from its own hash to the first
+// member below the bounded-load capacity. Keys whose walk lands on their
+// current owner stay put, which is what keeps membership changes minimal;
+// the sorted order makes the spill decisions identical on every router
+// and restart. Returns (and records) how many keys changed owner.
+func (r *Ring) rebalance() int {
+	if len(r.nodes) == 0 {
+		moved := 0
+		for k := range r.assign {
+			if r.assign[k] != "" {
+				moved++
+			}
+			r.assign[k] = ""
+		}
+		r.moved = moved
+		return moved
+	}
+	keys := make([]string, 0, len(r.keys))
+	for k := range r.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	capacity := r.Capacity()
+	loads := make(map[string]int, len(r.nodes))
+	next := make(map[string]string, len(keys))
+	moved := 0
+	for _, k := range keys {
+		start := r.search(hash64(k))
+		owner := ""
+		for off := 0; off < len(r.points); off++ {
+			n := r.points[(start+off)%len(r.points)].node
+			if loads[n] < capacity {
+				owner = n
+				break
+			}
+		}
+		if owner == "" {
+			// Every member at capacity can only happen transiently (capacity
+			// is ≥ K/N by construction); fall back to the unbounded walk
+			// rather than leaving the key unowned.
+			owner = r.points[start].node
+		}
+		loads[owner]++
+		next[k] = owner
+		if r.assign[k] != owner {
+			moved++
+		}
+	}
+	r.assign = next
+	r.moved = moved
+	return moved
+}

@@ -1,0 +1,189 @@
+package ring
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// seededKeys returns K deterministic graph-id-shaped keys.
+func seededKeys(k int) []string {
+	keys := make([]string, k)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("c%d", i+1)
+	}
+	return keys
+}
+
+func buildRing(t *testing.T, nodes []string, keys []string) *Ring {
+	t.Helper()
+	r := New(0, 0)
+	for _, n := range nodes {
+		r.AddNode(n)
+	}
+	for _, k := range keys {
+		if owner := r.AddKey(k); owner == "" {
+			t.Fatalf("key %s left unassigned", k)
+		}
+	}
+	return r
+}
+
+func nodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("replica-%d", i)
+	}
+	return names
+}
+
+// countMoved compares two assignment snapshots.
+func countMoved(before, after map[string]string) int {
+	moved := 0
+	for k, owner := range before {
+		if after[k] != owner {
+			moved++
+		}
+	}
+	return moved
+}
+
+// TestRingRebalanceBound is the satellite gate: on replica add/remove the
+// number of reassigned keys is bounded by ceil(K/N) plus vnode slack —
+// a membership change must never reshuffle the registry.
+func TestRingRebalanceBound(t *testing.T) {
+	const K = 240
+	keys := seededKeys(K)
+	for _, n := range []int{2, 3, 4, 6} {
+		r := buildRing(t, nodeNames(n), keys)
+		fair := int(math.Ceil(float64(K) / float64(n)))
+		// Vnode slack: bounded-load spills and arc jitter move a few keys
+		// beyond the fair share on top of the arc that changed hands.
+		slack := K / 10
+
+		before := r.Assignments()
+		added := fmt.Sprintf("replica-%d", n)
+		moved := r.AddNode(added)
+		if got := countMoved(before, r.Assignments()); got != moved {
+			t.Fatalf("N=%d add: Moved()=%d but snapshots differ by %d", n, moved, got)
+		}
+		if moved > fair+slack {
+			t.Errorf("N=%d->%d add moved %d keys, want <= ceil(K/N)+slack = %d",
+				n, n+1, moved, fair+slack)
+		}
+		// The new replica must actually take ownership of an arc.
+		if r.Loads()[added] == 0 {
+			t.Errorf("N=%d add: new replica owns no keys", n)
+		}
+
+		before = r.Assignments()
+		lost := before
+		moved = r.RemoveNode(added)
+		// Removing the replica must move exactly the keys it owned, plus
+		// bounded spill when the capacity ceiling shifts.
+		owned := 0
+		for _, o := range lost {
+			if o == added {
+				owned++
+			}
+		}
+		if moved < owned {
+			t.Errorf("N=%d remove moved %d keys, but the removed replica owned %d", n, moved, owned)
+		}
+		if moved > owned+slack {
+			t.Errorf("N=%d remove moved %d keys, want <= owned(%d)+slack(%d)", n, moved, owned, slack)
+		}
+	}
+}
+
+// TestRingPlacementDeterministic pins the restart/width invariance: the
+// assignment is a pure function of (membership, key set), independent of
+// the order nodes and keys were added — so two router processes (or one
+// restarted) agree on every owner.
+func TestRingPlacementDeterministic(t *testing.T) {
+	keys := seededKeys(120)
+	nodes := nodeNames(3)
+
+	a := buildRing(t, nodes, keys)
+
+	// Reversed insertion order, nodes interleaved after some keys.
+	b := New(0, 0)
+	for i := len(keys) - 1; i >= len(keys)/2; i-- {
+		b.AddKey(keys[i])
+	}
+	for _, n := range nodes {
+		b.AddNode(n)
+	}
+	for i := len(keys)/2 - 1; i >= 0; i-- {
+		b.AddKey(keys[i])
+	}
+
+	ab, bb := a.Assignments(), b.Assignments()
+	if len(ab) != len(bb) {
+		t.Fatalf("assignment sizes differ: %d vs %d", len(ab), len(bb))
+	}
+	for k, owner := range ab {
+		if bb[k] != owner {
+			t.Fatalf("key %s: owner %q vs %q under different insertion orders", k, owner, bb[k])
+		}
+	}
+
+	// A remove/re-add round trip restores the identical assignment.
+	snapshot := a.Assignments()
+	a.RemoveNode(nodes[1])
+	a.AddNode(nodes[1])
+	for k, owner := range snapshot {
+		if got := a.Owner(k); got != owner {
+			t.Fatalf("key %s: owner %q after re-add, want %q", k, got, owner)
+		}
+	}
+}
+
+// TestRingBoundedLoad pins the bounded-load contract: no member ever owns
+// more than ceil(factor·K/N) keys.
+func TestRingBoundedLoad(t *testing.T) {
+	keys := seededKeys(200)
+	for _, n := range []int{1, 2, 3, 5} {
+		r := buildRing(t, nodeNames(n), keys)
+		capacity := r.Capacity()
+		for node, load := range r.Loads() {
+			if load > capacity {
+				t.Errorf("N=%d: %s owns %d keys beyond capacity %d", n, node, load, capacity)
+			}
+		}
+	}
+}
+
+// TestRingEdgeCases covers the empty-membership parking, key removal and
+// unknown-key lookups.
+func TestRingEdgeCases(t *testing.T) {
+	r := New(8, 1.25)
+	if got := r.AddKey("orphan"); got != "" {
+		t.Fatalf("empty ring assigned %q", got)
+	}
+	if r.Owner("orphan") != "" || r.Locate("anything") != "" {
+		t.Fatal("empty ring must resolve to no owner")
+	}
+	r.AddNode("a")
+	if got := r.Owner("orphan"); got != "a" {
+		t.Fatalf("parked key not placed on first member: %q", got)
+	}
+	if got := r.Locate("anything"); got != "a" {
+		t.Fatalf("Locate on 1-node ring: %q", got)
+	}
+	if r.AddNode("a") != 0 {
+		t.Fatal("re-adding a member must be a no-op")
+	}
+	r.RemoveKey("orphan")
+	if r.Owner("orphan") != "" || r.Keys() != 0 {
+		t.Fatal("removed key still assigned")
+	}
+	r.RemoveKey("orphan") // absent: no-op
+	if r.RemoveNode("ghost") != 0 {
+		t.Fatal("removing an absent member must be a no-op")
+	}
+	r.RemoveNode("a")
+	if len(r.Nodes()) != 0 {
+		t.Fatal("membership not empty")
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package servehttp
 
 import (
 	"bytes"
@@ -26,8 +26,8 @@ func fuzzMux(f *testing.F) (*http.ServeMux, string) {
 	f.Helper()
 	srv := bipartite.NewServerConfig(&bipartite.Options{ScalingIterations: 2, Workers: 1},
 		bipartite.ServerConfig{MaxBatch: 4})
-	h := newHandler(srv, serveConfig{maxGraphs: 4, maxBody: 1 << 14, timeout: 2 * time.Second})
-	mux := newMux(h)
+	h := NewHandler(srv, Config{MaxGraphs: 4, MaxBody: 1 << 14, Timeout: 2 * time.Second})
+	mux := NewMux(h)
 	f.Cleanup(srv.Close)
 
 	rec := httptest.NewRecorder()
@@ -123,7 +123,7 @@ func FuzzMatchServeMatchDecode(f *testing.F) {
 // TestMatchServeWireDimCap pins the fuzz-found guard: a tiny body asking
 // for a gigantic vertex set is a 400, not a multi-gigabyte allocation.
 func TestMatchServeWireDimCap(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 4, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 4, MaxBody: 1 << 20})
 	resp, body := postJSON(t, ts.URL+"/graph", map[string]any{
 		"rows": 1_000_000_000, "cols": 1, "edges": [][2]int{},
 	})

@@ -1,4 +1,4 @@
-package main
+package servehttp
 
 import (
 	"bytes"
@@ -14,12 +14,12 @@ import (
 )
 
 // newTestServer spins up the production mux on an httptest server.
-func newTestServer(t *testing.T, cfg serveConfig) (*httptest.Server, *handler) {
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Handler) {
 	t.Helper()
 	srv := bipartite.NewServerConfig(&bipartite.Options{ScalingIterations: 5, Workers: 1},
 		bipartite.ServerConfig{MaxBatch: 16})
-	h := newHandler(srv, cfg)
-	ts := httptest.NewServer(newMux(h))
+	h := NewHandler(srv, cfg)
+	ts := httptest.NewServer(NewMux(h))
 	t.Cleanup(func() {
 		ts.Close()
 		srv.Close()
@@ -77,7 +77,7 @@ func registerRing(t *testing.T, ts *httptest.Server, n int) string {
 }
 
 func TestMatchServeEndToEnd(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 8, MaxBody: 1 << 20})
 	id := registerRing(t, ts, 64)
 
 	// Single match by registered id. Karp–Sipser is exact on the ring
@@ -180,7 +180,7 @@ func TestMatchServeEndToEnd(t *testing.T) {
 }
 
 func TestMatchServeOversizeBodyRejected(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 256})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 8, MaxBody: 256})
 	edges := make([][2]int, 600) // JSON far beyond 256 bytes
 	for i := range edges {
 		edges[i] = [2]int{i % 20, (i + 1) % 20}
@@ -211,7 +211,7 @@ func TestMatchServeOversizeBodyRejected(t *testing.T) {
 // the least recently used graph instead of rejecting the registration; a
 // lookup refreshes recency.
 func TestMatchServeRegistryLRUEviction(t *testing.T) {
-	ts, h := newTestServer(t, serveConfig{maxGraphs: 3, maxBody: 1 << 20})
+	ts, h := newTestServer(t, Config{MaxGraphs: 3, MaxBody: 1 << 20})
 	id1 := registerRing(t, ts, 8)
 	id2 := registerRing(t, ts, 9)
 	id3 := registerRing(t, ts, 10)
@@ -262,7 +262,7 @@ func TestMatchServeRegistryLRUEviction(t *testing.T) {
 // maps to 504; an explicitly pre-expired context path is covered by the
 // library tests, so here the wire-level contract is what's asserted.
 func TestMatchServeDeadline(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 4, maxBody: 64 << 20, timeout: time.Minute})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 4, MaxBody: 64 << 20, Timeout: time.Minute})
 	// A deadline of 1ms on a large inline graph: resolution (decode+build)
 	// happens before the clock starts mattering for admission, and the
 	// kernels abort at their first checkpoint past the deadline. Use a
@@ -285,7 +285,7 @@ func TestMatchServeDeadline(t *testing.T) {
 
 // TestMatchServeUnknownOpAndBadJSON: malformed requests map to 400.
 func TestMatchServeUnknownOpAndBadJSON(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 4, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 4, MaxBody: 1 << 20})
 	id := registerRing(t, ts, 8)
 	resp, _ := postJSON(t, ts.URL+"/match", map[string]any{"graph": id, "op": "magic"})
 	if resp.StatusCode != http.StatusBadRequest {

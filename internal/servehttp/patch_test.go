@@ -1,4 +1,4 @@
-package main
+package servehttp
 
 import (
 	"bytes"
@@ -33,7 +33,7 @@ func patchJSON(t *testing.T, url string, body any) (*http.Response, map[string]a
 }
 
 // snapshotOf reads the registry's current graph pointer for id.
-func snapshotOf(h *handler, id string) any {
+func snapshotOf(h *Handler, id string) any {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if e := h.graphs[id]; e != nil {
@@ -48,7 +48,7 @@ func snapshotOf(h *handler, id string) any {
 // mutated graph's structural rank), and subsequent /match requests are
 // served from the mutated snapshot.
 func TestMatchServePatch(t *testing.T) {
-	ts, h := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	ts, h := newTestServer(t, Config{MaxGraphs: 8, MaxBody: 1 << 20})
 	id := registerRing(t, ts, 16) // perfect matching of size 16
 
 	before := snapshotOf(h, id)
@@ -129,7 +129,7 @@ func TestMatchServePatch(t *testing.T) {
 // out-of-range endpoints 400 with the batch atomically rejected, malformed
 // JSON 400.
 func TestMatchServePatchErrors(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 8, MaxBody: 1 << 20})
 	id := registerRing(t, ts, 8)
 
 	resp, body := patchJSON(t, ts.URL+"/graph/nope", map[string]any{

@@ -1,4 +1,4 @@
-package main
+package servehttp
 
 import (
 	"bytes"
@@ -75,8 +75,8 @@ func newProtectedServer(t *testing.T, busyMilli *atomic.Int64, cfg bipartite.Ser
 		return time.Duration(float64(elapsed) * float64(cores) * float64(busyMilli.Load()) / 1000), nil
 	}
 	srv := bipartite.NewServerConfig(&bipartite.Options{ScalingIterations: 2, Workers: 1}, cfg)
-	h := newHandler(srv, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
-	ts := httptest.NewServer(newMux(h))
+	h := NewHandler(srv, Config{MaxGraphs: 8, MaxBody: 1 << 20})
+	ts := httptest.NewServer(NewMux(h))
 	return ts, srv
 }
 
@@ -240,7 +240,7 @@ func TestProtectHTTPRateLimit429(t *testing.T) {
 // TestProtectHTTPBadPriority: an unknown priority is a 400, before any
 // kernel runs.
 func TestProtectHTTPBadPriority(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 4, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 4, MaxBody: 1 << 20})
 	id := registerRing(t, ts, 16)
 	resp, body := postJSON(t, ts.URL+"/match", map[string]any{
 		"graph": id, "algorithm": "twosided", "priority": "urgent",

@@ -1,4 +1,4 @@
-package main
+package servehttp
 
 import (
 	"bytes"
@@ -15,7 +15,7 @@ import (
 // algorithm selection beyond the legacy ops, exact refinement reaching the
 // ring's perfect matching, and best-of ensembles.
 func TestMatchServeSpecFields(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 8, MaxBody: 1 << 20})
 	id := registerRing(t, ts, 64)
 
 	// cheap-vertex alone is a 1/2-approximation; refined it must hit the
@@ -119,7 +119,7 @@ func TestMatchServeSpecFields(t *testing.T) {
 // malformed spec field is rejected before any kernel runs, with the error
 // in the body.
 func TestMatchServeSpecInvalid(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 8, MaxBody: 1 << 20})
 	id := registerRing(t, ts, 16)
 
 	cases := []struct {
@@ -167,7 +167,7 @@ func TestMatchServeSpecInvalid(t *testing.T) {
 // request envelope in, compressed response envelope out, bit-for-bit
 // equal to the identity-encoded exchange.
 func TestMatchServeBatchGzip(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 8, MaxBody: 1 << 20})
 	id := registerRing(t, ts, 32)
 
 	payload := map[string]any{
@@ -246,7 +246,7 @@ func TestMatchServeBatchGzip(t *testing.T) {
 // via the query parameter and via content negotiation — and checks the
 // histogram and counter series are well formed.
 func TestMatchServeMetricsProm(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 8, MaxBody: 1 << 20})
 	id := registerRing(t, ts, 32)
 	for s := 1; s <= 3; s++ {
 		resp, body := postJSON(t, ts.URL+"/match", map[string]any{
@@ -332,7 +332,7 @@ func TestMatchServeMetricsProm(t *testing.T) {
 // id stops resolving); the engine-side scale-cache drop it triggers is
 // gated in the library's TestSpecServerDropGraph.
 func TestMatchServeDeleteDropsGraph(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 8, MaxBody: 1 << 20})
 	id := registerRing(t, ts, 16)
 
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/graph/"+id, nil)

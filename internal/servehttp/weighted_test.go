@@ -1,4 +1,4 @@
-package main
+package servehttp
 
 import (
 	"bytes"
@@ -33,7 +33,7 @@ func registerWeighted(t *testing.T, url string) string {
 }
 
 func TestMatchServeAuction(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 8, MaxBody: 1 << 20})
 	id := registerWeighted(t, ts.URL)
 
 	resp, body := postJSON(t, ts.URL+"/match", map[string]any{
@@ -85,7 +85,7 @@ func TestMatchServeAuction(t *testing.T) {
 }
 
 func TestMatchServeAuctionBadSpecs(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 8, MaxBody: 1 << 20})
 	id := registerWeighted(t, ts.URL)
 	bad := []map[string]any{
 		{"graph": id, "algorithm": "auction", "epsilon": 1.5},
@@ -104,7 +104,7 @@ func TestMatchServeAuctionBadSpecs(t *testing.T) {
 }
 
 func TestMatchServeWeightedPatch(t *testing.T) {
-	ts, _ := newTestServer(t, serveConfig{maxGraphs: 8, maxBody: 1 << 20})
+	ts, _ := newTestServer(t, Config{MaxGraphs: 8, MaxBody: 1 << 20})
 	id := registerWeighted(t, ts.URL)
 
 	// First weighted patch: replace the weight-1 diagonal edge with a

@@ -252,7 +252,18 @@ func degradeSpec(s Spec, lvl watchdog.Level) (Spec, string) {
 	if lvl >= watchdog.Shedding {
 		capK = 1
 	}
-	if s.Ensemble > capK {
+	if s.SeedCount > 0 {
+		// A seed sub-range (cluster fan-out slice) keeps Ensemble as the
+		// full interval's width for validation; the work to cap is the
+		// slice itself. Shrinking the count keeps the sub-range valid
+		// (offset+count only decreases) — the router's reduce still works,
+		// it just sees fewer candidates from this replica, observable via
+		// the degraded marker.
+		if s.SeedCount > capK {
+			marks = append(marks, "seed_count:"+strconv.Itoa(s.SeedCount)+"->"+strconv.Itoa(capK))
+			s.SeedCount = capK
+		}
+	} else if s.Ensemble > capK {
 		marks = append(marks, "best_of:"+strconv.Itoa(s.Ensemble)+"->"+strconv.Itoa(capK))
 		s.Ensemble = capK
 	}

@@ -222,6 +222,25 @@ type Spec struct {
 	// against each other. Single runs ignore it.
 	Sequential bool
 
+	// SeedOffset and SeedCount, when SeedCount > 0, restrict an ensemble
+	// to the sub-range of its seed interval [Seed+SeedOffset,
+	// Seed+SeedOffset+SeedCount): the run consumes exactly those
+	// candidates and reports the sub-range's strict-improvement winner
+	// with its absolute seed. This is the cluster fan-out primitive — a
+	// best-of-K Spec split into disjoint sub-ranges across replicas
+	// reduces (largest size — or, for AlgAuction, heaviest weight — wins,
+	// ties toward the smallest winner seed) to exactly the single-process
+	// sweep's winner, mates and provenance, because each candidate is a
+	// pure function of (Graph, Algorithm, seed) and the full-range winner
+	// rule is associative over sub-range winners. A sub-range requires
+	// Ensemble > 1, SeedOffset+SeedCount <= Ensemble and — except under
+	// AlgAuction, whose ensembles never stop early — Refine: RefineNone
+	// and Target: 0: the early-stopping sweeps consume seeds serially, so
+	// no split could reproduce them. Both zero (the zero value) means the
+	// full range.
+	SeedOffset int
+	SeedCount  int
+
 	// Epsilon is the relative approximation slack of AlgAuction: the
 	// matched weight is guaranteed ≥ (1−ε)·optimal. Must lie in (0, 1);
 	// 0 means the default (DefaultEpsilon). Only valid with AlgAuction.
@@ -266,6 +285,24 @@ func (s Spec) Validate() error {
 		}
 		if s.Target != 0 {
 			return fmt.Errorf("%w: auction does not support a cardinality target", errSpec)
+		}
+	}
+	if s.SeedOffset != 0 || s.SeedCount != 0 {
+		if s.SeedOffset < 0 {
+			return fmt.Errorf("%w: negative seed offset %d", errSpec, s.SeedOffset)
+		}
+		if s.SeedCount <= 0 {
+			return fmt.Errorf("%w: seed sub-range needs a positive seed count, got %d", errSpec, s.SeedCount)
+		}
+		if s.Ensemble <= 1 {
+			return fmt.Errorf("%w: seed sub-range requires an ensemble (best_of > 1)", errSpec)
+		}
+		if s.SeedOffset+s.SeedCount > s.Ensemble {
+			return fmt.Errorf("%w: seed sub-range [%d, %d) exceeds the ensemble's %d seeds",
+				errSpec, s.SeedOffset, s.SeedOffset+s.SeedCount, s.Ensemble)
+		}
+		if s.Refine != RefineNone || s.Target != 0 {
+			return fmt.Errorf("%w: seed sub-range requires refine none and no target (early-stopping sweeps consume seeds serially, so a split cannot reproduce them)", errSpec)
 		}
 	}
 	return nil
@@ -376,8 +413,19 @@ func (m *Matcher) runSingle(spec Spec, seed uint64, sc *Scaling) (*MatchResult, 
 // on the session arena or fan out across the pool, and either way their
 // results are consumed strictly in seed order by one ensembleRun state
 // machine — which is what makes the two schedules agree bit for bit.
+// A seed sub-range (SeedCount > 0) consumes only the candidates
+// [SeedOffset, SeedOffset+SeedCount) of the interval; the winner seed it
+// reports stays absolute, so a cluster router can reduce disjoint
+// sub-range winners with the full sweep's own size-then-smallest-seed
+// rule. Validation has already rejected sub-ranges combined with the
+// early-stopping Refine/Target machinery.
 func (m *Matcher) runEnsemble(spec Spec, base uint64, sc *Scaling) (*MatchResult, error) {
-	e := ensembleRun{m: m, spec: spec, base: base, k: spec.Ensemble, ref: m.resolveRefine(spec.Refine)}
+	k := spec.Ensemble
+	if spec.SeedCount > 0 {
+		base += uint64(spec.SeedOffset)
+		k = spec.SeedCount
+	}
+	e := ensembleRun{m: m, spec: spec, base: base, k: k, ref: m.resolveRefine(spec.Refine)}
 	if spec.Refine != RefineNone || spec.Target > 0 {
 		e.ub = m.g.SprankUpperBound()
 		if spec.Target > 0 {

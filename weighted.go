@@ -166,11 +166,21 @@ func (m *Matcher) runAuction(spec Spec) (*MatchResult, error) {
 	if k < 1 {
 		k = 1
 	}
+	// A seed sub-range restricts the ensemble to candidates
+	// [SeedOffset, SeedOffset+SeedCount) of the interval — the cluster
+	// fan-out primitive. The warm start is a pure function of the graph
+	// (Prepare is seed-free), so every replica's slice finishes from the
+	// identical prices and the heaviest-weight/smallest-seed reduction
+	// across slices equals the single-process sweep.
+	if spec.SeedCount > 0 {
+		base += uint64(spec.SeedOffset)
+		k = spec.SeedCount
+	}
 	st, epsAbs, err := auction.Prepare(a, at, popt, ws)
 	if err != nil {
 		return nil, err
 	}
-	if k == 1 {
+	if k == 1 && spec.Ensemble <= 1 {
 		res, err := auction.Finish(a, at, popt, base, epsAbs, st, ws)
 		if err != nil {
 			return nil, err
